@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 1: average of dissimilar and similar statistics between
+ * HSAIL and GCN3 across the ten applications. Values are GCN3/HSAIL
+ * ratios (geometric mean), matching the paper's summary bars.
+ */
+
+#include <cstdio>
+
+#include "support.hh"
+
+using namespace last;
+using namespace last::bench;
+
+int
+main()
+{
+    printHeader("Figure 1: dissimilar vs similar statistics "
+                "(GCN3 normalized to HSAIL, geometric mean)");
+    const auto &rs = allResults();
+
+    std::vector<double> dyn, conflicts, reuse, foot, flush, cycles,
+        uniq, util, data;
+    for (const auto &p : rs) {
+        dyn.push_back(double(p.gcn3.dynInsts) / p.hsail.dynInsts);
+        conflicts.push_back(double(p.gcn3.vrfBankConflicts) /
+                            std::max<uint64_t>(p.hsail.vrfBankConflicts,
+                                               1));
+        reuse.push_back(
+            p.hsail.reuseMedian > 0
+                ? p.gcn3.reuseMedian / p.hsail.reuseMedian : 1.0);
+        foot.push_back(double(p.gcn3.instFootprint) /
+                       p.hsail.instFootprint);
+        if (p.hsail.ibFlushes > 0)
+            flush.push_back(double(p.gcn3.ibFlushes) /
+                            double(p.hsail.ibFlushes));
+        cycles.push_back(double(p.gcn3.cycles) / p.hsail.cycles);
+        uniq.push_back(p.gcn3.vrfUniq /
+                       std::max(p.hsail.vrfUniq, 1e-9));
+        util.push_back(p.gcn3.simdUtil /
+                       std::max(p.hsail.simdUtil, 1e-9));
+        data.push_back(double(p.gcn3.dataFootprint) /
+                       p.hsail.dataFootprint);
+    }
+
+    std::printf("\n-- dissimilar statistics --\n");
+    std::printf("%-28s %8.2fx   (paper: ~2x)\n",
+                "dynamic instructions", geomean(dyn));
+    std::printf("%-28s %8.2fx   (paper: ~0.33x)\n",
+                "VRF bank conflicts", geomean(conflicts));
+    std::printf("%-28s %8.2fx   (paper: ~2x)\n",
+                "median vreg reuse distance", geomean(reuse));
+    std::printf("%-28s %8.2fx   (paper: ~2.4x)\n",
+                "instruction footprint", geomean(foot));
+    std::printf("%-28s %8.2fx   (paper: <0.5x)\n",
+                "IB flushes", geomean(flush));
+    std::printf("%-28s %8.2fx   (paper: app-dependent)\n",
+                "GPU cycles", geomean(cycles));
+    std::printf("%-28s %8.2fx   (paper: both directions)\n",
+                "VRF value uniqueness", geomean(uniq));
+
+    std::printf("\n-- similar statistics --\n");
+    std::printf("%-28s %8.2fx   (paper: ~1x)\n", "SIMD utilization",
+                geomean(util));
+    std::printf("%-28s %8.2fx   (paper: ~1x except FFT/LULESH)\n",
+                "data footprint", geomean(data));
+    return 0;
+}

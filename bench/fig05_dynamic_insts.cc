@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 5: dynamic instruction count and type breakdown, normalized
+ * to each application's HSAIL count.
+ */
+
+#include <cstdio>
+
+#include "support.hh"
+
+using namespace last;
+using namespace last::bench;
+
+int
+main()
+{
+    printHeader("Figure 5: dynamic instructions by class, normalized "
+                "to HSAIL");
+    const auto &rs = allResults();
+    std::printf("%-12s %-6s %7s %7s %7s %7s %7s %7s %7s %7s | %7s\n",
+                "app", "isa", "valu", "salu", "vmem", "smem", "lds",
+                "branch", "waitcnt", "misc", "total");
+    std::vector<double> ratios;
+    for (const auto &p : rs) {
+        for (const sim::AppResult *r : {&p.hsail, &p.gcn3}) {
+            double base = double(p.hsail.dynInsts);
+            std::printf("%-12s %-6s %7.3f %7.3f %7.3f %7.3f %7.3f "
+                        "%7.3f %7.3f %7.3f | %7.3f\n",
+                        r->workload.c_str(), isaName(r->isa),
+                        r->valu / base, r->salu / base, r->vmem / base,
+                        r->smem / base, r->lds / base,
+                        r->branch / base, r->waitcnt / base,
+                        r->misc / base, r->dynInsts / base);
+        }
+        ratios.push_back(double(p.gcn3.dynInsts) / p.hsail.dynInsts);
+    }
+    std::printf("\ngeomean GCN3/HSAIL dynamic instructions: %.2fx "
+                "(paper: 1.5x-3x, FFT near 1x)\n",
+                geomean(ratios));
+    return 0;
+}

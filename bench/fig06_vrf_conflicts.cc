@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 6: VRF bank conflicts. The paper reports GCN3 encountering
+ * roughly one third of HSAIL's port conflicts: GCN vector instructions
+ * draw base addresses and bookkeeping from the SRF while every HSAIL
+ * operand lives in the VRF.
+ */
+
+#include <cstdio>
+
+#include "support.hh"
+
+using namespace last;
+using namespace last::bench;
+
+int
+main()
+{
+    printHeader("Figure 6: VRF bank conflicts");
+    const auto &rs = allResults();
+    std::printf("%-12s %14s %14s %8s\n", "app", "HSAIL", "GCN3",
+                "ratio");
+    std::vector<double> ratios;
+    for (const auto &p : rs) {
+        double ratio = double(p.gcn3.vrfBankConflicts) /
+                       std::max<uint64_t>(p.hsail.vrfBankConflicts, 1);
+        ratios.push_back(ratio);
+        std::printf("%-12s %14llu %14llu %8.2f\n",
+                    p.hsail.workload.c_str(),
+                    (unsigned long long)p.hsail.vrfBankConflicts,
+                    (unsigned long long)p.gcn3.vrfBankConflicts,
+                    ratio);
+    }
+    std::printf("\ngeomean GCN3/HSAIL: %.2fx (paper: ~0.33x)\n",
+                geomean(ratios));
+    return 0;
+}

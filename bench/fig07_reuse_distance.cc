@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 7: median vector-register reuse distance (dynamic
+ * instructions between touches of the same architectural register).
+ * The finalizer's scheduling and scalarization roughly double it.
+ */
+
+#include <cstdio>
+
+#include "support.hh"
+
+using namespace last;
+using namespace last::bench;
+
+int
+main()
+{
+    printHeader("Figure 7: median vector register reuse distance");
+    const auto &rs = allResults();
+    std::printf("%-12s %10s %10s %8s\n", "app", "HSAIL", "GCN3",
+                "ratio");
+    std::vector<double> ratios;
+    for (const auto &p : rs) {
+        double h = std::max(p.hsail.reuseMedian, 0.01);
+        double g = std::max(p.gcn3.reuseMedian, 0.01);
+        ratios.push_back(g / h);
+        std::printf("%-12s %10.1f %10.1f %8.2f\n",
+                    p.hsail.workload.c_str(), p.hsail.reuseMedian,
+                    p.gcn3.reuseMedian, g / h);
+    }
+    std::printf("\ngeomean GCN3/HSAIL: %.2fx (paper: ~2x, FFT ~1x)\n",
+                geomean(ratios));
+    return 0;
+}

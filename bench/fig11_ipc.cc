@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 11: IPC normalized to HSAIL. GCN3 generally retires more
+ * instructions per cycle (several machine instructions correspond to
+ * one IL instruction); FFT and LULESH are the paper's exceptions.
+ */
+
+#include <cstdio>
+
+#include "support.hh"
+
+using namespace last;
+using namespace last::bench;
+
+int
+main()
+{
+    printHeader("Figure 11: normalized IPC (GCN3 / HSAIL)");
+    const auto &rs = allResults();
+    std::printf("%-12s %8s %8s %8s\n", "app", "HSAIL", "GCN3",
+                "ratio");
+    std::vector<double> ratios;
+    for (const auto &p : rs) {
+        double ratio = p.gcn3.ipc / std::max(p.hsail.ipc, 1e-9);
+        ratios.push_back(ratio);
+        std::printf("%-12s %8.3f %8.3f %8.2f\n",
+                    p.hsail.workload.c_str(), p.hsail.ipc, p.gcn3.ipc,
+                    ratio);
+    }
+    std::printf("\ngeomean: %.2fx (paper: >1x for most apps)\n",
+                geomean(ratios));
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 12: normalized runtime (cycles). The headline pitfall: the
+ * IL's error is application-dependent and moves in both directions,
+ * so no single fudge factor can correct it.
+ */
+
+#include <cstdio>
+
+#include "support.hh"
+
+using namespace last;
+using namespace last::bench;
+
+int
+main()
+{
+    printHeader("Figure 12: runtime in cycles (HSAIL / GCN3; >1 means "
+                "HSAIL is slower)");
+    const auto &rs = allResults();
+    std::printf("%-12s %12s %12s %10s\n", "app", "HSAIL", "GCN3",
+                "H/G ratio");
+    double lo = 1e9, hi = 0;
+    for (const auto &p : rs) {
+        double ratio = double(p.hsail.cycles) / p.gcn3.cycles;
+        lo = std::min(lo, ratio);
+        hi = std::max(hi, ratio);
+        std::printf("%-12s %12llu %12llu %10.2f\n",
+                    p.hsail.workload.c_str(),
+                    (unsigned long long)p.hsail.cycles,
+                    (unsigned long long)p.gcn3.cycles, ratio);
+    }
+    std::printf("\nspread: %.2fx .. %.2fx (paper: 0.54x [LULESH] .. "
+                "1.6x [ArrayBW] — hard to correct with a fudge "
+                "factor)\n",
+                lo, hi);
+    return 0;
+}

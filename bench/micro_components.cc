@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): how fast the simulator
+ * itself runs — functional memory, cache timing model, both ISA
+ * interpreters, the finalizer, and whole-kernel simulation rate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "finalizer/finalizer.hh"
+#include "finalizer/regalloc.hh"
+#include "hsail/builder.hh"
+#include "memory/cache.hh"
+#include "memory/dram.hh"
+#include "memory/functional_memory.hh"
+#include "runtime/runtime.hh"
+
+using namespace last;
+using namespace last::hsail;
+
+namespace
+{
+
+void
+BM_FunctionalMemoryWrite(benchmark::State &state)
+{
+    mem::FunctionalMemory m;
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        m.write<uint64_t>(addr, addr);
+        addr = (addr + 64) & 0xfffff;
+    }
+}
+BENCHMARK(BM_FunctionalMemoryWrite);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    stats::Group root("root");
+    GpuConfig cfg;
+    mem::Dram dram("dram", cfg, &root);
+    mem::Cache l2("l2", cfg.l2, &dram, &root);
+    mem::Cache l1("l1", cfg.l1d, &l2, &root);
+    Cycle now = 0;
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(l1.access(addr, false, now));
+        addr = (addr + 64) & 0x3ffff;
+        now += 2;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+IlKernel
+computeKernel()
+{
+    KernelBuilder kb("micro");
+    kb.setKernargBytes(16);
+    Val in = kb.ldKernarg(DataType::U64, 0);
+    Val out = kb.ldKernarg(DataType::U64, 8);
+    Val gid = kb.workitemAbsId();
+    Val off = kb.cvt(DataType::U64, kb.mul(gid, kb.immU32(4)));
+    Val acc = kb.ldGlobal(DataType::F32, kb.add(in, off));
+    for (int i = 0; i < 16; ++i)
+        acc = kb.fma_(acc, kb.immF32(1.0009f), kb.immF32(0.25f));
+    kb.stGlobal(acc, kb.add(out, off));
+    return kb.build();
+}
+
+void
+BM_SimulateKernel(benchmark::State &state)
+{
+    IsaKind isa = state.range(0) ? IsaKind::GCN3 : IsaKind::HSAIL;
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        runtime::Runtime rt;
+        auto il = computeKernel();
+        finalizer::compactIlRegisters(il);
+        std::unique_ptr<arch::KernelCode> gcn;
+        arch::KernelCode *code = il.code.get();
+        if (isa == IsaKind::GCN3) {
+            gcn = finalizer::finalize(il, rt.config());
+            code = gcn.get();
+        }
+        Addr in = rt.allocGlobal(4096 * 4);
+        Addr out = rt.allocGlobal(4096 * 4);
+        struct Args
+        {
+            uint64_t in, out;
+        } args{in, out};
+        rt.dispatch(*code, 4096, 256, &args, sizeof(args));
+        insts += uint64_t(rt.gpu().sumCuStat("dynInsts"));
+    }
+    state.counters["wf_insts_per_s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateKernel)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Finalize(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto il = computeKernel();
+        finalizer::compactIlRegisters(il);
+        auto gcn = finalizer::finalize(il, GpuConfig{});
+        benchmark::DoNotOptimize(gcn->codeBytes());
+    }
+}
+BENCHMARK(BM_Finalize);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,182 @@
+#include "support.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace last::bench
+{
+
+namespace
+{
+
+constexpr const char *CacheFile = "last_bench_cache.csv";
+constexpr int CacheVersion = 3;
+
+double
+benchScale()
+{
+    if (const char *s = std::getenv("LAST_BENCH_SCALE"))
+        return std::atof(s);
+    return 1.0;
+}
+
+void
+writeRow(std::ostream &os, const sim::AppResult &r)
+{
+    os << r.workload << ',' << isaName(r.isa) << ',' << r.verified
+       << ',' << r.digest << ',' << r.dynInsts << ',' << r.valu << ','
+       << r.salu << ',' << r.vmem << ',' << r.smem << ',' << r.lds
+       << ',' << r.branch << ',' << r.waitcnt << ',' << r.misc << ','
+       << r.cycles << ',' << r.ipc << ',' << r.vrfBankConflicts << ','
+       << r.reuseMedian << ',' << r.instFootprint << ','
+       << r.ibFlushes << ',' << r.readUniq << ',' << r.writeUniq
+       << ',' << r.vrfUniq << ',' << r.dataFootprint << ','
+       << r.simdUtil << ',' << r.l1iMisses << ',' << r.l1iHits << ','
+       << r.hazardViolations << '\n';
+    for (const auto &l : r.launches)
+        os << "launch," << l.kernel << ',' << l.cycles << ','
+           << l.instsIssued << '\n';
+    os << "end\n";
+}
+
+bool
+readRow(std::istream &is, sim::AppResult &r)
+{
+    std::string line;
+    if (!std::getline(is, line) || line.empty())
+        return false;
+    std::istringstream ls(line);
+    std::string isa, tok;
+    auto next = [&]() {
+        std::getline(ls, tok, ',');
+        return tok;
+    };
+    r.workload = next();
+    isa = next();
+    r.isa = isa == "GCN3" ? IsaKind::GCN3 : IsaKind::HSAIL;
+    r.verified = std::stoi(next());
+    r.digest = std::stoull(next());
+    r.dynInsts = std::stoull(next());
+    r.valu = std::stoull(next());
+    r.salu = std::stoull(next());
+    r.vmem = std::stoull(next());
+    r.smem = std::stoull(next());
+    r.lds = std::stoull(next());
+    r.branch = std::stoull(next());
+    r.waitcnt = std::stoull(next());
+    r.misc = std::stoull(next());
+    r.cycles = std::stoull(next());
+    r.ipc = std::stod(next());
+    r.vrfBankConflicts = std::stoull(next());
+    r.reuseMedian = std::stod(next());
+    r.instFootprint = std::stoull(next());
+    r.ibFlushes = std::stoull(next());
+    r.readUniq = std::stod(next());
+    r.writeUniq = std::stod(next());
+    r.vrfUniq = std::stod(next());
+    r.dataFootprint = std::stoull(next());
+    r.simdUtil = std::stod(next());
+    r.l1iMisses = std::stoull(next());
+    r.l1iHits = std::stoull(next());
+    r.hazardViolations = std::stoull(next());
+    while (std::getline(is, line) && line != "end") {
+        std::istringstream lls(line);
+        std::string tag, kernel, cyc, insts;
+        std::getline(lls, tag, ',');
+        std::getline(lls, kernel, ',');
+        std::getline(lls, cyc, ',');
+        std::getline(lls, insts, ',');
+        r.launches.push_back(
+            {kernel, std::stoull(cyc), std::stoull(insts)});
+    }
+    return true;
+}
+
+std::vector<AppPair>
+computeAll()
+{
+    std::vector<AppPair> out;
+    workloads::WorkloadScale scale{benchScale()};
+    for (const auto &w : workloads::workloadNames()) {
+        std::fprintf(stderr, "[bench] simulating %s ...\n", w.c_str());
+        auto [h, g] = sim::runBoth(w, GpuConfig{}, scale);
+        fatal_if(!h.verified || !g.verified,
+                 "workload %s failed verification", w.c_str());
+        fatal_if(h.digest != g.digest,
+                 "workload %s: cross-ISA result mismatch", w.c_str());
+        out.push_back({std::move(h), std::move(g)});
+    }
+    return out;
+}
+
+std::vector<AppPair>
+loadOrCompute()
+{
+    double scale = benchScale();
+    {
+        std::ifstream in(CacheFile);
+        if (in) {
+            int ver = 0;
+            double cached_scale = 0;
+            std::string header;
+            std::getline(in, header);
+            std::sscanf(header.c_str(), "last-bench-cache v%d scale=%lf",
+                        &ver, &cached_scale);
+            if (ver == CacheVersion && cached_scale == scale) {
+                std::vector<AppPair> out;
+                while (true) {
+                    AppPair p;
+                    if (!readRow(in, p.hsail))
+                        break;
+                    if (!readRow(in, p.gcn3))
+                        break;
+                    out.push_back(std::move(p));
+                }
+                if (out.size() == workloads::workloadNames().size())
+                    return out;
+            }
+        }
+    }
+    auto out = computeAll();
+    std::ofstream os(CacheFile);
+    os << "last-bench-cache v" << CacheVersion << " scale=" << scale
+       << "\n";
+    for (const auto &p : out) {
+        writeRow(os, p.hsail);
+        writeRow(os, p.gcn3);
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<AppPair> &
+allResults()
+{
+    static std::vector<AppPair> results = loadOrCompute();
+    return results;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    double s = 0;
+    for (double x : xs)
+        s += std::log(x > 0 ? x : 1e-9);
+    return std::exp(s / double(xs.size()));
+}
+
+void
+printHeader(const std::string &what)
+{
+    GpuConfig cfg;
+    std::printf("== %s ==\n", what.c_str());
+    std::printf("config (Table 4): %s\n", cfg.summary().c_str());
+}
+
+} // namespace last::bench

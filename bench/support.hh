@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared support for the per-figure benchmark binaries.
+ *
+ * Running every Table 5 application at both ISA levels takes minutes,
+ * so the first bench binary to run performs the sweep and caches the
+ * per-app statistics in ./last_bench_cache.csv; the other binaries
+ * reuse it. Delete the file (or change LAST_BENCH_SCALE) to force a
+ * fresh sweep.
+ */
+
+#ifndef LAST_BENCH_SUPPORT_HH
+#define LAST_BENCH_SUPPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace last::bench
+{
+
+struct AppPair
+{
+    sim::AppResult hsail;
+    sim::AppResult gcn3;
+};
+
+/** All ten applications, simulated at both ISA levels (cached). */
+const std::vector<AppPair> &allResults();
+
+/** Geometric mean over per-app ratios. */
+double geomean(const std::vector<double> &xs);
+
+/** Print the standard bench header (config + provenance). */
+void printHeader(const std::string &what);
+
+} // namespace last::bench
+
+#endif // LAST_BENCH_SUPPORT_HH

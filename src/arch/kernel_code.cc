@@ -1,0 +1,81 @@
+#include "arch/kernel_code.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace last::arch
+{
+
+const char *
+fuTypeName(FuType fu)
+{
+    switch (fu) {
+      case FuType::VAlu: return "VALU";
+      case FuType::SAlu: return "SALU";
+      case FuType::Branch: return "BRANCH";
+      case FuType::VMem: return "VMEM";
+      case FuType::SMem: return "SMEM";
+      case FuType::Lds: return "LDS";
+      case FuType::Special: return "SPECIAL";
+    }
+    return "?";
+}
+
+KernelCode::KernelCode(IsaKind isa, std::string name)
+    : isaKind(isa), kernelName(std::move(name))
+{
+}
+
+size_t
+KernelCode::append(std::unique_ptr<Instruction> inst)
+{
+    panic_if(isSealed, "appending to sealed kernel %s", kernelName.c_str());
+    insts.push_back(std::move(inst));
+    return insts.size() - 1;
+}
+
+void
+KernelCode::seal()
+{
+    panic_if(isSealed, "kernel %s sealed twice", kernelName.c_str());
+    offsets.resize(insts.size());
+    Addr off = 0;
+    for (size_t i = 0; i < insts.size(); ++i) {
+        offsets[i] = off;
+        off += insts[i]->sizeBytes();
+    }
+    totalBytes = off;
+    isSealed = true;
+}
+
+size_t
+KernelCode::indexAt(Addr offset) const
+{
+    // Binary search over the (sorted) offsets.
+    size_t lo = 0, hi = offsets.size();
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (offsets[mid] < offset)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    panic_if(lo >= offsets.size() || offsets[lo] != offset,
+             "bad pc offset %llu in kernel %s",
+             (unsigned long long)offset, kernelName.c_str());
+    return lo;
+}
+
+std::string
+KernelCode::disassemble() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < insts.size(); ++i) {
+        os << "  [" << offsets[i] << "]\t" << insts[i]->disassemble()
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace last::arch

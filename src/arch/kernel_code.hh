@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A loaded, executable kernel: the instruction stream plus the resource
+ * requirements the dispatcher checks and the ABI metadata the command
+ * processor uses at launch.
+ */
+
+#ifndef LAST_ARCH_KERNEL_CODE_HH
+#define LAST_ARCH_KERNEL_CODE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/instruction.hh"
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace last::arch
+{
+
+/**
+ * Instruction stream + metadata for one kernel at one ISA level.
+ *
+ * Instructions are laid out at byte offsets so the fetch stage can
+ * model the true instruction footprint: fixed 8 B per instruction for
+ * HSAIL (the 64-bit pseudo-encoding the paper describes) and the
+ * variable GCN3 encoding otherwise.
+ */
+class KernelCode
+{
+  public:
+    KernelCode(IsaKind isa, std::string name);
+
+    /** Append an instruction; returns its index. */
+    size_t append(std::unique_ptr<Instruction> inst);
+
+    /** Finish construction: compute byte offsets. Must be called once
+     *  before execution. */
+    void seal();
+
+    IsaKind isa() const { return isaKind; }
+    const std::string &name() const { return kernelName; }
+    bool sealed() const { return isSealed; }
+
+    size_t numInsts() const { return insts.size(); }
+    const Instruction &inst(size_t idx) const { return *insts[idx]; }
+
+    /** Byte offset of instruction idx within the code object. */
+    Addr offsetOf(size_t idx) const { return offsets[idx]; }
+
+    /** Instruction index at byte offset (must be a valid boundary). */
+    size_t indexAt(Addr offset) const;
+
+    /** Total code bytes — the kernel's instruction footprint. */
+    Addr codeBytes() const { return totalBytes; }
+
+    /** Where the loader placed the code object in simulated memory. */
+    Addr codeBase() const { return base; }
+    void setCodeBase(Addr b) { base = b; }
+
+    std::string disassemble() const;
+
+    /** @{ Resource requirements and segment sizes (per-WI / per-WG). */
+    unsigned vregsUsed = 0;
+    unsigned sregsUsed = 0;
+    uint64_t privateBytesPerWi = 0;
+    uint64_t spillBytesPerWi = 0;
+    uint64_t ldsBytesPerWg = 0;
+    uint64_t kernargBytes = 0;
+    /** @} */
+
+  private:
+    IsaKind isaKind;
+    std::string kernelName;
+    std::vector<std::unique_ptr<Instruction>> insts;
+    std::vector<Addr> offsets;
+    Addr totalBytes = 0;
+    Addr base = 0;
+    bool isSealed = false;
+};
+
+} // namespace last::arch
+
+#endif // LAST_ARCH_KERNEL_CODE_HH

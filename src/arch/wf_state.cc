@@ -1,0 +1,100 @@
+#include "arch/wf_state.hh"
+
+#include "common/logging.hh"
+
+namespace last::arch
+{
+
+uint64_t
+WfState::activeMask() const
+{
+    if (isa == IsaKind::GCN3)
+        return exec;
+    panic_if(rs.empty(), "HSAIL wavefront with empty reconvergence stack");
+    return rs.back().mask;
+}
+
+uint64_t
+WfState::readVreg64(unsigned idx, unsigned lane) const
+{
+    return uint64_t(vregs[idx][lane]) |
+           (uint64_t(vregs[idx + 1][lane]) << 32);
+}
+
+void
+WfState::writeVreg64(unsigned idx, unsigned lane, uint64_t val)
+{
+    vregs[idx][lane] = uint32_t(val);
+    vregs[idx + 1][lane] = uint32_t(val >> 32);
+}
+
+uint32_t
+WfState::readSgpr(unsigned idx) const
+{
+    switch (idx) {
+      case RegVccLo: return uint32_t(vcc);
+      case RegVccHi: return uint32_t(vcc >> 32);
+      case RegExecLo: return uint32_t(exec);
+      case RegExecHi: return uint32_t(exec >> 32);
+      default:
+        panic_if(idx >= sgprs.size(), "sgpr index %u out of range", idx);
+        return sgprs[idx];
+    }
+}
+
+void
+WfState::writeSgpr(unsigned idx, uint32_t val)
+{
+    switch (idx) {
+      case RegVccLo:
+        vcc = (vcc & 0xffffffff00000000ull) | val;
+        return;
+      case RegVccHi:
+        vcc = (vcc & 0xffffffffull) | (uint64_t(val) << 32);
+        return;
+      case RegExecLo:
+        exec = (exec & 0xffffffff00000000ull) | val;
+        return;
+      case RegExecHi:
+        exec = (exec & 0xffffffffull) | (uint64_t(val) << 32);
+        return;
+      default:
+        panic_if(idx >= sgprs.size(), "sgpr index %u out of range", idx);
+        sgprs[idx] = val;
+    }
+}
+
+uint64_t
+WfState::readSgpr64(unsigned idx) const
+{
+    return uint64_t(readSgpr(idx)) | (uint64_t(readSgpr(idx + 1)) << 32);
+}
+
+void
+WfState::writeSgpr64(unsigned idx, uint64_t val)
+{
+    writeSgpr(idx, uint32_t(val));
+    writeSgpr(idx + 1, uint32_t(val >> 32));
+}
+
+void
+WfState::initLaunch(uint64_t initial_mask)
+{
+    pc = 0;
+    nextPc = 0;
+    done = false;
+    atBarrier = false;
+    vmCnt = 0;
+    lgkmCnt = 0;
+    pendingAccess.reset();
+    if (isa == IsaKind::GCN3) {
+        exec = initial_mask;
+        rs.clear();
+    } else {
+        exec = ~0ull;
+        rs.clear();
+        rs.push_back({0, InvalidAddr, initial_mask});
+    }
+}
+
+} // namespace last::arch

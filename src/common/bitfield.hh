@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by encoders, caches, and the ISAs.
+ */
+
+#ifndef LAST_COMMON_BITFIELD_HH
+#define LAST_COMMON_BITFIELD_HH
+
+#include <cstdint>
+
+namespace last
+{
+
+/** Extract bits [last:first] (inclusive, LSB 0) from val. */
+constexpr uint64_t
+bits(uint64_t val, unsigned last, unsigned first)
+{
+    unsigned nbits = last - first + 1;
+    uint64_t mask = nbits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << nbits) - 1);
+    return (val >> first) & mask;
+}
+
+/** Insert bits value into [last:first] of dest and return the result. */
+constexpr uint64_t
+insertBits(uint64_t dest, unsigned last, unsigned first, uint64_t value)
+{
+    unsigned nbits = last - first + 1;
+    uint64_t mask = nbits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << nbits) - 1);
+    return (dest & ~(mask << first)) | ((value & mask) << first);
+}
+
+/** Sign-extend the low nbits of val to 64 bits. */
+constexpr int64_t
+sext(uint64_t val, unsigned nbits)
+{
+    uint64_t sign = uint64_t(1) << (nbits - 1);
+    uint64_t mask = (sign << 1) - 1;
+    val &= mask;
+    return static_cast<int64_t>((val ^ sign) - sign);
+}
+
+/** True if val is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr unsigned
+floorLog2(uint64_t val)
+{
+    unsigned l = 0;
+    while (val >>= 1)
+        ++l;
+    return l;
+}
+
+/** Population count of a 64-bit mask. */
+constexpr unsigned
+popCount(uint64_t val)
+{
+    return static_cast<unsigned>(__builtin_popcountll(val));
+}
+
+/** Index of the lowest set bit; undefined for val == 0. */
+constexpr unsigned
+findLsb(uint64_t val)
+{
+    return static_cast<unsigned>(__builtin_ctzll(val));
+}
+
+} // namespace last
+
+#endif // LAST_COMMON_BITFIELD_HH

@@ -1,0 +1,33 @@
+#include "common/config.hh"
+
+#include <sstream>
+
+namespace last
+{
+
+const char *
+isaName(IsaKind isa)
+{
+    return isa == IsaKind::HSAIL ? "HSAIL" : "GCN3";
+}
+
+std::string
+GpuConfig::summary() const
+{
+    std::ostringstream os;
+    os << numCus << " CUs @ " << clockGhz * 1000 << " MHz, " << simdPerCu
+       << " SIMDs/CU, " << wfSlotsPerCu << " WF slots (each "
+       << wavefrontSize << " lanes), " << l1d.sizeBytes / 1024
+       << "kB L1D/CU, " << l1i.sizeBytes / 1024 << "kB I$/"
+       << cusPerCluster << "CUs, " << l2.sizeBytes / 1024 << "kB L2/"
+       << cusPerCluster << "CUs, DDR3 x" << dramChannels;
+    return os.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const GpuConfig &cfg)
+{
+    return os << cfg.summary();
+}
+
+} // namespace last

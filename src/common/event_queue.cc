@@ -1,0 +1,69 @@
+#include "common/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace last
+{
+
+void
+EventQueue::schedule(Cycle when, Callback cb)
+{
+    panic_if(when < curCycle, "scheduling event in the past (%llu < %llu)",
+             (unsigned long long)when, (unsigned long long)curCycle);
+    events[when].push_back(std::move(cb));
+}
+
+void
+EventQueue::scheduleAfter(Cycle delay, Callback cb)
+{
+    schedule(curCycle + delay, std::move(cb));
+}
+
+void
+EventQueue::tick()
+{
+    auto it = events.find(curCycle);
+    if (it != events.end()) {
+        // Callbacks may schedule more events for this same cycle; keep
+        // draining until the bucket is empty so intra-cycle chains
+        // (e.g., L1 miss -> L2 hit forwarded combinationally) resolve.
+        while (it != events.end() && it->first == curCycle) {
+            std::vector<Callback> batch = std::move(it->second);
+            events.erase(it);
+            for (auto &cb : batch)
+                cb();
+            it = events.find(curCycle);
+        }
+    }
+    ++curCycle;
+}
+
+void
+EventQueue::fastForward()
+{
+    if (events.empty()) {
+        ++curCycle;
+        return;
+    }
+    Cycle next = events.begin()->first;
+    curCycle = next > curCycle ? next : curCycle;
+    tick();
+}
+
+size_t
+EventQueue::numPending() const
+{
+    size_t n = 0;
+    for (const auto &kv : events)
+        n += kv.second.size();
+    return n;
+}
+
+void
+EventQueue::reset()
+{
+    events.clear();
+    curCycle = 0;
+}
+
+} // namespace last

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A tick-ordered event queue.
+ *
+ * The GPU model advances with a global per-cycle loop; latency-bearing
+ * components (caches, DRAM) schedule completion callbacks here. Events
+ * scheduled for the same cycle fire in FIFO order, which keeps the
+ * model deterministic.
+ */
+
+#ifndef LAST_COMMON_EVENT_QUEUE_HH
+#define LAST_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace last
+{
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule cb to run at absolute cycle when (>= now()). */
+    void schedule(Cycle when, Callback cb);
+
+    /** Schedule cb to run delay cycles from now. */
+    void scheduleAfter(Cycle delay, Callback cb);
+
+    /** Run all events scheduled for the current cycle, then advance
+     *  the clock by one. */
+    void tick();
+
+    /** Advance the clock directly to the next scheduled event (or by
+     *  one cycle if none); used to fast-forward idle periods. */
+    void fastForward();
+
+    /** Current cycle. */
+    Cycle now() const { return curCycle; }
+
+    /** True if no events are pending. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    size_t numPending() const;
+
+    /** Drop all pending events and reset the clock to zero. */
+    void reset();
+
+  private:
+    Cycle curCycle = 0;
+    std::map<Cycle, std::vector<Callback>> events;
+};
+
+} // namespace last
+
+#endif // LAST_COMMON_EVENT_QUEUE_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); aborts.
+ * fatal()  - the user asked for something unsupportable; exits cleanly.
+ * warn()   - functionality approximated; simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef LAST_COMMON_LOGGING_HH
+#define LAST_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace last
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+} // namespace last
+
+#define panic(...) ::last::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::last::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::last::warnImpl(__VA_ARGS__)
+#define inform(...) ::last::informImpl(__VA_ARGS__)
+
+/** Like assert, but active in all build types and panics with context. */
+#define panic_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            panic(__VA_ARGS__);                                              \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            fatal(__VA_ARGS__);                                              \
+    } while (0)
+
+#endif // LAST_COMMON_LOGGING_HH

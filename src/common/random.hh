@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A tiny deterministic PRNG (xorshift64*), used by workload input
+ * generators and property tests so runs are reproducible bit-for-bit.
+ */
+
+#ifndef LAST_COMMON_RANDOM_HH
+#define LAST_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace last
+{
+
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform in [0, bound). */
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        return bound ? next() % bound : 0;
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return float(next() >> 40) / float(1 << 24);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return double(next() >> 11) / double(1ull << 53);
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace last
+
+#endif // LAST_COMMON_RANDOM_HH

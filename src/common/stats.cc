@@ -1,0 +1,187 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace last::stats
+{
+
+Stat::Stat(Group *parent, std::string name, std::string desc)
+    : statName(std::move(name)), statDesc(std::move(desc))
+{
+    if (parent)
+        parent->addStat(this);
+}
+
+void
+Stat::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << statName << " " << value() << " # " << statDesc << "\n";
+}
+
+unsigned
+Histogram::bucketFor(uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    unsigned b = 64 - static_cast<unsigned>(__builtin_clzll(v));
+    return std::min(b, NumBuckets - 1);
+}
+
+uint64_t
+Histogram::bucketLow(unsigned b)
+{
+    return b == 0 ? 0 : (uint64_t(1) << (b - 1));
+}
+
+uint64_t
+Histogram::bucketHigh(unsigned b)
+{
+    return b == 0 ? 0 : (uint64_t(1) << b) - 1;
+}
+
+void
+Histogram::sample(uint64_t v, uint64_t count)
+{
+    buckets[bucketFor(v)] += count;
+    total += count;
+    sum += double(v) * double(count);
+    maxVal = std::max(maxVal, v);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (unsigned b = 0; b < NumBuckets; ++b)
+        buckets[b] += other.buckets[b];
+    total += other.total;
+    sum += other.sum;
+    maxVal = std::max(maxVal, other.maxVal);
+}
+
+double
+Histogram::median() const
+{
+    if (total == 0)
+        return 0;
+    uint64_t half = (total + 1) / 2;
+    uint64_t seen = 0;
+    for (unsigned b = 0; b < NumBuckets; ++b) {
+        if (seen + buckets[b] >= half) {
+            // Linear interpolation within the bucket.
+            double frac = buckets[b]
+                ? double(half - seen) / double(buckets[b]) : 0;
+            double lo = double(bucketLow(b));
+            double hi = double(bucketHigh(b));
+            return lo + frac * (hi - lo);
+        }
+        seen += buckets[b];
+    }
+    return double(maxVal);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(std::begin(buckets), std::end(buckets), 0);
+    total = 0;
+    maxVal = 0;
+    sum = 0;
+}
+
+void
+Histogram::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::median " << median() << " # " << desc()
+       << "\n";
+    os << prefix << name() << "::mean " << mean() << " # " << desc() << "\n";
+    os << prefix << name() << "::samples " << samples() << " # " << desc()
+       << "\n";
+}
+
+Group::Group(std::string name, Group *parent)
+    : groupName(std::move(name)), parent(parent)
+{
+    if (parent)
+        parent->addChild(this);
+}
+
+Group::~Group()
+{
+    if (parent)
+        parent->removeChild(this);
+}
+
+void
+Group::addStat(Stat *stat)
+{
+    statList.push_back(stat);
+}
+
+void
+Group::addChild(Group *child)
+{
+    childList.push_back(child);
+}
+
+void
+Group::removeChild(Group *child)
+{
+    auto it = std::find(childList.begin(), childList.end(), child);
+    if (it != childList.end())
+        childList.erase(it);
+}
+
+void
+Group::resetStats()
+{
+    for (auto *s : statList)
+        s->reset();
+    for (auto *c : childList)
+        c->resetStats();
+}
+
+void
+Group::printStats(std::ostream &os, const std::string &prefix) const
+{
+    std::string path = prefix.empty() ? groupName + "."
+                                      : prefix + groupName + ".";
+    for (const auto *s : statList)
+        s->print(os, path);
+    for (const auto *c : childList)
+        c->printStats(os, path);
+}
+
+const Stat *
+Group::find(const std::string &path) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        for (const auto *s : statList)
+            if (s->name() == path)
+                return s;
+        return nullptr;
+    }
+    std::string head = path.substr(0, dot);
+    std::string tail = path.substr(dot + 1);
+    for (const auto *c : childList)
+        if (c->name() == head)
+            return c->find(tail);
+    return nullptr;
+}
+
+double
+Group::sumOver(const std::string &name) const
+{
+    double total = 0;
+    for (const auto *s : statList)
+        if (s->name() == name)
+            total += s->value();
+    for (const auto *c : childList)
+        total += c->sumOver(name);
+    return total;
+}
+
+} // namespace last::stats

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics framework.
+ *
+ * Statistics register themselves with a Group; groups nest, and the
+ * root group can dump `group.stat value` lines or be queried
+ * programmatically (used by the benchmark harness to build the paper's
+ * tables).
+ */
+
+#ifndef LAST_COMMON_STATS_HH
+#define LAST_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace last::stats
+{
+
+class Group;
+
+/** Base class for all statistics; registers with a parent group. */
+class Stat
+{
+  public:
+    Stat(Group *parent, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return statName; }
+    const std::string &desc() const { return statDesc; }
+
+    /** Primary scalar view of the statistic (used for table output). */
+    virtual double value() const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+    /** Print `name value # desc` (plus any extra lines). */
+    virtual void print(std::ostream &os, const std::string &prefix) const;
+
+  private:
+    std::string statName;
+    std::string statDesc;
+};
+
+/** A simple accumulating counter. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator+=(double v) { val += v; return *this; }
+    Scalar &operator++() { val += 1; return *this; }
+    void operator++(int) { val += 1; }
+    void set(double v) { val = v; }
+
+    double value() const override { return val; }
+    void reset() override { val = 0; }
+
+  private:
+    double val = 0;
+};
+
+/** Mean of samples (e.g., per-access uniqueness ratios). */
+class Average : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(double v) { sum += v; ++count; }
+    void sample(double v, double weight) { sum += v * weight;
+                                           count += weight; }
+
+    double value() const override { return count ? sum / count : 0; }
+    uint64_t samples() const { return static_cast<uint64_t>(count); }
+    void reset() override { sum = 0; count = 0; }
+
+  private:
+    double sum = 0;
+    double count = 0;
+};
+
+/**
+ * Log2-bucketed histogram of non-negative integer samples; supports an
+ * approximate median (exact bucket, linear interpolation inside it),
+ * which is what the reuse-distance figure needs.
+ */
+class Histogram : public Stat
+{
+  public:
+    static constexpr unsigned NumBuckets = 48;
+
+    using Stat::Stat;
+
+    void sample(uint64_t v, uint64_t count = 1);
+
+    /** Fold another histogram's buckets into this one. */
+    void merge(const Histogram &other);
+
+    uint64_t samples() const { return total; }
+    double mean() const { return total ? sum / double(total) : 0; }
+    double median() const;
+    uint64_t maxSample() const { return maxVal; }
+
+    /** Median is the headline value. */
+    double value() const override { return median(); }
+    void reset() override;
+    void print(std::ostream &os, const std::string &prefix) const override;
+
+  private:
+    static unsigned bucketFor(uint64_t v);
+    static uint64_t bucketLow(unsigned b);
+    static uint64_t bucketHigh(unsigned b);
+
+    uint64_t buckets[NumBuckets] = {};
+    uint64_t total = 0;
+    uint64_t maxVal = 0;
+    double sum = 0;
+};
+
+/** A named collection of statistics and child groups. */
+class Group
+{
+  public:
+    explicit Group(std::string name, Group *parent = nullptr);
+    virtual ~Group();
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return groupName; }
+
+    void addStat(Stat *stat);
+    void addChild(Group *child);
+    void removeChild(Group *child);
+
+    /** Recursively reset all stats. */
+    void resetStats();
+
+    /** Recursively print all stats as `path.name value` lines. */
+    void printStats(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Find a stat by dotted path relative to this group. */
+    const Stat *find(const std::string &path) const;
+
+    /** Sum of `name` over this group and all descendants that have it. */
+    double sumOver(const std::string &name) const;
+
+    const std::vector<Stat *> &localStats() const { return statList; }
+    const std::vector<Group *> &children() const { return childList; }
+
+  private:
+    std::string groupName;
+    Group *parent;
+    std::vector<Stat *> statList;
+    std::vector<Group *> childList;
+};
+
+} // namespace last::stats
+
+#endif // LAST_COMMON_STATS_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem.
+ */
+
+#ifndef LAST_COMMON_TYPES_HH
+#define LAST_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace last
+{
+
+/** Simulated time, measured in GPU core cycles. */
+using Cycle = uint64_t;
+
+/** Simulated (virtual) byte address. */
+using Addr = uint64_t;
+
+/** Number of work-items executing in lock step per wavefront. */
+constexpr unsigned WavefrontSize = 64;
+
+/** SIMD lanes per SIMD engine; a WF issues over WavefrontSize/SimdWidth
+ *  cycles (4 for the GCN3-like configuration). */
+constexpr unsigned SimdWidth = 16;
+
+/** An invalid/unset cycle marker. */
+constexpr Cycle InvalidCycle = ~Cycle(0);
+
+/** An invalid/unset address marker. */
+constexpr Addr InvalidAddr = ~Addr(0);
+
+} // namespace last
+
+#endif // LAST_COMMON_TYPES_HH

@@ -1,0 +1,651 @@
+#include "cu/compute_unit.hh"
+
+#include <algorithm>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+#include "finalizer/abi.hh"
+#include "gcn3/inst.hh"
+
+namespace last::cu
+{
+
+ComputeUnit::ComputeUnit(const std::string &name, const GpuConfig &cfg,
+                         EventQueue &eq, mem::MemLevel *l1d,
+                         mem::MemLevel *l1i, mem::MemLevel *scalar_d,
+                         mem::FunctionalMemory *memory,
+                         stats::Group *parent)
+    : stats::Group(name, parent),
+      dynInsts(this, "dynInsts", "instructions issued"),
+      valuInsts(this, "valuInsts", "vector ALU instructions"),
+      saluInsts(this, "saluInsts", "scalar ALU instructions"),
+      vmemInsts(this, "vmemInsts", "vector memory instructions"),
+      smemInsts(this, "smemInsts", "scalar memory instructions"),
+      ldsInsts(this, "ldsInsts", "LDS instructions"),
+      branchInsts(this, "branchInsts", "branch instructions"),
+      waitcntInsts(this, "waitcntInsts", "s_waitcnt instructions"),
+      miscInsts(this, "miscInsts", "nop/barrier/endpgm instructions"),
+      busyCycles(this, "busyCycles", "cycles with resident work"),
+      vrfBankConflicts(this, "vrfBankConflicts",
+                       "VRF port conflicts (Figure 6)"),
+      vregReuseDist(this, "vregReuseDist",
+                    "vector register reuse distance (Figure 7)"),
+      ibFlushes(this, "ibFlushes",
+                "instruction buffer flushes (Figure 9)"),
+      vrfReadUniq(this, "vrfReadUniq",
+                  "VRF read lane-value uniqueness (Figure 10)"),
+      vrfWriteUniq(this, "vrfWriteUniq",
+                   "VRF write lane-value uniqueness (Figure 10)"),
+      valuUtilization(this, "valuUtilization",
+                      "SIMD lane utilization (Table 6)"),
+      scoreboardStalls(this, "scoreboardStalls",
+                       "issue stalls from the HSAIL scoreboard"),
+      waitcntStalls(this, "waitcntStalls",
+                    "issue stalls at GCN3 s_waitcnt"),
+      fuConflictStalls(this, "fuConflictStalls",
+                       "issue stalls from busy functional units"),
+      ibEmptyStalls(this, "ibEmptyStalls",
+                    "issue stalls from an empty instruction buffer"),
+      hazardViolations(this, "hazardViolations",
+                       "GCN3 reads of unready registers (must be 0)"),
+      coalescedLines(this, "coalescedLines",
+                     "cache-line requests after coalescing"),
+      vmemWfAccesses(this, "vmemWfAccesses",
+                     "wavefront-level vector memory accesses"),
+      cfg(cfg), eq(eq), l1d(l1d), l1i(l1i), scalarD(scalar_d),
+      memory(memory), fuBusyUntil(NumFu, 0)
+{
+    for (unsigned s = 0; s < cfg.wfSlotsPerCu; ++s)
+        slots.push_back(
+            std::make_unique<Wavefront>(s, s % cfg.simdPerCu));
+    vrfBankUse.assign(cfg.simdPerCu, {});
+    vrfBankUseCycle.assign(cfg.simdPerCu, InvalidCycle);
+}
+
+unsigned
+ComputeUnit::chargeBankConflicts(const Wavefront &wf,
+                                 const arch::Instruction &inst,
+                                 Cycle now)
+{
+    if (vrfBankUseCycle[wf.simd] != now) {
+        vrfBankUse[wf.simd].fill(0);
+        vrfBankUseCycle[wf.simd] = now;
+    }
+    auto &use = vrfBankUse[wf.simd];
+    unsigned conflicts = 0;
+    for (const auto &op : inst.regOps()) {
+        if (op.cls != arch::RegClass::Vector)
+            continue;
+        for (unsigned w = 0; w < op.width; ++w) {
+            unsigned bank = (op.idx + w) % cfg.vrfBanks;
+            if (use[bank]++)
+                ++conflicts;
+        }
+    }
+    vrfBankConflicts += conflicts;
+    return conflicts;
+}
+
+bool
+ComputeUnit::canAccept(const WorkgroupTask &task) const
+{
+    const auto &code = *task.launch->code;
+    unsigned wg_size = task.launch->wgSize;
+    unsigned wf_per_wg = (wg_size + WavefrontSize - 1) / WavefrontSize;
+
+    unsigned free_slots = 0;
+    for (const auto &wf : slots)
+        if (!wf->active)
+            ++free_slots;
+    if (free_slots < wf_per_wg)
+        return false;
+
+    if (vrfUsed + code.vregsUsed * wf_per_wg > cfg.vrfEntriesPerCu)
+        return false;
+    if (code.isa() == IsaKind::GCN3 &&
+        srfUsed + code.sregsUsed * wf_per_wg > cfg.srfEntriesPerCu)
+        return false;
+    if (ldsUsed + code.ldsBytesPerWg > cfg.ldsBytesPerCu)
+        return false;
+    return true;
+}
+
+void
+ComputeUnit::accept(const WorkgroupTask &task)
+{
+    panic_if(!canAccept(task), "accept() without canAccept()");
+    KernelLaunch &launch = *task.launch;
+    const auto &code = *launch.code;
+    unsigned wg_size = launch.wgSize;
+    unsigned wg_first_wi = task.wgId * wg_size;
+    unsigned wi_in_wg =
+        std::min(wg_size, launch.gridSize - wg_first_wi);
+    unsigned wf_per_wg = (wi_in_wg + WavefrontSize - 1) / WavefrontSize;
+
+    auto wg = std::make_unique<WgInstance>();
+    wg->launch = &launch;
+    wg->wgId = task.wgId;
+    wg->wfTotal = wf_per_wg;
+    wg->lds = std::make_unique<mem::LdsBlock>(code.ldsBytesPerWg);
+    wg->vregsReserved = code.vregsUsed * wf_per_wg;
+    wg->sregsReserved =
+        code.isa() == IsaKind::GCN3 ? code.sregsUsed * wf_per_wg : 0;
+    wg->ldsReserved = code.ldsBytesPerWg;
+    vrfUsed += wg->vregsReserved;
+    srfUsed += wg->sregsReserved;
+    ldsUsed += wg->ldsReserved;
+
+    for (unsigned w = 0; w < wf_per_wg; ++w) {
+        Wavefront *wf = nullptr;
+        for (auto &cand : slots) {
+            if (!cand->active) {
+                wf = cand.get();
+                break;
+            }
+        }
+        panic_if(!wf, "no free WF slot after canAccept()");
+
+        arch::WfState &st = wf->st;
+        st.isa = code.isa();
+        st.wgId = task.wgId;
+        st.wgSize = wg_size;
+        st.gridSize = launch.gridSize;
+        st.wfIdInWg = w;
+        st.firstWorkitem = wg_first_wi + w * WavefrontSize;
+        st.memory = memory;
+        st.lds = wg->lds.get();
+        st.aqlPacketAddr = launch.aqlPacketAddr;
+        st.kernargBase = launch.kernargBase;
+        st.privateBase = launch.privateBase;
+        st.spillBase = launch.spillBase;
+        st.privateStridePerWi = launch.privateStridePerWi;
+        st.spillStridePerWi = launch.spillStridePerWi;
+        st.sgprs.fill(0);
+        st.vcc = 0;
+        st.scc = false;
+
+        unsigned lanes =
+            std::min<unsigned>(WavefrontSize,
+                               wi_in_wg - w * WavefrontSize);
+        uint64_t mask =
+            lanes >= 64 ? ~0ull : ((1ull << lanes) - 1);
+
+        wf->attach(&code, code.vregsUsed);
+        st.initLaunch(mask);
+
+        if (code.isa() == IsaKind::GCN3) {
+            // Command-processor ABI initialization: the register
+            // state the finalized code expects (the IL path has no
+            // equivalent — its ABI lives in simulator state above).
+            st.writeSgpr64(abi::ScratchBaseLo, launch.scratchBase);
+            st.writeSgpr(abi::ScratchStride,
+                         uint32_t(launch.scratchStridePerWi));
+            st.writeSgpr64(abi::AqlPtrLo, launch.aqlPacketAddr);
+            st.writeSgpr64(abi::KernargLo, launch.kernargBase);
+            st.writeSgpr(abi::WorkgroupId, task.wgId);
+            for (unsigned lane = 0; lane < WavefrontSize; ++lane)
+                st.vregs[abi::WorkitemIdVgpr][lane] =
+                    w * WavefrontSize + lane;
+        }
+
+        wf->wg = wg.get();
+        wf->dispatchSeq = nextDispatchSeq++;
+        ++activeWfs;
+    }
+
+    launch.wgsDispatched++;
+    workgroups.push_back(std::move(wg));
+}
+
+void
+ComputeUnit::tick()
+{
+    if (activeWfs == 0)
+        return;
+    Cycle now = eq.now();
+    ++busyCycles;
+    fetchStage(now);
+    issueStage(now);
+}
+
+void
+ComputeUnit::fetchStage(Cycle now)
+{
+    // One fetch initiated per cycle (the L1I is shared per cluster;
+    // its latency/misses come from the cache model).
+    unsigned n = unsigned(slots.size());
+    for (unsigned k = 0; k < n; ++k) {
+        Wavefront *wf = slots[(fetchRr + k) % n].get();
+        if (!wf->active || wf->st.done || wf->fetchInFlight)
+            continue;
+        const auto *code = wf->st.code;
+        if (wf->ibNextIdx >= code->numInsts())
+            continue;
+        if (wf->ibCount + cfg.fetchWidth > cfg.ibEntries)
+            continue;
+
+        // Fetch one line's worth of instructions starting at the
+        // next-fetch offset.
+        Addr addr = code->codeBase() + wf->ibNextFetch;
+        Addr line_end = (addr / 64 + 1) * 64;
+        unsigned fetched = 0;
+        size_t idx = wf->ibNextIdx;
+        Addr off = wf->ibNextFetch;
+        while (idx < code->numInsts() && fetched < cfg.fetchWidth &&
+               code->codeBase() + off < line_end) {
+            off += code->inst(idx).sizeBytes();
+            ++idx;
+            ++fetched;
+        }
+
+        Cycle done = l1i->access(addr, false, now);
+        wf->fetchInFlight = true;
+        uint64_t gen = wf->gen;
+        size_t start_idx = wf->ibNextIdx;
+        eq.schedule(done, [wf, gen, fetched, idx, off, start_idx]() {
+            if (wf->gen != gen)
+                return;
+            wf->fetchInFlight = false;
+            // A flush may have redirected fetch while this request was
+            // in flight; drop the stale fill.
+            if (wf->ibNextIdx != start_idx)
+                return;
+            wf->ibCount += fetched;
+            wf->ibNextIdx = idx;
+            wf->ibNextFetch = off;
+        });
+        fetchRr = (fetchRr + k + 1) % n;
+        break;
+    }
+}
+
+unsigned
+ComputeUnit::fuIndex(const Wavefront &wf,
+                     const arch::Instruction &inst) const
+{
+    switch (inst.fuType()) {
+      case arch::FuType::VAlu: return wf.simd;
+      case arch::FuType::SAlu:
+      case arch::FuType::SMem:
+      case arch::FuType::Special: return FuScalar;
+      case arch::FuType::Branch: return FuBranch;
+      case arch::FuType::VMem: return FuVMem;
+      case arch::FuType::Lds: return FuLds;
+    }
+    return FuScalar;
+}
+
+bool
+ComputeUnit::depsReady(Wavefront &wf, const arch::Instruction &inst,
+                       Cycle now)
+{
+    arch::WfState &st = wf.st;
+    if (st.isa == IsaKind::HSAIL) {
+        // Simulator scoreboard: every operand (read or write) must be
+        // ready. The real GPU has no such logic.
+        for (const auto &op : inst.regOps()) {
+            for (unsigned w = 0; w < op.width; ++w) {
+                if (op.cls == arch::RegClass::Vector &&
+                    wf.vregReady[op.idx + w] > now)
+                    return false;
+            }
+        }
+        return true;
+    }
+
+    // GCN3: only an s_waitcnt gates issue.
+    if (inst.is(arch::IsWaitcnt)) {
+        const auto &wc = static_cast<const gcn3::Gcn3Inst &>(inst);
+        if (st.vmCnt > wc.vmThreshold() ||
+            st.lgkmCnt > wc.lgkmThreshold())
+            return false;
+    }
+    return true;
+}
+
+void
+ComputeUnit::probeVectorOperands(Wavefront &wf,
+                                 const arch::Instruction &inst,
+                                 bool defs, Cycle now)
+{
+    (void)now;
+    arch::WfState &st = wf.st;
+    uint64_t mask = st.activeMask();
+    unsigned lanes = popCount(mask);
+
+    for (const auto &op : inst.regOps()) {
+        if (op.cls != arch::RegClass::Vector || op.isDef != defs)
+            continue;
+        for (unsigned w = 0; w < op.width; ++w) {
+            unsigned reg = op.idx + w;
+
+            // Reuse distance (count each access once, on the read
+            // pass for srcs and write pass for defs).
+            uint64_t &last = wf.lastVregTouch[reg];
+            if (last != UINT64_MAX)
+                vregReuseDist.sample(wf.dynInstCount - last);
+            last = wf.dynInstCount;
+
+            // Lane-value uniqueness.
+            if (lanes == 0)
+                continue;
+            uint32_t vals[WavefrontSize];
+            unsigned n = 0;
+            for (unsigned lane = 0; lane < WavefrontSize; ++lane)
+                if (mask & (1ull << lane))
+                    vals[n++] = st.vregs[reg][lane];
+            std::sort(vals, vals + n);
+            unsigned uniq = unsigned(std::unique(vals, vals + n) -
+                                     vals);
+            double ratio = double(uniq) / double(n);
+            if (defs)
+                vrfWriteUniq.sample(ratio);
+            else
+                vrfReadUniq.sample(ratio);
+        }
+    }
+}
+
+Cycle
+ComputeUnit::memAccessLatency(Wavefront &wf, const arch::MemAccess &acc,
+                              Cycle now)
+{
+    using Kind = arch::MemAccess::Kind;
+    switch (acc.kind) {
+      case Kind::ScalarLoad:
+        return scalarD->access(acc.scalarAddr, false, now);
+      case Kind::KernargDirect:
+        // Simulator-defined ABI: serviced from functional state.
+        return now + 4;
+      case Kind::LdsLoad:
+      case Kind::LdsStore: {
+        unsigned passes =
+            mem::LdsBlock::conflictPasses(acc.laneAddrs, acc.mask);
+        Cycle start = std::max(now, fuBusyUntil[FuLds]);
+        fuBusyUntil[FuLds] = start + passes;
+        return start + cfg.ldsLatency + passes - 1;
+      }
+      case Kind::VectorLoad:
+      case Kind::VectorStore: {
+        ++vmemWfAccesses;
+        // Coalesce lane addresses into 64 B line requests.
+        Addr lines[2 * WavefrontSize];
+        unsigned n = 0;
+        for (unsigned lane = 0; lane < WavefrontSize; ++lane) {
+            if (!(acc.mask & (1ull << lane)))
+                continue;
+            Addr first = acc.laneAddrs[lane] / 64;
+            Addr last =
+                (acc.laneAddrs[lane] + acc.bytesPerLane - 1) / 64;
+            lines[n++] = first;
+            if (last != first)
+                lines[n++] = last;
+        }
+        std::sort(lines, lines + n);
+        n = unsigned(std::unique(lines, lines + n) - lines);
+        coalescedLines += n;
+
+        bool is_write = acc.kind == Kind::VectorStore;
+        Cycle start = std::max(now, fuBusyUntil[FuVMem]);
+        fuBusyUntil[FuVMem] = start + n; // one line issued per cycle
+        Cycle done = start;
+        for (unsigned i = 0; i < n; ++i)
+            done = std::max(done,
+                            l1d->access(lines[i] * 64, is_write,
+                                        start + i));
+        return done;
+      }
+    }
+    return now + 1;
+}
+
+void
+ComputeUnit::issueStage(Cycle now)
+{
+    // Oldest-first arbitration over runnable wavefronts.
+    std::vector<Wavefront *> order;
+    order.reserve(slots.size());
+    for (auto &wf : slots)
+        if (wf->runnable())
+            order.push_back(wf.get());
+    std::sort(order.begin(), order.end(),
+              [](const Wavefront *x, const Wavefront *y) {
+                  return x->dispatchSeq < y->dispatchSeq;
+              });
+
+    bool fuIssued[NumFu] = {};
+    for (Wavefront *wf : order) {
+        if (wf->blockedUntil > now)
+            continue;
+        if (wf->ibCount == 0) {
+            ++ibEmptyStalls;
+            continue;
+        }
+        const auto &inst = wf->st.code->inst(wf->pcIdx);
+        // Special instructions (nop/waitcnt/barrier/endpgm) are
+        // handled by the sequencer and occupy no functional unit.
+        bool needs_fu = inst.fuType() != arch::FuType::Special;
+        unsigned fu = fuIndex(*wf, inst);
+        if (needs_fu && (fuIssued[fu] || fuBusyUntil[fu] > now)) {
+            ++fuConflictStalls;
+            continue;
+        }
+        if (!depsReady(*wf, inst, now)) {
+            if (wf->st.isa == IsaKind::HSAIL)
+                ++scoreboardStalls;
+            else
+                ++waitcntStalls;
+            continue;
+        }
+        if (needs_fu)
+            fuIssued[fu] = true;
+        issueInst(*wf, inst, now);
+    }
+}
+
+void
+ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
+                       Cycle now)
+{
+    arch::WfState &st = wf.st;
+
+    // --- classification (Figure 5) ---
+    ++dynInsts;
+    if (inst.is(arch::IsWaitcnt)) {
+        ++waitcntInsts;
+    } else {
+        switch (inst.fuType()) {
+          case arch::FuType::VAlu: ++valuInsts; break;
+          case arch::FuType::SAlu: ++saluInsts; break;
+          case arch::FuType::VMem: ++vmemInsts; break;
+          case arch::FuType::SMem: ++smemInsts; break;
+          case arch::FuType::Lds: ++ldsInsts; break;
+          case arch::FuType::Branch: ++branchInsts; break;
+          case arch::FuType::Special: ++miscInsts; break;
+        }
+    }
+
+    // --- GCN3 hazard probe ---
+    if (st.isa == IsaKind::GCN3) {
+        for (const auto &op : inst.regOps()) {
+            for (unsigned w = 0; w < op.width; ++w) {
+                Cycle ready = op.cls == arch::RegClass::Vector
+                    ? wf.vregReady[op.idx + w]
+                    : wf.sregReady[std::min<unsigned>(op.idx + w, 127)];
+                if (!op.isDef && ready > now) {
+                    ++hazardViolations;
+                    break;
+                }
+            }
+        }
+    }
+
+    // --- probes ---
+    bool vector_op = inst.fuType() == arch::FuType::VAlu ||
+                     inst.fuType() == arch::FuType::VMem ||
+                     inst.fuType() == arch::FuType::Lds;
+    unsigned conflict_cycles = 0;
+    if (vector_op) {
+        if (inst.fuType() == arch::FuType::VAlu)
+            valuUtilization.sample(popCount(st.activeMask()) / 64.0);
+        conflict_cycles = chargeBankConflicts(wf, inst, now);
+        probeVectorOperands(wf, inst, false, now);
+    }
+
+    // --- execute ---
+    st.pc = st.code->offsetOf(wf.pcIdx);
+    st.pendingAccess.reset();
+    inst.execute(st);
+    ++wf.dynInstCount;
+
+    if (vector_op)
+        probeVectorOperands(wf, inst, true, now);
+
+    // --- functional unit occupancy (bank conflicts add gather
+    // cycles) ---
+    unsigned fu = fuIndex(wf, inst);
+    if (inst.fuType() == arch::FuType::VAlu) {
+        // A 64-lane WF occupies its 16-lane SIMD for 4 cycles.
+        fuBusyUntil[fu] = now + cfg.wavefrontSize / cfg.simdWidth +
+                          conflict_cycles;
+    } else if (inst.fuType() != arch::FuType::Special && fu < FuVMem) {
+        fuBusyUntil[fu] =
+            std::max(fuBusyUntil[fu], now + 1 + conflict_cycles);
+    }
+
+    // s_nop wait states block this WF's next issue.
+    if (st.isa == IsaKind::GCN3 && inst.is(arch::IsNop)) {
+        const auto &nop = static_cast<const gcn3::Gcn3Inst &>(inst);
+        wf.blockedUntil = now + nop.soppImm() + 1;
+    }
+
+    // --- result latency / memory timing ---
+    if (st.pendingAccess) {
+        const arch::MemAccess acc = *st.pendingAccess;
+        st.pendingAccess.reset();
+        Cycle done = memAccessLatency(wf, acc, now);
+        // Memory results gate dependents on both ISAs: the HSAIL
+        // scoreboard stalls on them; for GCN3 they feed the hazard
+        // probe (the waitcnt contract must cover them).
+        for (const auto &op : inst.regOps()) {
+            if (!op.isDef)
+                continue;
+            for (unsigned w = 0; w < op.width; ++w) {
+                if (op.cls == arch::RegClass::Vector)
+                    wf.vregReady[op.idx + w] = done;
+                else if (op.idx + w < 128)
+                    wf.sregReady[op.idx + w] = done;
+            }
+        }
+        if (st.isa == IsaKind::GCN3) {
+            unsigned *cnt = acc.countsVmcnt() ? &st.vmCnt
+                          : acc.countsLgkmcnt() ? &st.lgkmCnt : nullptr;
+            if (cnt) {
+                ++*cnt;
+                uint64_t gen = wf.gen;
+                Wavefront *wfp = &wf;
+                eq.schedule(done, [wfp, gen, cnt]() {
+                    if (wfp->gen == gen && *cnt > 0)
+                        --*cnt;
+                });
+            }
+        }
+    } else if (st.isa == IsaKind::HSAIL) {
+        // ALU latency feeds the HSAIL scoreboard. GCN3 hardware has
+        // no scoreboard: pipelined operand forwarding covers
+        // vector-to-vector dependences, and the finalizer's s_nop
+        // insertion covers the documented scalar-side wait states.
+        Cycle done = now + inst.latency(cfg);
+        for (const auto &op : inst.regOps()) {
+            if (!op.isDef)
+                continue;
+            for (unsigned w = 0; w < op.width; ++w) {
+                if (op.cls == arch::RegClass::Vector)
+                    wf.vregReady[op.idx + w] = done;
+                else if (op.idx + w < 128)
+                    wf.sregReady[op.idx + w] = done;
+            }
+        }
+    }
+
+    // --- control-flow resolution ---
+    Addr seq_next = st.pc + inst.sizeBytes();
+    Addr new_pc = st.nextPc;
+    unsigned flushes = new_pc != seq_next ? 1 : 0;
+    if (st.isa == IsaKind::HSAIL) {
+        // Reconvergence-stack maintenance. Every pop that redirects
+        // the PC to the other path (or back to the reconvergence
+        // point) costs another front-end redirect — the extra IB
+        // flushes the paper attributes to RS-managed divergence.
+        st.rs.back().pc = new_pc;
+        while (st.rs.size() > 1 &&
+               st.rs.back().pc == st.rs.back().rpc) {
+            st.rs.pop_back();
+            if (st.rs.back().pc != new_pc) {
+                new_pc = st.rs.back().pc;
+                ++flushes;
+            }
+        }
+    }
+
+    if (st.done) {
+        finishWavefront(wf);
+        return;
+    }
+
+    st.pc = new_pc;
+    if (flushes == 0) {
+        --wf.ibCount;
+        ++wf.pcIdx;
+    } else {
+        // Discontinuous PC: flush the instruction buffer and redirect
+        // fetch (the front-end cost the paper highlights).
+        ibFlushes += flushes;
+        wf.ibCount = 0;
+        wf.pcIdx = st.code->indexAt(new_pc);
+        wf.ibNextIdx = wf.pcIdx;
+        wf.ibNextFetch = new_pc;
+    }
+
+    if (st.atBarrier) {
+        WgInstance &wg = *wf.wg;
+        ++wg.wfAtBarrier;
+        if (wg.wfAtBarrier + wg.wfDone >= wg.wfTotal)
+            releaseBarrier(wg);
+    }
+}
+
+void
+ComputeUnit::releaseBarrier(WgInstance &wg)
+{
+    wg.wfAtBarrier = 0;
+    for (auto &wf : slots)
+        if (wf->active && wf->wg == &wg)
+            wf->st.atBarrier = false;
+}
+
+void
+ComputeUnit::finishWavefront(Wavefront &wf)
+{
+    WgInstance &wg = *wf.wg;
+    wf.active = false;
+    ++wf.gen;
+    --activeWfs;
+    ++wg.wfDone;
+    if (wg.wfAtBarrier > 0 && wg.wfAtBarrier + wg.wfDone >= wg.wfTotal)
+        releaseBarrier(wg);
+    if (wg.wfDone == wg.wfTotal) {
+        vrfUsed -= wg.vregsReserved;
+        srfUsed -= wg.sregsReserved;
+        ldsUsed -= wg.ldsReserved;
+        ++wg.launch->wgsCompleted;
+        for (auto it = workgroups.begin(); it != workgroups.end(); ++it) {
+            if (it->get() == &wg) {
+                workgroups.erase(it);
+                break;
+            }
+        }
+    }
+}
+
+} // namespace last::cu

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The compute-unit timing model (Figure 2 of the paper): four 16-lane
+ * SIMD engines, a scalar unit, a branch unit, vector/scalar/LDS memory
+ * pipelines, per-WF instruction buffers fed by a shared L1I, a banked
+ * VRF with port-conflict accounting, and 40 wavefront slots scheduled
+ * oldest-first.
+ *
+ * The model is ISA-blind; the per-ISA differences enter exactly where
+ * the paper says they must:
+ *  - dependency model: HSAIL issue is gated by a simulator scoreboard
+ *    (per-register ready times); GCN3 issue is gated only by its own
+ *    s_waitcnt instructions, with a hazard PROBE that flags any read
+ *    of a not-yet-ready register (it must stay at zero if the
+ *    finalizer's software dependency management is correct);
+ *  - divergence: HSAIL resolves control flow through the reconvergence
+ *    stack (pops cause discontinuous PCs and hence IB flushes); GCN3
+ *    only redirects fetch on taken branches;
+ *  - register files: HSAIL uses vector registers for everything; GCN3
+ *    splits traffic between the VRF and the SRF.
+ */
+
+#ifndef LAST_CU_COMPUTE_UNIT_HH
+#define LAST_CU_COMPUTE_UNIT_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "cu/launch.hh"
+#include "cu/wavefront.hh"
+#include "memory/cache.hh"
+#include "memory/functional_memory.hh"
+#include "memory/lds.hh"
+
+namespace last::cu
+{
+
+/** A workgroup resident on a CU. */
+struct WgInstance
+{
+    KernelLaunch *launch = nullptr;
+    unsigned wgId = 0;
+    unsigned wfTotal = 0;
+    unsigned wfAtBarrier = 0;
+    unsigned wfDone = 0;
+    std::unique_ptr<mem::LdsBlock> lds;
+    unsigned vregsReserved = 0;
+    unsigned sregsReserved = 0;
+    uint64_t ldsReserved = 0;
+};
+
+class ComputeUnit : public stats::Group
+{
+  public:
+    ComputeUnit(const std::string &name, const GpuConfig &cfg,
+                EventQueue &eq, mem::MemLevel *l1d, mem::MemLevel *l1i,
+                mem::MemLevel *scalar_d, mem::FunctionalMemory *memory,
+                stats::Group *parent);
+
+    /** Resource check + placement (the dispatcher calls this). */
+    bool canAccept(const WorkgroupTask &task) const;
+    void accept(const WorkgroupTask &task);
+
+    /** Advance one cycle. */
+    void tick();
+
+    bool busy() const { return activeWfs > 0; }
+
+    /** @{ Dynamic instruction counters (Figure 5 classification). */
+    stats::Scalar dynInsts;
+    stats::Scalar valuInsts;
+    stats::Scalar saluInsts;
+    stats::Scalar vmemInsts;
+    stats::Scalar smemInsts;
+    stats::Scalar ldsInsts;
+    stats::Scalar branchInsts;
+    stats::Scalar waitcntInsts;
+    stats::Scalar miscInsts;
+    /** @} */
+
+    stats::Scalar busyCycles;
+
+    /** @{ The paper's microarchitecture probes. */
+    stats::Scalar vrfBankConflicts; ///< Figure 6
+    stats::Histogram vregReuseDist; ///< Figure 7
+    stats::Scalar ibFlushes;        ///< Figure 9
+    stats::Average vrfReadUniq;     ///< Figure 10 (reads)
+    stats::Average vrfWriteUniq;    ///< Figure 10 (writes)
+    stats::Average valuUtilization; ///< Table 6 SIMD utilization
+    /** @} */
+
+    /** @{ Issue-stall accounting. */
+    stats::Scalar scoreboardStalls; ///< HSAIL dependency stalls
+    stats::Scalar waitcntStalls;    ///< GCN3 waitcnt stalls
+    stats::Scalar fuConflictStalls;
+    stats::Scalar ibEmptyStalls;
+    /** @} */
+
+    /** GCN3 correctness probe: reads of registers whose producer has
+     *  not completed (must stay 0 for well-finalized code). */
+    stats::Scalar hazardViolations;
+
+    stats::Scalar coalescedLines; ///< vector accesses after coalescing
+    stats::Scalar vmemWfAccesses;
+
+  private:
+    struct FreeSlotOrder;
+
+    void fetchStage(Cycle now);
+    void issueStage(Cycle now);
+    bool depsReady(Wavefront &wf, const arch::Instruction &inst,
+                   Cycle now);
+    void issueInst(Wavefront &wf, const arch::Instruction &inst,
+                   Cycle now);
+    void probeVectorOperands(Wavefront &wf,
+                             const arch::Instruction &inst, bool defs,
+                             Cycle now);
+    Cycle memAccessLatency(Wavefront &wf, const arch::MemAccess &acc,
+                           Cycle now);
+    void finishWavefront(Wavefront &wf);
+    void releaseBarrier(WgInstance &wg);
+
+    GpuConfig cfg;
+    EventQueue &eq;
+    mem::MemLevel *l1d;
+    mem::MemLevel *l1i;
+    mem::MemLevel *scalarD;
+    mem::FunctionalMemory *memory;
+
+    std::vector<std::unique_ptr<Wavefront>> slots;
+    std::vector<std::unique_ptr<WgInstance>> workgroups;
+
+    unsigned activeWfs = 0;
+    unsigned vrfUsed = 0;
+    unsigned srfUsed = 0;
+    uint64_t ldsUsed = 0;
+    uint64_t nextDispatchSeq = 0;
+    unsigned fetchRr = 0; ///< round-robin pointer for the fetch stage
+
+    /** Per-FU busy-until cycles: [0..3] SIMDs, then scalar, branch,
+     *  vmem, lds. */
+    std::vector<Cycle> fuBusyUntil;
+
+    static constexpr unsigned FuScalar = 4;
+    static constexpr unsigned FuBranch = 5;
+    static constexpr unsigned FuVMem = 6;
+    static constexpr unsigned FuLds = 7;
+    static constexpr unsigned NumFu = 8;
+
+    unsigned fuIndex(const Wavefront &wf,
+                     const arch::Instruction &inst) const;
+
+    /** Per-SIMD, per-cycle VRF bank usage: vector operands of every
+     *  instruction issued this cycle (VALU on the SIMD itself, plus
+     *  vector-memory/LDS pipes reading addresses and data) contend for
+     *  the partition's banks. */
+    std::vector<std::array<uint8_t, 64>> vrfBankUse;
+    std::vector<Cycle> vrfBankUseCycle;
+
+    unsigned chargeBankConflicts(const Wavefront &wf,
+                                 const arch::Instruction &inst,
+                                 Cycle now);
+};
+
+} // namespace last::cu
+
+#endif // LAST_CU_COMPUTE_UNIT_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Kernel-launch descriptors passed from the command processor /
+ * dispatcher down to the compute units.
+ */
+
+#ifndef LAST_CU_LAUNCH_HH
+#define LAST_CU_LAUNCH_HH
+
+#include <functional>
+
+#include "arch/kernel_code.hh"
+#include "common/types.hh"
+
+namespace last::cu
+{
+
+/**
+ * One kernel dispatch. The segment base addresses reflect the two ABI
+ * worlds: GCN3 kernels get a scratch arena whose base/stride the CP
+ * loads into SGPRs; HSAIL kernels get simulator-held private/spill
+ * bases that instructions consult directly.
+ */
+struct KernelLaunch
+{
+    const arch::KernelCode *code = nullptr;
+    unsigned gridSize = 0;
+    unsigned wgSize = 0;
+
+    Addr kernargBase = 0;
+    Addr aqlPacketAddr = 0;
+
+    /** GCN3: scratch arena (private+spill unified). */
+    Addr scratchBase = 0;
+    uint64_t scratchStridePerWi = 0;
+
+    /** HSAIL: simulator-managed segment arenas. */
+    Addr privateBase = 0;
+    Addr spillBase = 0;
+    uint64_t privateStridePerWi = 0;
+    uint64_t spillStridePerWi = 0;
+
+    unsigned wgsDispatched = 0;
+    unsigned wgsCompleted = 0;
+    Cycle startCycle = 0;
+
+    unsigned
+    numWorkgroups() const
+    {
+        return (gridSize + wgSize - 1) / wgSize;
+    }
+
+    bool
+    complete() const
+    {
+        return wgsCompleted == numWorkgroups();
+    }
+};
+
+/** One workgroup awaiting placement on a CU. */
+struct WorkgroupTask
+{
+    KernelLaunch *launch = nullptr;
+    unsigned wgId = 0;
+};
+
+} // namespace last::cu
+
+#endif // LAST_CU_LAUNCH_HH

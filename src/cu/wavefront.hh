@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Timing wrapper around the architectural wavefront state: instruction
+ * buffer, per-register ready times (the scoreboard for HSAIL, a hazard
+ * probe for GCN3), and per-WF statistics probes.
+ */
+
+#ifndef LAST_CU_WAVEFRONT_HH
+#define LAST_CU_WAVEFRONT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/kernel_code.hh"
+#include "arch/wf_state.hh"
+#include "common/types.hh"
+
+namespace last::cu
+{
+
+struct WgInstance;
+
+class Wavefront
+{
+  public:
+    Wavefront(unsigned slot, unsigned simd) : slot(slot), simd(simd) {}
+
+    /** Architectural state (registers, pc, RS, waitcnt counters). */
+    arch::WfState st;
+
+    unsigned slot;          ///< WF slot within the CU
+    unsigned simd;          ///< SIMD engine this WF issues to
+    uint64_t dispatchSeq = 0; ///< for oldest-first arbitration
+    WgInstance *wg = nullptr;
+
+    /** @{ Instruction buffer model. The IB holds decoded instructions
+     * fetched sequentially; a discontinuous PC costs a flush and a
+     * refetch. The IB always contains instructions
+     * [pcIdx, pcIdx + ibCount). */
+    size_t pcIdx = 0;       ///< index of the next instruction to issue
+    unsigned ibCount = 0;
+    size_t ibNextIdx = 0;   ///< next instruction index to fetch
+    Addr ibNextFetch = 0;   ///< its byte offset
+    bool fetchInFlight = false;
+    /** @} */
+
+    /** Bumped on every (re)attach so stale completion events become
+     *  no-ops. */
+    uint64_t gen = 0;
+
+    /** Issue blocked until this cycle (GCN3 s_nop wait states). */
+    Cycle blockedUntil = 0;
+
+    /** Per-register ready cycle: the HSAIL scoreboard blocks issue
+     *  until operands are ready; GCN3 only *checks* (hazard probe) —
+     *  hardware relies on the finalizer's waitcnt/nops. */
+    std::vector<Cycle> vregReady;
+    std::vector<Cycle> sregReady;
+
+    /** Reuse-distance probe state: dynamic-instruction index of the
+     *  last access to each architectural vector register. */
+    std::vector<uint64_t> lastVregTouch;
+    uint64_t dynInstCount = 0;
+
+    bool active = false; ///< slot occupied
+
+    bool
+    runnable() const
+    {
+        return active && !st.done && !st.atBarrier;
+    }
+
+    void
+    attach(const arch::KernelCode *code, unsigned nvregs)
+    {
+        st.code = code;
+        st.vregs.assign(nvregs, arch::LaneVec{});
+        vregReady.assign(nvregs, 0);
+        sregReady.assign(128, 0);
+        lastVregTouch.assign(nvregs, UINT64_MAX);
+        dynInstCount = 0;
+        pcIdx = 0;
+        ibCount = 0;
+        ibNextIdx = 0;
+        ibNextFetch = 0;
+        fetchInFlight = false;
+        blockedUntil = 0;
+        ++gen;
+        active = true;
+    }
+};
+
+} // namespace last::cu
+
+#endif // LAST_CU_WAVEFRONT_HH

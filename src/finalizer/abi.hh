@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The GCN3 kernel ABI contract between the finalizer (which emits code
+ * assuming this register/packet layout) and the command processor
+ * (which initializes register state at dispatch).
+ *
+ * HSAIL has no such contract — that asymmetry is the paper's central
+ * observation.
+ */
+
+#ifndef LAST_FINALIZER_ABI_HH
+#define LAST_FINALIZER_ABI_HH
+
+namespace last::abi
+{
+
+/** @{ SGPRs initialized by the command processor before launch. */
+constexpr unsigned ScratchBaseLo = 0; ///< s[0:1]: scratch arena base
+constexpr unsigned ScratchStride = 2; ///< s2: scratch bytes per work-item
+constexpr unsigned AqlPtrLo = 4;      ///< s[4:5]: AQL packet address
+constexpr unsigned KernargLo = 6;     ///< s[6:7]: kernarg base address
+constexpr unsigned WorkgroupId = 8;   ///< s8: workgroup id (x)
+/** @} */
+
+/** @{ SGPRs reserved as finalizer scratch (ABI expansions). */
+constexpr unsigned ScalarTemp0 = 10;
+constexpr unsigned ScalarTemp1 = 11;
+constexpr unsigned FirstAllocSgpr = 12;
+/** Exec-save pairs for nested divergent regions grow downward from
+ *  s[100:101]. */
+constexpr unsigned SaveStackTop = 100;
+/** @} */
+
+/** VGPR 0 is initialized with the work-item's flat id within its
+ *  workgroup. */
+constexpr unsigned WorkitemIdVgpr = 0;
+/** v[1:2] hold the per-lane scratch (private+spill) base address when
+ *  the kernel uses those segments. */
+constexpr unsigned ScratchAddrVgpr = 1;
+
+/** @{ AQL packet field byte offsets (our dispatch packet layout). */
+constexpr unsigned PktHeaderOffset = 0;
+constexpr unsigned PktWgSizeOffset = 4;   ///< low 16 bits: wg size x
+constexpr unsigned PktGridSizeOffset = 12;
+constexpr unsigned PktKernargOffset = 16; ///< u64 kernarg address
+constexpr unsigned PktCompletionOffset = 24; ///< u64 signal address
+constexpr unsigned PktBytes = 64;
+/** @} */
+
+} // namespace last::abi
+
+#endif // LAST_FINALIZER_ABI_HH

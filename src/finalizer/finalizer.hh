@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The finalizer: compiles an IL kernel to GCN3 machine code, playing
+ * the role amdhsafin plays in the paper's toolchain.
+ *
+ * Responsibilities (each one an abstraction the IL hides):
+ *  - ABI code generation: prologue computing per-lane scratch
+ *    addresses; kernarg accesses through s[6:7]; workitemabsid
+ *    expansion through the AQL packet (Tables 1 and 2).
+ *  - Scalarization: uniform integer work moves to the scalar pipeline
+ *    and SGPRs (driven by the uniformity analysis).
+ *  - Register allocation into 256 VGPRs / 102 SGPRs.
+ *  - Structured control-flow linearization with exec-mask predication
+ *    and s_cbranch_execz bypass arcs (Figure 3c); scalar branches for
+ *    provably uniform conditions.
+ *  - Software dependency management: s_waitcnt insertion before first
+ *    use of in-flight memory results, s_nop insertion for
+ *    deterministic-latency VALU hazards.
+ *  - Newton-Raphson expansion of floating-point division (Table 3).
+ */
+
+#ifndef LAST_FINALIZER_FINALIZER_HH
+#define LAST_FINALIZER_FINALIZER_HH
+
+#include <memory>
+
+#include "arch/kernel_code.hh"
+#include "common/config.hh"
+#include "hsail/builder.hh"
+
+namespace last::finalizer
+{
+
+/** Compile-time counters, for tests and the expansion benches. */
+struct FinalizeStats
+{
+    unsigned vgprsUsed = 0;
+    unsigned sgprsUsed = 0;
+    unsigned waitcntInserted = 0;
+    unsigned nopsInserted = 0;
+    unsigned scalarInsts = 0;  ///< SALU + SMEM instructions emitted
+    unsigned vectorInsts = 0;
+};
+
+/** Finalize an IL kernel into GCN3 machine code. */
+std::unique_ptr<arch::KernelCode>
+finalize(const hsail::IlKernel &il, const GpuConfig &cfg,
+         FinalizeStats *out_stats = nullptr);
+
+} // namespace last::finalizer
+
+#endif // LAST_FINALIZER_FINALIZER_HH

@@ -1,0 +1,301 @@
+#include "finalizer/regalloc.hh"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/logging.hh"
+#include "hsail/inst.hh"
+
+namespace last::finalizer
+{
+
+using hsail::CfRegion;
+using hsail::HsailInst;
+
+namespace
+{
+
+struct Atom
+{
+    uint16_t base;
+    unsigned width; // contiguous 32-bit registers
+    size_t start = SIZE_MAX;
+    size_t end = 0;
+    bool resident = false;
+};
+
+/** A simple free-list allocator over a contiguous register range. */
+class Pool
+{
+  public:
+    Pool(unsigned first, unsigned last) : first(first), last(last)
+    {
+        inUse.assign(last + 1 >= first ? last - first + 1 : 0, false);
+    }
+
+    /**
+     * Allocate `width` contiguous registers; returns first index or
+     * -1 on exhaustion. Next-fit with wraparound: freed registers are
+     * recycled FIFO-style rather than immediately, which is how
+     * scheduling-aware register allocators spread values (and what
+     * keeps register reuse distances realistic).
+     */
+    int
+    alloc(unsigned width)
+    {
+        size_t n = inUse.size();
+        if (n == 0)
+            return -1;
+        // The wraparound window starts small and doubles under
+        // pressure, so spread stays proportional to the live set.
+        while (true) {
+            size_t win = std::min(window, n);
+            for (size_t k = 0; k < win; ++k) {
+                size_t i = (searchStart + k) % win;
+                if (i + width > n)
+                    continue;
+                bool ok = true;
+                for (unsigned w = 0; w < width; ++w)
+                    ok = ok && !inUse[i + w];
+                if (ok) {
+                    for (unsigned w = 0; w < width; ++w)
+                        inUse[i + w] = true;
+                    high = std::max(high,
+                                    unsigned(first + i + width - 1));
+                    searchStart = (i + width) % win;
+                    return int(first + i);
+                }
+            }
+            if (win >= n)
+                return -1;
+            window = win * 2;
+        }
+    }
+
+    void
+    release(unsigned reg, unsigned width)
+    {
+        for (unsigned w = 0; w < width; ++w)
+            inUse[reg - first + w] = false;
+    }
+
+    unsigned highWater() const { return high; }
+
+  private:
+    unsigned first;
+    unsigned last;
+    unsigned high = 0;
+    size_t searchStart = 0;
+    size_t window = 32;
+    std::vector<bool> inUse;
+};
+
+} // namespace
+
+AllocResult
+allocateRegisters(const hsail::IlKernel &il, const UniformityInfo &uni,
+                  const AllocBudget &budget)
+{
+    const arch::KernelCode &code = *il.code;
+    size_t nregs = code.vregsUsed;
+
+    // --- Build atoms as connected components: a multi-word operand
+    // links its registers together, and registers shared between a
+    // pair and another value (possible once the IL itself has been
+    // register-allocated with reuse) merge into one wider atom so the
+    // contiguity invariant (reg r+1 holds the high word of r) always
+    // holds after allocation.
+    std::vector<int> parent(nregs);
+    for (size_t r = 0; r < nregs; ++r)
+        parent[r] = int(r);
+    std::function<int(int)> find = [&](int x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    auto unite = [&](int x, int y) {
+        x = find(x);
+        y = find(y);
+        if (x != y)
+            parent[std::max(x, y)] = std::min(x, y);
+    };
+
+    std::vector<bool> referenced(nregs, false);
+    for (size_t i = 0; i < code.numInsts(); ++i) {
+        for (const auto &op : code.inst(i).regOps()) {
+            for (unsigned w = 0; w < op.width; ++w) {
+                referenced[op.idx + w] = true;
+                if (w > 0)
+                    unite(op.idx, op.idx + w);
+            }
+        }
+    }
+
+    std::vector<int> atomOf(nregs, -1);
+    std::vector<Atom> atoms;
+    for (size_t r = 0; r < nregs; ++r) {
+        if (!referenced[r])
+            continue;
+        int root = find(int(r));
+        if (atomOf[root] < 0) {
+            atomOf[root] = int(atoms.size());
+            atoms.push_back(
+                {uint16_t(root), 1, SIZE_MAX, 0, false});
+        }
+        atomOf[r] = atomOf[root];
+        Atom &a = atoms[atomOf[root]];
+        a.width = std::max<unsigned>(a.width, unsigned(r) - root + 1);
+    }
+
+    // --- Live ranges over linear IL order.
+    for (size_t i = 0; i < code.numInsts(); ++i) {
+        for (const auto &op : code.inst(i).regOps()) {
+            Atom &a = atoms[atomOf[op.idx]];
+            a.start = std::min(a.start, i);
+            a.end = std::max(a.end, i);
+        }
+    }
+
+    // Extend ranges across loop bodies (loop-carried liveness).
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        for (const auto &r : il.regions) {
+            if (r.kind != CfRegion::Kind::Loop)
+                continue;
+            for (auto &a : atoms) {
+                if (a.start <= r.branchIdx && a.end >= r.bodyFirst &&
+                    a.end < r.branchIdx) {
+                    a.end = r.branchIdx;
+                    grew = true;
+                }
+            }
+        }
+    }
+
+    // --- Residency per atom: every member register must be resident.
+    for (auto &a : atoms) {
+        a.resident = true;
+        for (unsigned w = 0; w < a.width; ++w)
+            a.resident = a.resident && uni.sgprResident[a.base + w];
+    }
+
+    // --- Linear scan.
+    std::vector<size_t> order(atoms.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return atoms[x].start < atoms[y].start;
+    });
+
+    Pool vpool(budget.vgprFirst, budget.vgprLast);
+    Pool spool(budget.sgprFirst, budget.sgprLast);
+
+    struct Active
+    {
+        size_t atom;
+        bool sgpr;
+        unsigned reg;
+    };
+    std::vector<Active> active;
+
+    AllocResult res;
+    res.loc.assign(nregs, Loc{});
+
+    std::vector<Loc> atomLoc(atoms.size());
+
+    for (size_t oi : order) {
+        Atom &a = atoms[oi];
+        // Expire atoms whose range ended before this start.
+        for (auto it = active.begin(); it != active.end();) {
+            if (atoms[it->atom].end < a.start) {
+                (it->sgpr ? spool : vpool)
+                    .release(it->reg, atoms[it->atom].width);
+                it = active.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        bool want_sgpr = a.resident;
+        int reg = -1;
+        bool got_sgpr = false;
+        if (want_sgpr) {
+            reg = spool.alloc(a.width);
+            got_sgpr = reg >= 0;
+            // A failed SGPR grab cannot silently demote to VGPR: scalar
+            // instructions selected for this atom's defs could not read
+            // it back. Kernels are sized to fit the SRF budget.
+            fatal_if(reg < 0,
+                     "kernel %s exceeds the scalar register budget",
+                     code.name().c_str());
+        }
+        if (reg < 0)
+            reg = vpool.alloc(a.width);
+        fatal_if(reg < 0,
+                 "kernel %s exceeds the GCN3 vector register budget "
+                 "(%u..%u); reduce live values or add spill code",
+                 code.name().c_str(), budget.vgprFirst, budget.vgprLast);
+
+        atomLoc[oi] = {got_sgpr ? Loc::Kind::Sgpr : Loc::Kind::Vgpr,
+                       uint16_t(reg)};
+        active.push_back({oi, got_sgpr, unsigned(reg)});
+    }
+
+    for (size_t r = 0; r < nregs; ++r) {
+        if (atomOf[r] < 0)
+            continue;
+        const Atom &a = atoms[atomOf[r]];
+        Loc base = atomLoc[atomOf[r]];
+        if (base.kind == Loc::Kind::None)
+            continue;
+        res.loc[r] = {base.kind, uint16_t(base.reg + (r - a.base))};
+    }
+
+    res.vgprsUsed = vpool.highWater() ? vpool.highWater() + 1 : 0;
+    res.sgprsUsed = spool.highWater() ? spool.highWater() + 1 : 0;
+    return res;
+}
+
+void
+compactIlRegisters(hsail::IlKernel &il)
+{
+    arch::KernelCode &code = *il.code;
+    size_t nregs = code.vregsUsed;
+    if (nregs == 0)
+        return;
+
+    // Reuse the allocator with an all-VGPR budget sized to the IL's
+    // architectural limit; residency is irrelevant here.
+    UniformityInfo uni;
+    uni.uniform.assign(nregs, false);
+    uni.sgprResident.assign(nregs, false);
+    uni.regionDivergent.assign(il.regions.size(), true);
+
+    AllocBudget budget;
+    budget.vgprFirst = 0;
+    budget.vgprLast = 2047;
+    budget.sgprFirst = 1;
+    budget.sgprLast = 0; // empty scalar pool
+    AllocResult res = allocateRegisters(il, uni, budget);
+
+    std::vector<uint16_t> remap(nregs);
+    for (size_t r = 0; r < nregs; ++r)
+        remap[r] = res.loc[r].kind == Loc::Kind::None
+            ? uint16_t(0)
+            : res.loc[r].reg;
+
+    for (size_t i = 0; i < code.numInsts(); ++i) {
+        auto &inst = const_cast<HsailInst &>(
+            static_cast<const HsailInst &>(code.inst(i)));
+        inst.remapRegs(remap);
+    }
+    for (auto &r : il.regions)
+        r.condReg = remap[r.condReg];
+    code.vregsUsed = res.vgprsUsed;
+}
+
+} // namespace last::finalizer

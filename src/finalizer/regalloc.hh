@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Linear-scan register allocation for the finalizer.
+ *
+ * IL registers are grouped into atoms (1 or 2 consecutive 32-bit regs
+ * for 64-bit values); each atom is assigned a contiguous block in
+ * either the SGPR or the VGPR file based on the uniformity analysis.
+ * Live ranges are extended across loop bodies so loop-carried values
+ * stay allocated through the backedge.
+ */
+
+#ifndef LAST_FINALIZER_REGALLOC_HH
+#define LAST_FINALIZER_REGALLOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "finalizer/uniformity.hh"
+#include "hsail/builder.hh"
+
+namespace last::finalizer
+{
+
+/** Where an IL atom lives in the GCN3 register files. */
+struct Loc
+{
+    enum class Kind : uint8_t { None, Sgpr, Vgpr };
+
+    Kind kind = Kind::None;
+    uint16_t reg = 0;
+};
+
+struct AllocResult
+{
+    /** Per IL register: its location (pair members point at their own
+     *  word, i.e. loc[base+1].reg == loc[base].reg + 1). */
+    std::vector<Loc> loc;
+    unsigned vgprsUsed = 0; ///< highest VGPR index used + 1
+    unsigned sgprsUsed = 0; ///< highest allocatable SGPR index used + 1
+    unsigned demotedToVgpr = 0; ///< resident atoms demoted (SGPR pressure)
+};
+
+/** Allocation pools (index ranges are inclusive). */
+struct AllocBudget
+{
+    unsigned vgprFirst;
+    unsigned vgprLast;
+    unsigned sgprFirst;
+    unsigned sgprLast;
+};
+
+AllocResult allocateRegisters(const hsail::IlKernel &il,
+                              const UniformityInfo &uni,
+                              const AllocBudget &budget);
+
+/**
+ * Register-allocate the IL itself (the high-level compiler's job in
+ * the paper's flow: HSAIL is register-allocated, up to 2,048 vector
+ * registers per WF). Renumbers every register in place via linear
+ * scan so dead values free their registers; updates vregsUsed and the
+ * region table. Must run before execution or finalization.
+ */
+void compactIlRegisters(hsail::IlKernel &il);
+
+} // namespace last::finalizer
+
+#endif // LAST_FINALIZER_REGALLOC_HH

@@ -1,0 +1,181 @@
+#include "finalizer/uniformity.hh"
+
+#include "common/logging.hh"
+#include "hsail/inst.hh"
+
+namespace last::finalizer
+{
+
+using hsail::CfRegion;
+using hsail::DataType;
+using hsail::HsailInst;
+using hsail::Opcode;
+using hsail::Segment;
+
+namespace
+{
+
+bool
+isIntType(DataType t)
+{
+    return t == DataType::B32 || t == DataType::U32 ||
+           t == DataType::S32 || t == DataType::U64;
+}
+
+/** Can this op execute on the scalar pipeline (given int types and
+ *  SGPR-resident inputs)? Floats never qualify: the GCN3 scalar unit
+ *  is not generally used for computation. */
+bool
+scalarSelectable(const HsailInst &inst)
+{
+    DataType t = inst.type();
+    bool is32 = isIntType(t) && t != DataType::U64;
+    switch (inst.op()) {
+      case Opcode::Add:
+        return isIntType(t); // u64 lowers to s_add + s_addc
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Neg:
+      case Opcode::Not:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::AShr:
+      case Opcode::Cmp:
+      case Opcode::CMov:
+        return is32;
+      case Opcode::Min:
+      case Opcode::Max:
+        return t == DataType::U32;
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Mov:
+      case Opcode::MovImm:
+        return isIntType(t);
+      case Opcode::WorkGroupId:
+      case Opcode::WorkGroupSize:
+      case Opcode::GridSize:
+        return true;
+      case Opcode::Ld:
+        // Scalar loads serve the kernarg and readonly segments
+        // (typeless: float kernel arguments also land in SGPRs).
+        return inst.segment() == Segment::Kernarg ||
+               inst.segment() == Segment::Readonly;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+UniformityInfo
+analyzeUniformity(const hsail::IlKernel &il)
+{
+    const arch::KernelCode &code = *il.code;
+    size_t nregs = code.vregsUsed;
+    size_t ninsts = code.numInsts();
+
+    UniformityInfo info;
+    info.uniform.assign(nregs, true);
+    info.sgprResident.assign(nregs, true);
+    info.regionDivergent.assign(il.regions.size(), false);
+
+    // For "written inside a divergent region" demotion: per instruction,
+    // the list of regions containing it.
+    auto containedIn = [&](size_t idx, const CfRegion &r) {
+        switch (r.kind) {
+          case CfRegion::Kind::IfThen:
+          case CfRegion::Kind::IfElse:
+            return idx > r.branchIdx && idx < r.endIdx;
+          case CfRegion::Kind::Loop:
+            return idx >= r.bodyFirst && idx <= r.branchIdx;
+        }
+        return false;
+    };
+
+    // Monotone fixpoint: flags only ever flip from true to false.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+
+        // Region divergence requires an SGPR-resident condition (a
+        // uniform value materialized in a VGPR still cannot feed a
+        // scalar branch).
+        for (size_t r = 0; r < il.regions.size(); ++r) {
+            bool div = !info.sgprResident[il.regions[r].condReg];
+            if (div && !info.regionDivergent[r]) {
+                info.regionDivergent[r] = true;
+                changed = true;
+            }
+        }
+
+        for (size_t i = 0; i < ninsts; ++i) {
+            const auto &inst = static_cast<const HsailInst &>(code.inst(i));
+            if (!inst.dst().valid())
+                continue;
+
+            bool in_divergent_region = false;
+            for (size_t r = 0; r < il.regions.size(); ++r) {
+                if (info.regionDivergent[r] &&
+                    containedIn(i, il.regions[r])) {
+                    in_divergent_region = true;
+                    break;
+                }
+            }
+
+            bool u = !in_divergent_region;
+            bool resident = u;
+            switch (inst.op()) {
+              case Opcode::WorkItemAbsId:
+              case Opcode::WorkItemId:
+              case Opcode::AtomicAdd:
+                u = false;
+                resident = false;
+                break;
+              case Opcode::Ld:
+                if (inst.segment() == Segment::Kernarg) {
+                    // uniform by definition
+                } else if (inst.segment() == Segment::Readonly) {
+                    if (inst.src(0).valid() &&
+                        !info.uniform[inst.src(0).idx])
+                        u = false;
+                    if (inst.src(0).valid() &&
+                        !info.sgprResident[inst.src(0).idx])
+                        resident = false;
+                } else {
+                    u = false;
+                    resident = false;
+                }
+                break;
+              default:
+                for (unsigned s = 0; s < 3; ++s) {
+                    if (!inst.src(s).valid())
+                        continue;
+                    if (!info.uniform[inst.src(s).idx])
+                        u = false;
+                    if (!info.sgprResident[inst.src(s).idx])
+                        resident = false;
+                }
+                break;
+            }
+            resident = resident && u && scalarSelectable(inst);
+
+            unsigned w = (inst.op() == Opcode::Cmp)
+                ? 1 : hsail::typeRegs(inst.type());
+            for (unsigned d = 0; d < w; ++d) {
+                uint16_t reg = inst.dst().idx + d;
+                if (!u && info.uniform[reg]) {
+                    info.uniform[reg] = false;
+                    changed = true;
+                }
+                if (!resident && info.sgprResident[reg]) {
+                    info.sgprResident[reg] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return info;
+}
+
+} // namespace last::finalizer

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Uniformity (divergence) analysis over an IL kernel.
+ *
+ * Drives the finalizer's scalarization decisions: values proven uniform
+ * across the wavefront AND producible by the scalar pipeline are
+ * allocated to SGPRs and computed with scalar instructions — the
+ * hardware-software co-design HSAIL cannot express.
+ */
+
+#ifndef LAST_FINALIZER_UNIFORMITY_HH
+#define LAST_FINALIZER_UNIFORMITY_HH
+
+#include <vector>
+
+#include "hsail/builder.hh"
+
+namespace last::finalizer
+{
+
+struct UniformityInfo
+{
+    /** Per IL register: value identical across all lanes. */
+    std::vector<bool> uniform;
+
+    /** Per IL register: value lives in SGPRs (uniform AND every def is
+     *  scalar-pipeline selectable AND all inputs are SGPR-resident). */
+    std::vector<bool> sgprResident;
+
+    /** Per region (parallel to IlKernel::regions): the region's
+     *  condition requires exec-mask predication (not a scalar branch). */
+    std::vector<bool> regionDivergent;
+
+    bool isUniform(uint16_t reg) const { return uniform[reg]; }
+    bool isResident(uint16_t reg) const { return sgprResident[reg]; }
+};
+
+UniformityInfo analyzeUniformity(const hsail::IlKernel &il);
+
+} // namespace last::finalizer
+
+#endif // LAST_FINALIZER_UNIFORMITY_HH

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The GCN3-like machine ISA: opcode and encoding-format definitions.
+ *
+ * Deliberate abstraction properties (matching the paper's GCN3):
+ *  - Vector ISA: the 64-lane execution mask (EXEC) is architectural and
+ *    manipulated by scalar instructions.
+ *  - A scalar pipeline with its own register file, ALU, and memory path.
+ *  - Software dependency management: s_waitcnt / s_nop, no scoreboard.
+ *  - Variable-length hardware encodings: 32 b, 64 b, or +32 b literal.
+ *  - FP division is a multi-instruction Newton-Raphson sequence.
+ */
+
+#ifndef LAST_GCN3_OPCODES_HH
+#define LAST_GCN3_OPCODES_HH
+
+#include <cstdint>
+
+namespace last::gcn3
+{
+
+/** Encoding formats; determine base encoded size. */
+enum class Format : uint8_t
+{
+    SOP1,  ///< 32 b scalar 1-src
+    SOP2,  ///< 32 b scalar 2-src
+    SOPC,  ///< 32 b scalar compare
+    SOPK,  ///< 32 b scalar + 16-bit constant
+    SOPP,  ///< 32 b program control (branch, waitcnt, barrier, ...)
+    SMEM,  ///< 64 b scalar memory
+    VOP1,  ///< 32 b vector 1-src
+    VOP2,  ///< 32 b vector 2-src
+    VOPC,  ///< 32 b vector compare (writes VCC)
+    VOP3,  ///< 64 b vector 3-src / extended
+    FLAT,  ///< 64 b flat memory
+    DS,    ///< 64 b LDS
+};
+
+/** Base encoded bytes for a format (a used literal adds 4). */
+constexpr unsigned
+formatBytes(Format f)
+{
+    switch (f) {
+      case Format::SMEM:
+      case Format::VOP3:
+      case Format::FLAT:
+      case Format::DS:
+        return 8;
+      default:
+        return 4;
+    }
+}
+
+// X-macro: opcode, format.
+#define LAST_GCN3_OPCODES(X)                                                 \
+    /* --- scalar ALU ---------------------------------------------- */     \
+    X(S_MOV_B32, SOP1)                                                       \
+    X(S_MOV_B64, SOP1)                                                       \
+    X(S_NOT_B32, SOP1)                                                       \
+    X(S_AND_SAVEEXEC_B64, SOP1)                                              \
+    X(S_OR_SAVEEXEC_B64, SOP1)                                               \
+    X(S_ADD_U32, SOP2)                                                       \
+    X(S_ADDC_U32, SOP2)                                                      \
+    X(S_SUB_U32, SOP2)                                                       \
+    X(S_MUL_I32, SOP2)                                                       \
+    X(S_LSHL_B32, SOP2)                                                      \
+    X(S_LSHR_B32, SOP2)                                                      \
+    X(S_ASHR_I32, SOP2)                                                      \
+    X(S_MIN_U32, SOP2)                                                       \
+    X(S_MAX_U32, SOP2)                                                       \
+    X(S_AND_B32, SOP2)                                                       \
+    X(S_OR_B32, SOP2)                                                        \
+    X(S_XOR_B32, SOP2)                                                       \
+    X(S_BFE_U32, SOP2)                                                       \
+    X(S_AND_B64, SOP2)                                                       \
+    X(S_OR_B64, SOP2)                                                        \
+    X(S_XOR_B64, SOP2)                                                       \
+    X(S_ANDN2_B64, SOP2)                                                     \
+    X(S_CSELECT_B32, SOP2)                                                   \
+    /* --- scalar compare (writes SCC) ----------------------------- */     \
+    X(S_CMP_EQ_U32, SOPC)                                                    \
+    X(S_CMP_LG_U32, SOPC)                                                    \
+    X(S_CMP_LT_U32, SOPC)                                                    \
+    X(S_CMP_LE_U32, SOPC)                                                    \
+    X(S_CMP_GT_U32, SOPC)                                                    \
+    X(S_CMP_GE_U32, SOPC)                                                    \
+    X(S_CMP_EQ_I32, SOPC)                                                    \
+    X(S_CMP_LG_I32, SOPC)                                                    \
+    X(S_CMP_LT_I32, SOPC)                                                    \
+    X(S_CMP_LE_I32, SOPC)                                                    \
+    X(S_CMP_GT_I32, SOPC)                                                    \
+    X(S_CMP_GE_I32, SOPC)                                                    \
+    /* --- SOPK ---------------------------------------------------- */     \
+    X(S_MOVK_I32, SOPK)                                                      \
+    X(S_ADDK_I32, SOPK)                                                      \
+    X(S_MULK_I32, SOPK)                                                      \
+    X(S_CMPK_EQ_U32, SOPK)                                                   \
+    X(S_CMPK_LT_U32, SOPK)                                                   \
+    /* --- program control ----------------------------------------- */     \
+    X(S_NOP, SOPP)                                                           \
+    X(S_ENDPGM, SOPP)                                                        \
+    X(S_BRANCH, SOPP)                                                        \
+    X(S_CBRANCH_SCC0, SOPP)                                                  \
+    X(S_CBRANCH_SCC1, SOPP)                                                  \
+    X(S_CBRANCH_VCCZ, SOPP)                                                  \
+    X(S_CBRANCH_VCCNZ, SOPP)                                                 \
+    X(S_CBRANCH_EXECZ, SOPP)                                                 \
+    X(S_CBRANCH_EXECNZ, SOPP)                                                \
+    X(S_BARRIER, SOPP)                                                       \
+    X(S_WAITCNT, SOPP)                                                       \
+    /* --- scalar memory ------------------------------------------- */     \
+    X(S_LOAD_DWORD, SMEM)                                                    \
+    X(S_LOAD_DWORDX2, SMEM)                                                  \
+    X(S_LOAD_DWORDX4, SMEM)                                                  \
+    /* --- vector ALU ---------------------------------------------- */     \
+    X(V_MOV_B32, VOP1)                                                       \
+    X(V_NOT_B32, VOP1)                                                       \
+    X(V_RCP_F32, VOP1)                                                       \
+    X(V_RCP_F64, VOP1)                                                       \
+    X(V_SQRT_F32, VOP1)                                                      \
+    X(V_SQRT_F64, VOP1)                                                      \
+    X(V_CVT_F32_U32, VOP1)                                                   \
+    X(V_CVT_F32_I32, VOP1)                                                   \
+    X(V_CVT_U32_F32, VOP1)                                                   \
+    X(V_CVT_I32_F32, VOP1)                                                   \
+    X(V_CVT_F64_F32, VOP1)                                                   \
+    X(V_CVT_F32_F64, VOP1)                                                   \
+    X(V_CVT_F64_U32, VOP1)                                                   \
+    X(V_CVT_U32_F64, VOP1)                                                   \
+    X(V_ADD_U32, VOP2)  /* writes VCC carry */                               \
+    X(V_ADDC_U32, VOP2) /* reads+writes VCC */                               \
+    X(V_SUB_U32, VOP2)  /* writes VCC borrow */                              \
+    X(V_SUBB_U32, VOP2)                                                      \
+    X(V_MUL_LO_U32, VOP3)                                                    \
+    X(V_MUL_HI_U32, VOP3)                                                    \
+    X(V_ADD_F32, VOP2)                                                       \
+    X(V_SUB_F32, VOP2)                                                       \
+    X(V_MUL_F32, VOP2)                                                       \
+    X(V_MAC_F32, VOP2)                                                       \
+    X(V_MIN_F32, VOP2)                                                       \
+    X(V_MAX_F32, VOP2)                                                       \
+    X(V_MIN_U32, VOP2)                                                       \
+    X(V_MAX_U32, VOP2)                                                       \
+    X(V_MIN_I32, VOP2)                                                       \
+    X(V_MAX_I32, VOP2)                                                       \
+    X(V_AND_B32, VOP2)                                                       \
+    X(V_OR_B32, VOP2)                                                        \
+    X(V_XOR_B32, VOP2)                                                       \
+    X(V_LSHLREV_B32, VOP2)                                                   \
+    X(V_LSHRREV_B32, VOP2)                                                   \
+    X(V_ASHRREV_I32, VOP2)                                                   \
+    X(V_CNDMASK_B32, VOP2) /* dst = vcc ? src1 : src0 */                     \
+    X(V_MAD_F32, VOP3)                                                       \
+    X(V_FMA_F32, VOP3)                                                       \
+    X(V_MAD_U32_U24, VOP3)                                                   \
+    X(V_BFE_U32, VOP3)                                                       \
+    X(V_ADD_F64, VOP3)                                                       \
+    X(V_MUL_F64, VOP3)                                                       \
+    X(V_FMA_F64, VOP3)                                                       \
+    X(V_MIN_F64, VOP3)                                                       \
+    X(V_MAX_F64, VOP3)                                                       \
+    X(V_DIV_SCALE_F32, VOP3)                                                 \
+    X(V_DIV_SCALE_F64, VOP3)                                                 \
+    X(V_DIV_FMAS_F32, VOP3)                                                  \
+    X(V_DIV_FMAS_F64, VOP3)                                                  \
+    X(V_DIV_FIXUP_F32, VOP3)                                                 \
+    X(V_DIV_FIXUP_F64, VOP3)                                                 \
+    /* --- vector compare (writes VCC) ----------------------------- */     \
+    X(V_CMP_EQ_U32, VOPC)                                                    \
+    X(V_CMP_NE_U32, VOPC)                                                    \
+    X(V_CMP_LT_U32, VOPC)                                                    \
+    X(V_CMP_LE_U32, VOPC)                                                    \
+    X(V_CMP_GT_U32, VOPC)                                                    \
+    X(V_CMP_GE_U32, VOPC)                                                    \
+    X(V_CMP_EQ_I32, VOPC)                                                    \
+    X(V_CMP_NE_I32, VOPC)                                                    \
+    X(V_CMP_LT_I32, VOPC)                                                    \
+    X(V_CMP_LE_I32, VOPC)                                                    \
+    X(V_CMP_GT_I32, VOPC)                                                    \
+    X(V_CMP_GE_I32, VOPC)                                                    \
+    X(V_CMP_EQ_F32, VOPC)                                                    \
+    X(V_CMP_NE_F32, VOPC)                                                    \
+    X(V_CMP_LT_F32, VOPC)                                                    \
+    X(V_CMP_LE_F32, VOPC)                                                    \
+    X(V_CMP_GT_F32, VOPC)                                                    \
+    X(V_CMP_GE_F32, VOPC)                                                    \
+    X(V_CMP_EQ_F64, VOPC)                                                    \
+    X(V_CMP_NE_F64, VOPC)                                                    \
+    X(V_CMP_LT_F64, VOPC)                                                    \
+    X(V_CMP_LE_F64, VOPC)                                                    \
+    X(V_CMP_GT_F64, VOPC)                                                    \
+    X(V_CMP_GE_F64, VOPC)                                                    \
+    /* --- flat memory --------------------------------------------- */     \
+    X(FLAT_LOAD_DWORD, FLAT)                                                 \
+    X(FLAT_LOAD_DWORDX2, FLAT)                                               \
+    X(FLAT_STORE_DWORD, FLAT)                                                \
+    X(FLAT_STORE_DWORDX2, FLAT)                                              \
+    X(FLAT_ATOMIC_ADD, FLAT)                                                 \
+    /* --- LDS ------------------------------------------------------ */    \
+    X(DS_READ_B32, DS)                                                       \
+    X(DS_WRITE_B32, DS)                                                      \
+    X(DS_READ_B64, DS)                                                       \
+    X(DS_WRITE_B64, DS)
+
+enum class Gcn3Op : uint16_t
+{
+#define LAST_X(name, fmt) name,
+    LAST_GCN3_OPCODES(LAST_X)
+#undef LAST_X
+    NumOpcodes,
+};
+
+const char *opName(Gcn3Op op);
+Format opFormat(Gcn3Op op);
+
+} // namespace last::gcn3
+
+#endif // LAST_GCN3_OPCODES_HH

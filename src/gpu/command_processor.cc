@@ -1,0 +1,35 @@
+#include "gpu/command_processor.hh"
+
+#include "finalizer/abi.hh"
+
+namespace last::gpu
+{
+
+void
+CommandProcessor::writePacket(Addr pkt_addr, unsigned wg_size,
+                              unsigned grid_size, Addr kernarg_addr)
+{
+    memory.write<uint32_t>(pkt_addr + abi::PktHeaderOffset, 0x1u);
+    memory.write<uint32_t>(pkt_addr + abi::PktWgSizeOffset,
+                           wg_size & 0xffffu);
+    memory.write<uint32_t>(pkt_addr + abi::PktGridSizeOffset, grid_size);
+    memory.write<uint64_t>(pkt_addr + abi::PktKernargOffset,
+                           kernarg_addr);
+    memory.write<uint64_t>(pkt_addr + abi::PktCompletionOffset, 0);
+}
+
+void
+CommandProcessor::readPacket(Addr pkt_addr,
+                             cu::KernelLaunch &launch) const
+{
+    auto &mem = const_cast<mem::FunctionalMemory &>(memory);
+    launch.wgSize =
+        mem.read<uint32_t>(pkt_addr + abi::PktWgSizeOffset) & 0xffffu;
+    launch.gridSize =
+        mem.read<uint32_t>(pkt_addr + abi::PktGridSizeOffset);
+    launch.kernargBase =
+        mem.read<uint64_t>(pkt_addr + abi::PktKernargOffset);
+    launch.aqlPacketAddr = pkt_addr;
+}
+
+} // namespace last::gpu

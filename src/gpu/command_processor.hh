@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The command (packet) processor: writes and interprets dispatch
+ * packets. GCN3 kernels read the packet from memory through the ABI
+ * (s[4:5]); the HSAIL path gets the same values through simulator
+ * state — both flows start from the same real packet, as in the
+ * paper's methodology.
+ */
+
+#ifndef LAST_GPU_COMMAND_PROCESSOR_HH
+#define LAST_GPU_COMMAND_PROCESSOR_HH
+
+#include "common/types.hh"
+#include "cu/launch.hh"
+#include "memory/functional_memory.hh"
+
+namespace last::gpu
+{
+
+class CommandProcessor
+{
+  public:
+    explicit CommandProcessor(mem::FunctionalMemory &memory)
+        : memory(memory)
+    {
+    }
+
+    /** Write an AQL-style dispatch packet at pkt_addr. */
+    void writePacket(Addr pkt_addr, unsigned wg_size, unsigned grid_size,
+                     Addr kernarg_addr);
+
+    /** Interpret a packet (as the HSA packet processor does) and fill
+     *  the launch geometry. */
+    void readPacket(Addr pkt_addr, cu::KernelLaunch &launch) const;
+
+  private:
+    mem::FunctionalMemory &memory;
+};
+
+} // namespace last::gpu
+
+#endif // LAST_GPU_COMMAND_PROCESSOR_HH

@@ -1,0 +1,138 @@
+#include "gpu/gpu.hh"
+
+#include "common/logging.hh"
+
+namespace last::gpu
+{
+
+Gpu::Gpu(const GpuConfig &cfg, mem::FunctionalMemory &memory,
+         stats::Group *parent)
+    : stats::Group("gpu", parent),
+      totalCycles(this, "totalCycles", "cycles simulated"),
+      kernelLaunches(this, "kernelLaunches", "kernels dispatched"),
+      cfg(cfg), memory(memory)
+{
+    dram = std::make_unique<mem::Dram>("dram", cfg, this);
+
+    unsigned clusters =
+        (cfg.numCus + cfg.cusPerCluster - 1) / cfg.cusPerCluster;
+    for (unsigned c = 0; c < clusters; ++c) {
+        l2s.push_back(std::make_unique<mem::Cache>(
+            "l2_" + std::to_string(c), cfg.l2, dram.get(), this));
+        l1is.push_back(std::make_unique<mem::Cache>(
+            "l1i_" + std::to_string(c), cfg.l1i, l2s[c].get(), this));
+        scalarDs.push_back(std::make_unique<mem::Cache>(
+            "sqc_" + std::to_string(c), cfg.scalarD, l2s[c].get(),
+            this));
+    }
+
+    for (unsigned i = 0; i < cfg.numCus; ++i) {
+        unsigned c = i / cfg.cusPerCluster;
+        l1ds.push_back(std::make_unique<mem::Cache>(
+            "l1d_" + std::to_string(i), cfg.l1d, l2s[c].get(), this));
+        cus.push_back(std::make_unique<cu::ComputeUnit>(
+            "cu_" + std::to_string(i), cfg, eq, l1ds[i].get(),
+            l1is[c].get(), scalarDs[c].get(), &memory, this));
+    }
+}
+
+void
+Gpu::launch(cu::KernelLaunch &launch)
+{
+    const auto &code = *launch.code;
+    unsigned wf_per_wg =
+        (launch.wgSize + cfg.wavefrontSize - 1) / cfg.wavefrontSize;
+    fatal_if(code.vregsUsed * wf_per_wg > cfg.vrfEntriesPerCu,
+             "kernel %s needs %u vector registers per workgroup but a "
+             "CU has %u",
+             code.name().c_str(), code.vregsUsed * wf_per_wg,
+             cfg.vrfEntriesPerCu);
+    fatal_if(code.isa() == IsaKind::GCN3 &&
+                 code.sregsUsed * wf_per_wg > cfg.srfEntriesPerCu,
+             "kernel %s needs %u scalar registers per workgroup but a "
+             "CU has %u",
+             code.name().c_str(), code.sregsUsed * wf_per_wg,
+             cfg.srfEntriesPerCu);
+    fatal_if(code.ldsBytesPerWg > cfg.ldsBytesPerCu,
+             "kernel %s needs %llu LDS bytes per workgroup",
+             code.name().c_str(),
+             (unsigned long long)code.ldsBytesPerWg);
+
+    ++kernelLaunches;
+    launch.startCycle = eq.now();
+    liveLaunches.push_back(&launch);
+    for (unsigned wg = 0; wg < launch.numWorkgroups(); ++wg)
+        pendingWgs.push_back({&launch, wg});
+}
+
+void
+Gpu::dispatchPending()
+{
+    while (!pendingWgs.empty()) {
+        const cu::WorkgroupTask &task = pendingWgs.front();
+        bool placed = false;
+        for (unsigned k = 0; k < cus.size(); ++k) {
+            unsigned i = (dispatchRr + k) % cus.size();
+            if (cus[i]->canAccept(task)) {
+                cus[i]->accept(task);
+                dispatchRr = (i + 1) % cus.size();
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            break;
+        pendingWgs.pop_front();
+    }
+}
+
+bool
+Gpu::idle() const
+{
+    if (!pendingWgs.empty())
+        return false;
+    for (const auto &c : cus)
+        if (c->busy())
+            return false;
+    for (const auto *l : liveLaunches)
+        if (!l->complete())
+            return false;
+    return true;
+}
+
+void
+Gpu::tick()
+{
+    dispatchPending();
+    for (auto &c : cus)
+        c->tick();
+    eq.tick();
+    ++totalCycles;
+}
+
+Cycle
+Gpu::runToCompletion()
+{
+    Cycle start = eq.now();
+    uint64_t guard = 0;
+    while (!idle()) {
+        tick();
+        panic_if(++guard > 2000000000ull,
+                 "GPU appears wedged after 2e9 cycles");
+    }
+    liveLaunches.clear();
+    return eq.now() - start;
+}
+
+double
+Gpu::sumCuStat(const std::string &name) const
+{
+    double total = 0;
+    for (const auto &c : cus) {
+        if (const auto *s = c->find(name))
+            total += s->value();
+    }
+    return total;
+}
+
+} // namespace last::gpu

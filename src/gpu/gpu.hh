@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The full GPU: compute units, the shared cache hierarchy (Table 4),
+ * DRAM, and the workgroup dispatcher.
+ */
+
+#ifndef LAST_GPU_GPU_HH
+#define LAST_GPU_GPU_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "cu/compute_unit.hh"
+#include "memory/cache.hh"
+#include "memory/dram.hh"
+#include "memory/functional_memory.hh"
+
+namespace last::gpu
+{
+
+class Gpu : public stats::Group
+{
+  public:
+    Gpu(const GpuConfig &cfg, mem::FunctionalMemory &memory,
+        stats::Group *parent);
+
+    /** Enqueue a kernel's workgroups for dispatch. */
+    void launch(cu::KernelLaunch &launch);
+
+    /** Advance one cycle (dispatch + all CUs + event queue). */
+    void tick();
+
+    /** Run until all enqueued launches complete; returns cycles
+     *  elapsed. */
+    Cycle runToCompletion();
+
+    bool idle() const;
+
+    EventQueue &eventQueue() { return eq; }
+    const GpuConfig &config() const { return cfg; }
+
+    cu::ComputeUnit &computeUnit(unsigned i) { return *cus[i]; }
+    unsigned numCus() const { return unsigned(cus.size()); }
+
+    /** @{ Aggregate helpers over all CUs (for the harness). */
+    double sumCuStat(const std::string &name) const;
+    /** @} */
+
+    stats::Scalar totalCycles;
+    stats::Scalar kernelLaunches;
+
+    mem::Dram &dramModel() { return *dram; }
+    mem::Cache &l1iCache(unsigned cluster) { return *l1is[cluster]; }
+
+  private:
+    void dispatchPending();
+
+    GpuConfig cfg;
+    EventQueue eq;
+    mem::FunctionalMemory &memory;
+
+    std::unique_ptr<mem::Dram> dram;
+    std::vector<std::unique_ptr<mem::Cache>> l2s;      ///< per cluster
+    std::vector<std::unique_ptr<mem::Cache>> l1is;     ///< per cluster
+    std::vector<std::unique_ptr<mem::Cache>> scalarDs; ///< per cluster
+    std::vector<std::unique_ptr<mem::Cache>> l1ds;     ///< per CU
+    std::vector<std::unique_ptr<cu::ComputeUnit>> cus;
+
+    std::deque<cu::WorkgroupTask> pendingWgs;
+    std::vector<cu::KernelLaunch *> liveLaunches;
+    unsigned dispatchRr = 0;
+};
+
+} // namespace last::gpu
+
+#endif // LAST_GPU_GPU_HH

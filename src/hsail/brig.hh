@@ -1,0 +1,39 @@
+/**
+ * @file
+ * A BRIG-like binary container for HSAIL kernels.
+ *
+ * Mirrors the property the paper highlights: the stored form is a
+ * verbose, fixed-record data structure designed for easy consumption
+ * by finalizer software (64 bytes per instruction here), NOT a
+ * hardware-fetchable encoding. Loading a module decodes every record
+ * into instruction objects up front; the executable pseudo-encoding
+ * seen by the fetch model is the separate fixed 8-byte form.
+ */
+
+#ifndef LAST_HSAIL_BRIG_HH
+#define LAST_HSAIL_BRIG_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/kernel_code.hh"
+
+namespace last::hsail
+{
+
+/** Serialized module bytes. */
+using BrigBlob = std::vector<uint8_t>;
+
+/** Record size per instruction in the container. */
+constexpr size_t BrigRecordBytes = 64;
+
+/** Serialize a sealed HSAIL kernel into a BRIG-like blob. */
+BrigBlob encodeBrig(const arch::KernelCode &code);
+
+/** Decode a blob back into a sealed, ipdom-annotated kernel. */
+std::unique_ptr<arch::KernelCode> decodeBrig(const BrigBlob &blob);
+
+} // namespace last::hsail
+
+#endif // LAST_HSAIL_BRIG_HH

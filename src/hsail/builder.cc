@@ -1,0 +1,431 @@
+#include "hsail/builder.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "hsail/ipdom.hh"
+
+namespace last::hsail
+{
+
+KernelBuilder::KernelBuilder(std::string name)
+    : code(std::make_unique<arch::KernelCode>(IsaKind::HSAIL,
+                                              std::move(name)))
+{
+}
+
+size_t
+KernelBuilder::numInsts() const
+{
+    return code->numInsts();
+}
+
+uint16_t
+KernelBuilder::allocRegs(DataType t)
+{
+    uint16_t base = nextReg;
+    nextReg = uint16_t(nextReg + typeRegs(t));
+    fatal_if(nextReg > 2048,
+             "kernel %s exceeds the 2,048 IL vector registers per WF",
+             code->name().c_str());
+    return base;
+}
+
+Val
+KernelBuilder::newVal(DataType t)
+{
+    return {allocRegs(t), t};
+}
+
+size_t
+KernelBuilder::emit(HsailInst *inst)
+{
+    panic_if(built, "builder reused after build()");
+    pending.push_back(inst);
+    return code->append(std::unique_ptr<arch::Instruction>(inst));
+}
+
+Val
+KernelBuilder::emitAlu(Opcode op, DataType t, Val a, Val b, Val c)
+{
+    Val dst = newVal(t);
+    emitAluTo(op, dst, a, b, c);
+    return dst;
+}
+
+void
+KernelBuilder::emitAluTo(Opcode op, Val dst, Val a, Val b, Val c)
+{
+    emit(HsailInst::alu(op, dst.type, Reg{dst.reg}, Reg{a.reg},
+                        Reg{b.reg}, Reg{c.reg}));
+}
+
+Val
+KernelBuilder::immU32(uint32_t v)
+{
+    Val dst = newVal(DataType::U32);
+    emit(HsailInst::movImm(DataType::U32, Reg{dst.reg}, v));
+    return dst;
+}
+
+Val
+KernelBuilder::immS32(int32_t v)
+{
+    Val dst = newVal(DataType::S32);
+    emit(HsailInst::movImm(DataType::S32, Reg{dst.reg}, uint32_t(v)));
+    return dst;
+}
+
+Val
+KernelBuilder::immF32(float v)
+{
+    Val dst = newVal(DataType::F32);
+    emit(HsailInst::movImm(DataType::F32, Reg{dst.reg},
+                           std::bit_cast<uint32_t>(v)));
+    return dst;
+}
+
+Val
+KernelBuilder::immF64(double v)
+{
+    Val dst = newVal(DataType::F64);
+    emit(HsailInst::movImm(DataType::F64, Reg{dst.reg},
+                           std::bit_cast<uint64_t>(v)));
+    return dst;
+}
+
+Val
+KernelBuilder::immU64(uint64_t v)
+{
+    Val dst = newVal(DataType::U64);
+    emit(HsailInst::movImm(DataType::U64, Reg{dst.reg}, v));
+    return dst;
+}
+
+Val
+KernelBuilder::workitemAbsId()
+{
+    Val dst = newVal(DataType::U32);
+    emit(HsailInst::special(Opcode::WorkItemAbsId, Reg{dst.reg}));
+    return dst;
+}
+
+Val
+KernelBuilder::workitemId()
+{
+    Val dst = newVal(DataType::U32);
+    emit(HsailInst::special(Opcode::WorkItemId, Reg{dst.reg}));
+    return dst;
+}
+
+Val
+KernelBuilder::workgroupId()
+{
+    Val dst = newVal(DataType::U32);
+    emit(HsailInst::special(Opcode::WorkGroupId, Reg{dst.reg}));
+    return dst;
+}
+
+Val
+KernelBuilder::workgroupSize()
+{
+    Val dst = newVal(DataType::U32);
+    emit(HsailInst::special(Opcode::WorkGroupSize, Reg{dst.reg}));
+    return dst;
+}
+
+Val
+KernelBuilder::gridSize()
+{
+    Val dst = newVal(DataType::U32);
+    emit(HsailInst::special(Opcode::GridSize, Reg{dst.reg}));
+    return dst;
+}
+
+namespace
+{
+
+DataType
+binType(Val a, Val b)
+{
+    panic_if(a.type != b.type, "IL type mismatch (%s vs %s)",
+             typeName(a.type), typeName(b.type));
+    return a.type;
+}
+
+} // namespace
+
+Val KernelBuilder::add(Val a, Val b)
+{ return emitAlu(Opcode::Add, binType(a, b), a, b); }
+Val KernelBuilder::sub(Val a, Val b)
+{ return emitAlu(Opcode::Sub, binType(a, b), a, b); }
+Val KernelBuilder::mul(Val a, Val b)
+{ return emitAlu(Opcode::Mul, binType(a, b), a, b); }
+Val KernelBuilder::mulHi(Val a, Val b)
+{ return emitAlu(Opcode::MulHi, binType(a, b), a, b); }
+Val KernelBuilder::mad(Val a, Val b, Val c)
+{ return emitAlu(Opcode::Mad, binType(a, b), a, b, c); }
+Val KernelBuilder::fma_(Val a, Val b, Val c)
+{ return emitAlu(Opcode::Fma, binType(a, b), a, b, c); }
+Val KernelBuilder::div(Val a, Val b)
+{ return emitAlu(Opcode::Div, binType(a, b), a, b); }
+Val KernelBuilder::min_(Val a, Val b)
+{ return emitAlu(Opcode::Min, binType(a, b), a, b); }
+Val KernelBuilder::max_(Val a, Val b)
+{ return emitAlu(Opcode::Max, binType(a, b), a, b); }
+Val KernelBuilder::abs_(Val a) { return emitAlu(Opcode::Abs, a.type, a); }
+Val KernelBuilder::neg(Val a) { return emitAlu(Opcode::Neg, a.type, a); }
+Val KernelBuilder::sqrt_(Val a)
+{ return emitAlu(Opcode::Sqrt, a.type, a); }
+Val KernelBuilder::and_(Val a, Val b)
+{ return emitAlu(Opcode::And, binType(a, b), a, b); }
+Val KernelBuilder::or_(Val a, Val b)
+{ return emitAlu(Opcode::Or, binType(a, b), a, b); }
+Val KernelBuilder::xor_(Val a, Val b)
+{ return emitAlu(Opcode::Xor, binType(a, b), a, b); }
+Val KernelBuilder::not_(Val a) { return emitAlu(Opcode::Not, a.type, a); }
+Val KernelBuilder::shl(Val a, Val b)
+{ return emitAlu(Opcode::Shl, a.type, a, b); }
+Val KernelBuilder::shr(Val a, Val b)
+{ return emitAlu(Opcode::Shr, a.type, a, b); }
+Val KernelBuilder::ashr(Val a, Val b)
+{ return emitAlu(Opcode::AShr, a.type, a, b); }
+Val KernelBuilder::bfe(Val a, Val offset, Val width)
+{ return emitAlu(Opcode::Bfe, a.type, a, offset, width); }
+
+Val
+KernelBuilder::cmp(CmpOp op, Val a, Val b)
+{
+    DataType t = binType(a, b);
+    Val dst = newVal(DataType::U32);
+    emit(HsailInst::cmp(op, t, Reg{dst.reg}, Reg{a.reg}, Reg{b.reg}));
+    return dst;
+}
+
+Val
+KernelBuilder::cmov(Val cond, Val tval, Val fval)
+{
+    DataType t = binType(tval, fval);
+    Val dst = newVal(t);
+    emit(HsailInst::cmov(t, Reg{dst.reg}, Reg{cond.reg}, Reg{tval.reg},
+                         Reg{fval.reg}));
+    return dst;
+}
+
+Val
+KernelBuilder::cvt(DataType to, Val a)
+{
+    Val dst = newVal(to);
+    emit(HsailInst::cvt(to, a.type, Reg{dst.reg}, Reg{a.reg}));
+    return dst;
+}
+
+Val
+KernelBuilder::mov(Val a)
+{
+    Val dst = newVal(a.type);
+    emit(HsailInst::mov(a.type, Reg{dst.reg}, Reg{a.reg}));
+    return dst;
+}
+
+void
+KernelBuilder::assign(Val dst, Val src)
+{
+    panic_if(dst.type != src.type, "assign type mismatch");
+    emit(HsailInst::mov(dst.type, Reg{dst.reg}, Reg{src.reg}));
+}
+
+Val
+KernelBuilder::ldGlobal(DataType t, Val addr64, int64_t offset)
+{
+    Val dst = newVal(t);
+    emit(HsailInst::ld(Segment::Global, t, Reg{dst.reg}, Reg{addr64.reg},
+                       offset));
+    return dst;
+}
+
+void
+KernelBuilder::stGlobal(Val value, Val addr64, int64_t offset)
+{
+    emit(HsailInst::st(Segment::Global, value.type, Reg{value.reg},
+                       Reg{addr64.reg}, offset));
+}
+
+Val
+KernelBuilder::ldReadonly(DataType t, Val addr64, int64_t offset)
+{
+    Val dst = newVal(t);
+    emit(HsailInst::ld(Segment::Readonly, t, Reg{dst.reg},
+                       Reg{addr64.reg}, offset));
+    return dst;
+}
+
+Val
+KernelBuilder::ldKernarg(DataType t, int64_t offset)
+{
+    Val dst = newVal(t);
+    emit(HsailInst::ld(Segment::Kernarg, t, Reg{dst.reg}, Reg{}, offset));
+    return dst;
+}
+
+Val
+KernelBuilder::ldPrivate(DataType t, Val off32, int64_t offset)
+{
+    Val dst = newVal(t);
+    emit(HsailInst::ld(Segment::Private, t, Reg{dst.reg}, Reg{off32.reg},
+                       offset));
+    return dst;
+}
+
+void
+KernelBuilder::stPrivate(Val value, Val off32, int64_t offset)
+{
+    emit(HsailInst::st(Segment::Private, value.type, Reg{value.reg},
+                       Reg{off32.reg}, offset));
+}
+
+Val
+KernelBuilder::ldSpill(DataType t, int64_t offset)
+{
+    Val dst = newVal(t);
+    emit(HsailInst::ld(Segment::Spill, t, Reg{dst.reg}, Reg{}, offset));
+    return dst;
+}
+
+void
+KernelBuilder::stSpill(Val value, int64_t offset)
+{
+    emit(HsailInst::st(Segment::Spill, value.type, Reg{value.reg}, Reg{},
+                       offset));
+}
+
+Val
+KernelBuilder::ldGroup(DataType t, Val off32, int64_t offset)
+{
+    Val dst = newVal(t);
+    emit(HsailInst::ld(Segment::Group, t, Reg{dst.reg}, Reg{off32.reg},
+                       offset));
+    return dst;
+}
+
+void
+KernelBuilder::stGroup(Val value, Val off32, int64_t offset)
+{
+    emit(HsailInst::st(Segment::Group, value.type, Reg{value.reg},
+                       Reg{off32.reg}, offset));
+}
+
+Val
+KernelBuilder::atomicAddGlobal(Val addr64, Val value, int64_t offset)
+{
+    Val dst = newVal(value.type);
+    emit(HsailInst::atomicAdd(value.type, Reg{dst.reg}, Reg{addr64.reg},
+                              offset, Reg{value.reg}));
+    return dst;
+}
+
+void
+KernelBuilder::ifBegin(Val cond)
+{
+    Frame f{};
+    f.kind = CfRegion::Kind::IfThen;
+    f.condReg = cond.reg;
+    f.branchIdx = emit(HsailInst::cbrz(Reg{cond.reg}, 0));
+    f.elseJumpIdx = SIZE_MAX;
+    f.sawElse = false;
+    frames.push_back(f);
+}
+
+void
+KernelBuilder::ifElse()
+{
+    panic_if(frames.empty() || frames.back().sawElse ||
+                 frames.back().kind != CfRegion::Kind::IfThen,
+             "ifElse() without a matching ifBegin()");
+    Frame &f = frames.back();
+    f.kind = CfRegion::Kind::IfElse;
+    f.sawElse = true;
+    f.elseJumpIdx = emit(HsailInst::br(0));
+    // The leading cbrz jumps to the first else instruction.
+    pending[f.branchIdx]->setTargetIndex(f.elseJumpIdx + 1);
+}
+
+void
+KernelBuilder::ifEnd()
+{
+    panic_if(frames.empty(), "ifEnd() without a matching ifBegin()");
+    Frame f = frames.back();
+    frames.pop_back();
+    size_t end = code->numInsts();
+    if (f.sawElse)
+        pending[f.elseJumpIdx]->setTargetIndex(end);
+    else
+        pending[f.branchIdx]->setTargetIndex(end);
+
+    CfRegion r{};
+    r.kind = f.kind;
+    r.condReg = f.condReg;
+    r.branchIdx = f.branchIdx;
+    r.elseJumpIdx = f.elseJumpIdx;
+    r.endIdx = end;
+    regions.push_back(r);
+}
+
+void
+KernelBuilder::doBegin()
+{
+    Frame f{};
+    f.kind = CfRegion::Kind::Loop;
+    f.bodyFirst = code->numInsts();
+    f.branchIdx = SIZE_MAX;
+    frames.push_back(f);
+}
+
+void
+KernelBuilder::doEnd(Val cond)
+{
+    panic_if(frames.empty() || frames.back().kind != CfRegion::Kind::Loop,
+             "doEnd() without a matching doBegin()");
+    Frame f = frames.back();
+    frames.pop_back();
+    size_t branch = emit(HsailInst::cbr(Reg{cond.reg}, f.bodyFirst));
+
+    CfRegion r{};
+    r.kind = CfRegion::Kind::Loop;
+    r.condReg = cond.reg;
+    r.branchIdx = branch;
+    r.bodyFirst = f.bodyFirst;
+    r.endIdx = branch + 1;
+    regions.push_back(r);
+}
+
+void
+KernelBuilder::barrier()
+{
+    emit(HsailInst::barrier());
+}
+
+IlKernel
+KernelBuilder::build()
+{
+    panic_if(built, "build() called twice");
+    panic_if(!frames.empty(), "unclosed control-flow region at build()");
+    emit(HsailInst::ret());
+    built = true;
+
+    code->vregsUsed = nextReg;
+    code->sregsUsed = 0;
+    code->kernargBytes = kernargBytes;
+    code->privateBytesPerWi = privateBytes;
+    code->spillBytesPerWi = spillBytes;
+    code->ldsBytesPerWg = ldsBytes;
+    code->seal();
+    annotateReconvergence(*code);
+
+    IlKernel k;
+    k.code = std::move(code);
+    k.regions = std::move(regions);
+    return k;
+}
+
+} // namespace last::hsail

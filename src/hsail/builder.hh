@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The kernel builder: this repo's single-source front end.
+ *
+ * Workloads are written once against this typed DSL (playing the role
+ * HCC plays in the paper); the result is an IlKernel — the HSAIL code
+ * plus structured control-flow metadata. The HSAIL path executes the
+ * IL directly; the finalizer consumes the same IlKernel to produce
+ * GCN3 machine code. One source, two ISAs.
+ */
+
+#ifndef LAST_HSAIL_BUILDER_HH
+#define LAST_HSAIL_BUILDER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/kernel_code.hh"
+#include "hsail/inst.hh"
+
+namespace last::hsail
+{
+
+/**
+ * Structured control-flow region, recorded by the builder. Real
+ * finalizers recover this structure from the compiler IR; recording it
+ * at build time keeps the contract explicit.
+ */
+struct CfRegion
+{
+    enum class Kind { IfThen, IfElse, Loop };
+
+    Kind kind;
+    uint16_t condReg;   ///< IL bool register steering the region
+    size_t branchIdx;   ///< If: the leading cbrz; Loop: the backedge cbr
+    size_t elseJumpIdx; ///< IfElse: the br that skips the else part
+    size_t bodyFirst;   ///< Loop: first body instruction
+    size_t endIdx;      ///< first IL instruction after the region
+};
+
+/** An IL kernel plus its structure table: the finalizer's input. */
+struct IlKernel
+{
+    std::unique_ptr<arch::KernelCode> code;
+    std::vector<CfRegion> regions;
+};
+
+/** A typed IL value handle (an IL register + its type). */
+struct Val
+{
+    uint16_t reg = Reg::NoReg;
+    DataType type = DataType::B32;
+
+    bool valid() const { return reg != Reg::NoReg; }
+};
+
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name);
+
+    /** @{ Kernel metadata (per-WI / per-WG segment sizes). */
+    void setKernargBytes(uint64_t n) { kernargBytes = n; }
+    void setPrivateBytesPerWi(uint64_t n) { privateBytes = n; }
+    void setSpillBytesPerWi(uint64_t n) { spillBytes = n; }
+    void setLdsBytesPerWg(uint64_t n) { ldsBytes = n; }
+    /** @} */
+
+    /** @{ Values. */
+    Val newVal(DataType t); ///< allocate an uninitialized register
+    Val immU32(uint32_t v);
+    Val immS32(int32_t v);
+    Val immF32(float v);
+    Val immF64(double v);
+    Val immU64(uint64_t v);
+    /** @} */
+
+    /** @{ Dispatch intrinsics (single IL instructions). */
+    Val workitemAbsId();
+    Val workitemId();
+    Val workgroupId();
+    Val workgroupSize();
+    Val gridSize();
+    /** @} */
+
+    /** @{ Arithmetic (fresh destination). */
+    Val add(Val a, Val b);
+    Val sub(Val a, Val b);
+    Val mul(Val a, Val b);
+    Val mulHi(Val a, Val b);
+    Val mad(Val a, Val b, Val c);
+    Val fma_(Val a, Val b, Val c);
+    Val div(Val a, Val b);
+    Val min_(Val a, Val b);
+    Val max_(Val a, Val b);
+    Val abs_(Val a);
+    Val neg(Val a);
+    Val sqrt_(Val a);
+    Val and_(Val a, Val b);
+    Val or_(Val a, Val b);
+    Val xor_(Val a, Val b);
+    Val not_(Val a);
+    Val shl(Val a, Val b);
+    Val shr(Val a, Val b);
+    Val ashr(Val a, Val b);
+    Val bfe(Val a, Val offset, Val width);
+    Val cmp(CmpOp op, Val a, Val b); ///< returns a U32 bool
+    Val cmov(Val cond, Val tval, Val fval);
+    Val cvt(DataType to, Val a);
+    Val mov(Val a); ///< fresh copy
+    /** @} */
+
+    /** Re-assign an existing value (loop-carried variables). */
+    void assign(Val dst, Val src);
+
+    /** Low-level escape hatch: emit an ALU op into an explicit dst. */
+    void emitAluTo(Opcode op, Val dst, Val a, Val b = {}, Val c = {});
+
+    /** Low-level escape hatch: emit an ALU op with a fresh dst. */
+    Val
+    emitAlu2(Opcode op, Val a, Val b = {}, Val c = {})
+    {
+        return emitAlu(op, a.type, a, b, c);
+    }
+
+    /** @{ Memory. addr64 is a U64 value for global/readonly; the other
+     * segments take an optional U32 offset register. */
+    Val ldGlobal(DataType t, Val addr64, int64_t offset = 0);
+    void stGlobal(Val value, Val addr64, int64_t offset = 0);
+    Val ldReadonly(DataType t, Val addr64, int64_t offset = 0);
+    Val ldKernarg(DataType t, int64_t offset);
+    Val ldPrivate(DataType t, Val off32, int64_t offset = 0);
+    void stPrivate(Val value, Val off32, int64_t offset = 0);
+    Val ldSpill(DataType t, int64_t offset);
+    void stSpill(Val value, int64_t offset);
+    Val ldGroup(DataType t, Val off32, int64_t offset = 0);
+    void stGroup(Val value, Val off32, int64_t offset = 0);
+    Val atomicAddGlobal(Val addr64, Val value, int64_t offset = 0);
+    /** @} */
+
+    /** @{ Control flow (structured, may nest). */
+    void ifBegin(Val cond);  ///< body runs where cond != 0
+    void ifElse();
+    void ifEnd();
+    void doBegin();          ///< do { ... } while (cond != 0)
+    void doEnd(Val cond);
+    void barrier();
+    /** @} */
+
+    /** Finish: appends ret, seals, runs ipdom analysis, fills
+     *  metadata. The builder must not be reused afterwards. */
+    IlKernel build();
+
+    /** Instructions emitted so far (for tests). */
+    size_t numInsts() const;
+
+  private:
+    uint16_t allocRegs(DataType t);
+    size_t emit(HsailInst *inst);
+    Val emitAlu(Opcode op, DataType t, Val a, Val b = {}, Val c = {});
+
+    struct Frame
+    {
+        CfRegion::Kind kind;
+        uint16_t condReg;
+        size_t branchIdx;
+        size_t elseJumpIdx;
+        size_t bodyFirst;
+        bool sawElse;
+    };
+
+    std::unique_ptr<arch::KernelCode> code;
+    std::vector<CfRegion> regions;
+    std::vector<Frame> frames;
+    std::vector<HsailInst *> pending; ///< borrowed ptrs for patching
+    uint16_t nextReg = 0;
+    uint64_t kernargBytes = 0;
+    uint64_t privateBytes = 0;
+    uint64_t spillBytes = 0;
+    uint64_t ldsBytes = 0;
+    bool built = false;
+};
+
+} // namespace last::hsail
+
+#endif // LAST_HSAIL_BUILDER_HH

@@ -1,0 +1,848 @@
+#include "hsail/inst.hh"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "arch/kernel_code.hh"
+#include "common/logging.hh"
+
+namespace last::hsail
+{
+
+namespace
+{
+
+float asF32(uint32_t b) { return std::bit_cast<float>(b); }
+uint32_t fromF32(float f) { return std::bit_cast<uint32_t>(f); }
+double asF64(uint64_t b) { return std::bit_cast<double>(b); }
+uint64_t fromF64(double d) { return std::bit_cast<uint64_t>(d); }
+
+} // namespace
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::MulHi: return "mulhi";
+      case Opcode::Mad: return "mad";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::Min: return "min";
+      case Opcode::Max: return "max";
+      case Opcode::Abs: return "abs";
+      case Opcode::Neg: return "neg";
+      case Opcode::Fma: return "fma";
+      case Opcode::Sqrt: return "sqrt";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Not: return "not";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::AShr: return "ashr";
+      case Opcode::Bfe: return "bitextract";
+      case Opcode::Cmp: return "cmp";
+      case Opcode::CMov: return "cmov";
+      case Opcode::Mov: return "mov";
+      case Opcode::MovImm: return "movimm";
+      case Opcode::Cvt: return "cvt";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::AtomicAdd: return "atomic_add";
+      case Opcode::Br: return "br";
+      case Opcode::CBr: return "cbr";
+      case Opcode::Barrier: return "barrier";
+      case Opcode::Ret: return "ret";
+      case Opcode::WorkItemAbsId: return "workitemabsid";
+      case Opcode::WorkItemId: return "workitemid";
+      case Opcode::WorkGroupId: return "workgroupid";
+      case Opcode::WorkGroupSize: return "workgroupsize";
+      case Opcode::GridSize: return "gridsize";
+      case Opcode::Nop: return "nop";
+    }
+    return "?";
+}
+
+const char *
+typeName(DataType t)
+{
+    switch (t) {
+      case DataType::B32: return "b32";
+      case DataType::U32: return "u32";
+      case DataType::S32: return "s32";
+      case DataType::F32: return "f32";
+      case DataType::U64: return "u64";
+      case DataType::F64: return "f64";
+    }
+    return "?";
+}
+
+const char *
+segmentName(Segment s)
+{
+    switch (s) {
+      case Segment::Global: return "global";
+      case Segment::Readonly: return "readonly";
+      case Segment::Kernarg: return "kernarg";
+      case Segment::Group: return "group";
+      case Segment::Private: return "private";
+      case Segment::Spill: return "spill";
+      case Segment::Arg: return "arg";
+    }
+    return "?";
+}
+
+const char *
+cmpOpName(CmpOp c)
+{
+    switch (c) {
+      case CmpOp::Eq: return "eq";
+      case CmpOp::Ne: return "ne";
+      case CmpOp::Lt: return "lt";
+      case CmpOp::Le: return "le";
+      case CmpOp::Gt: return "gt";
+      case CmpOp::Ge: return "ge";
+    }
+    return "?";
+}
+
+HsailInst::HsailInst(Opcode op, DataType type)
+    : opc(op), dtype(type)
+{
+}
+
+HsailInst *
+HsailInst::alu(Opcode op, DataType t, Reg dst, Reg src0, Reg src1, Reg src2)
+{
+    auto *i = new HsailInst(op, t);
+    i->dstReg = dst;
+    i->srcRegs[0] = src0;
+    i->srcRegs[1] = src1;
+    i->srcRegs[2] = src2;
+    if (t == DataType::F64 || t == DataType::U64)
+        i->setFlags(arch::IsF64);
+    if (op == Opcode::Div || op == Opcode::Sqrt || op == Opcode::Rem)
+        i->setFlags(arch::IsTrans);
+    i->finalizeOperands();
+    return i;
+}
+
+HsailInst *
+HsailInst::cmp(CmpOp c, DataType t, Reg dst, Reg src0, Reg src1)
+{
+    auto *i = new HsailInst(Opcode::Cmp, t);
+    i->cmpop = c;
+    i->dstReg = dst;
+    i->srcRegs[0] = src0;
+    i->srcRegs[1] = src1;
+    i->finalizeOperands();
+    return i;
+}
+
+HsailInst *
+HsailInst::cmov(DataType t, Reg dst, Reg cond, Reg tval, Reg fval)
+{
+    auto *i = new HsailInst(Opcode::CMov, t);
+    i->dstReg = dst;
+    i->srcRegs[0] = cond;
+    i->srcRegs[1] = tval;
+    i->srcRegs[2] = fval;
+    i->setFlags(arch::IsCondMove);
+    i->finalizeOperands();
+    return i;
+}
+
+HsailInst *
+HsailInst::mov(DataType t, Reg dst, Reg src)
+{
+    auto *i = new HsailInst(Opcode::Mov, t);
+    i->dstReg = dst;
+    i->srcRegs[0] = src;
+    i->finalizeOperands();
+    return i;
+}
+
+HsailInst *
+HsailInst::movImm(DataType t, Reg dst, uint64_t bits)
+{
+    auto *i = new HsailInst(Opcode::MovImm, t);
+    i->dstReg = dst;
+    i->imm = bits;
+    i->finalizeOperands();
+    return i;
+}
+
+HsailInst *
+HsailInst::cvt(DataType dst_t, DataType src_t, Reg dst, Reg src)
+{
+    auto *i = new HsailInst(Opcode::Cvt, dst_t);
+    i->srcDtype = src_t;
+    i->dstReg = dst;
+    i->srcRegs[0] = src;
+    i->finalizeOperands();
+    return i;
+}
+
+HsailInst *
+HsailInst::ld(Segment seg, DataType t, Reg dst, Reg addr, int64_t offset)
+{
+    auto *i = new HsailInst(Opcode::Ld, t);
+    i->seg = seg;
+    i->dstReg = dst;
+    i->srcRegs[0] = addr;
+    i->imm = uint64_t(offset);
+    i->setFlags(arch::IsMemory | arch::IsLoad);
+    i->finalizeOperands();
+    return i;
+}
+
+HsailInst *
+HsailInst::st(Segment seg, DataType t, Reg val, Reg addr, int64_t offset)
+{
+    auto *i = new HsailInst(Opcode::St, t);
+    i->seg = seg;
+    i->srcRegs[0] = addr;
+    i->srcRegs[1] = val;
+    i->imm = uint64_t(offset);
+    i->setFlags(arch::IsMemory | arch::IsStore);
+    i->finalizeOperands();
+    return i;
+}
+
+HsailInst *
+HsailInst::atomicAdd(DataType t, Reg dst, Reg addr, int64_t offset, Reg val)
+{
+    auto *i = new HsailInst(Opcode::AtomicAdd, t);
+    i->seg = Segment::Global;
+    i->dstReg = dst;
+    i->srcRegs[0] = addr;
+    i->srcRegs[1] = val;
+    i->imm = uint64_t(offset);
+    i->setFlags(arch::IsMemory | arch::IsLoad | arch::IsStore |
+                arch::IsAtomic);
+    i->finalizeOperands();
+    return i;
+}
+
+HsailInst *
+HsailInst::br(size_t target_index)
+{
+    auto *i = new HsailInst(Opcode::Br, DataType::B32);
+    i->targetIdx = target_index;
+    i->setFlags(arch::IsBranch);
+    i->finalizeOperands();
+    return i;
+}
+
+HsailInst *
+HsailInst::cbr(Reg cond, size_t target_index)
+{
+    auto *i = new HsailInst(Opcode::CBr, DataType::B32);
+    i->srcRegs[0] = cond;
+    i->targetIdx = target_index;
+    i->setFlags(arch::IsBranch);
+    i->finalizeOperands();
+    return i;
+}
+
+HsailInst *
+HsailInst::cbrz(Reg cond, size_t target_index)
+{
+    auto *i = cbr(cond, target_index);
+    i->imm = 1;
+    return i;
+}
+
+HsailInst *
+HsailInst::barrier()
+{
+    auto *i = new HsailInst(Opcode::Barrier, DataType::B32);
+    i->setFlags(arch::IsBarrier);
+    return i;
+}
+
+HsailInst *
+HsailInst::ret()
+{
+    auto *i = new HsailInst(Opcode::Ret, DataType::B32);
+    i->setFlags(arch::IsEndPgm);
+    return i;
+}
+
+HsailInst *
+HsailInst::special(Opcode op, Reg dst)
+{
+    auto *i = new HsailInst(op, DataType::U32);
+    i->dstReg = dst;
+    i->finalizeOperands();
+    return i;
+}
+
+HsailInst *
+HsailInst::nop()
+{
+    auto *i = new HsailInst(Opcode::Nop, DataType::B32);
+    i->setFlags(arch::IsNop);
+    return i;
+}
+
+void
+HsailInst::clearOperands()
+{
+    clearOps();
+}
+
+void
+HsailInst::remapRegs(const std::vector<uint16_t> &remap)
+{
+    auto fix = [&](Reg &r) {
+        if (r.valid())
+            r.idx = remap[r.idx];
+    };
+    fix(dstReg);
+    for (auto &s : srcRegs)
+        fix(s);
+    clearOperands();
+    finalizeOperands();
+}
+
+void
+HsailInst::finalizeOperands()
+{
+    using arch::RegClass;
+    unsigned dw = unsigned(typeRegs(dtype));
+    unsigned sw = dw;
+    // Source width differs from dest width for conversions and
+    // compares/selects.
+    if (opc == Opcode::Cvt)
+        sw = typeRegs(srcDtype);
+
+    if (dstReg.valid()) {
+        unsigned w = (opc == Opcode::Cmp) ? 1 : dw;
+        addOp(RegClass::Vector, dstReg.idx, uint8_t(w), true);
+    }
+    for (unsigned s = 0; s < 3; ++s) {
+        if (!srcRegs[s].valid())
+            continue;
+        unsigned w = sw;
+        if (opc == Opcode::CMov && s == 0)
+            w = 1; // condition register
+        if (opc == Opcode::CBr)
+            w = 1;
+        if ((opc == Opcode::Ld || opc == Opcode::St ||
+             opc == Opcode::AtomicAdd) && s == 0) {
+            // Address operand: 64-bit for flat/global addressing,
+            // 32-bit segment-relative offset otherwise.
+            w = (seg == Segment::Global || seg == Segment::Readonly) ? 2
+                                                                     : 1;
+        }
+        if (opc == Opcode::St && s == 1)
+            w = dw; // stored value
+        addOp(RegClass::Vector, srcRegs[s].idx, uint8_t(w), false);
+    }
+}
+
+arch::FuType
+HsailInst::fuType() const
+{
+    switch (opc) {
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::AtomicAdd:
+        return seg == Segment::Group ? arch::FuType::Lds
+                                     : arch::FuType::VMem;
+      case Opcode::Br:
+      case Opcode::CBr:
+        return arch::FuType::Branch;
+      case Opcode::Barrier:
+      case Opcode::Ret:
+      case Opcode::Nop:
+        return arch::FuType::Special;
+      default:
+        return arch::FuType::VAlu;
+    }
+}
+
+uint64_t
+HsailInst::laneAlu(const arch::WfState &wf, unsigned lane) const
+{
+    auto rd32 = [&](Reg r) { return wf.readVreg(r.idx, lane); };
+    auto rd = [&](Reg r, DataType t) -> uint64_t {
+        return typeRegs(t) == 2 ? wf.readVreg64(r.idx, lane)
+                                : uint64_t(wf.readVreg(r.idx, lane));
+    };
+    DataType t = dtype;
+    uint64_t a = srcRegs[0].valid() ? rd(srcRegs[0], t) : 0;
+    uint64_t b = srcRegs[1].valid() ? rd(srcRegs[1], t) : 0;
+    uint64_t c = srcRegs[2].valid() ? rd(srcRegs[2], t) : 0;
+
+    switch (opc) {
+      case Opcode::Add:
+        switch (t) {
+          case DataType::F32: return fromF32(asF32(a) + asF32(b));
+          case DataType::F64: return fromF64(asF64(a) + asF64(b));
+          default: return (t == DataType::U64) ? a + b
+                       : uint64_t(uint32_t(a) + uint32_t(b));
+        }
+      case Opcode::Sub:
+        switch (t) {
+          case DataType::F32: return fromF32(asF32(a) - asF32(b));
+          case DataType::F64: return fromF64(asF64(a) - asF64(b));
+          default: return (t == DataType::U64) ? a - b
+                       : uint64_t(uint32_t(a) - uint32_t(b));
+        }
+      case Opcode::Mul:
+        switch (t) {
+          case DataType::F32: return fromF32(asF32(a) * asF32(b));
+          case DataType::F64: return fromF64(asF64(a) * asF64(b));
+          default: return (t == DataType::U64) ? a * b
+                       : uint64_t(uint32_t(a) * uint32_t(b));
+        }
+      case Opcode::MulHi:
+        return uint64_t(uint32_t((uint64_t(uint32_t(a)) *
+                                  uint64_t(uint32_t(b))) >> 32));
+      case Opcode::Mad:
+        switch (t) {
+          case DataType::F32:
+            return fromF32(asF32(a) * asF32(b) + asF32(c));
+          case DataType::F64:
+            return fromF64(asF64(a) * asF64(b) + asF64(c));
+          default:
+            return uint64_t(uint32_t(a) * uint32_t(b) + uint32_t(c));
+        }
+      case Opcode::Fma:
+        switch (t) {
+          case DataType::F32:
+            return fromF32(std::fma(asF32(a), asF32(b), asF32(c)));
+          case DataType::F64:
+            return fromF64(std::fma(asF64(a), asF64(b), asF64(c)));
+          default:
+            return uint64_t(uint32_t(a) * uint32_t(b) + uint32_t(c));
+        }
+      case Opcode::Div:
+        switch (t) {
+          case DataType::F32: return fromF32(asF32(a) / asF32(b));
+          case DataType::F64: return fromF64(asF64(a) / asF64(b));
+          case DataType::S32:
+            return int32_t(b) == 0
+                ? 0 : uint64_t(uint32_t(int32_t(a) / int32_t(b)));
+          default:
+            return uint32_t(b) == 0
+                ? 0 : uint64_t(uint32_t(a) / uint32_t(b));
+        }
+      case Opcode::Rem:
+        switch (t) {
+          case DataType::S32:
+            return int32_t(b) == 0
+                ? 0 : uint64_t(uint32_t(int32_t(a) % int32_t(b)));
+          default:
+            return uint32_t(b) == 0
+                ? 0 : uint64_t(uint32_t(a) % uint32_t(b));
+        }
+      case Opcode::Min:
+        switch (t) {
+          case DataType::F32:
+            return fromF32(std::fmin(asF32(a), asF32(b)));
+          case DataType::F64:
+            return fromF64(std::fmin(asF64(a), asF64(b)));
+          case DataType::S32:
+            return uint64_t(uint32_t(std::min(int32_t(a), int32_t(b))));
+          default:
+            return std::min(uint32_t(a), uint32_t(b));
+        }
+      case Opcode::Max:
+        switch (t) {
+          case DataType::F32:
+            return fromF32(std::fmax(asF32(a), asF32(b)));
+          case DataType::F64:
+            return fromF64(std::fmax(asF64(a), asF64(b)));
+          case DataType::S32:
+            return uint64_t(uint32_t(std::max(int32_t(a), int32_t(b))));
+          default:
+            return std::max(uint32_t(a), uint32_t(b));
+        }
+      case Opcode::Abs:
+        switch (t) {
+          case DataType::F32: return fromF32(std::fabs(asF32(a)));
+          case DataType::F64: return fromF64(std::fabs(asF64(a)));
+          default:
+            return uint64_t(uint32_t(std::abs(int32_t(a))));
+        }
+      case Opcode::Neg:
+        switch (t) {
+          case DataType::F32: return fromF32(-asF32(a));
+          case DataType::F64: return fromF64(-asF64(a));
+          default: return uint64_t(uint32_t(-int32_t(a)));
+        }
+      case Opcode::Sqrt:
+        return t == DataType::F64 ? fromF64(std::sqrt(asF64(a)))
+                                  : fromF32(std::sqrt(asF32(a)));
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Not: return t == DataType::U64 ? ~a : uint64_t(~uint32_t(a));
+      case Opcode::Shl:
+        return t == DataType::U64 ? a << (b & 63)
+                                  : uint64_t(uint32_t(a) << (b & 31));
+      case Opcode::Shr:
+        return t == DataType::U64 ? a >> (b & 63)
+                                  : uint64_t(uint32_t(a) >> (b & 31));
+      case Opcode::AShr:
+        return uint64_t(uint32_t(int32_t(a) >> (b & 31)));
+      case Opcode::Bfe: {
+        unsigned off = unsigned(b) & 31;
+        unsigned width = unsigned(c) & 31;
+        uint32_t mask = width == 0 ? 0xffffffffu : ((1u << width) - 1);
+        return (uint32_t(a) >> off) & mask;
+      }
+      case Opcode::Cmp: {
+        bool r = false;
+        auto docmp = [&](auto x, auto y) {
+            switch (cmpop) {
+              case CmpOp::Eq: return x == y;
+              case CmpOp::Ne: return x != y;
+              case CmpOp::Lt: return x < y;
+              case CmpOp::Le: return x <= y;
+              case CmpOp::Gt: return x > y;
+              case CmpOp::Ge: return x >= y;
+            }
+            return false;
+        };
+        switch (t) {
+          case DataType::F32: r = docmp(asF32(a), asF32(b)); break;
+          case DataType::F64: r = docmp(asF64(a), asF64(b)); break;
+          case DataType::S32: r = docmp(int32_t(a), int32_t(b)); break;
+          default: r = docmp(uint64_t(a), uint64_t(b)); break;
+        }
+        return r ? 1 : 0;
+      }
+      case Opcode::CMov:
+        return rd32(srcRegs[0]) ? b : c;
+      case Opcode::Mov:
+        return a;
+      case Opcode::MovImm:
+        return imm;
+      case Opcode::Cvt: {
+        uint64_t s = typeRegs(srcDtype) == 2
+            ? wf.readVreg64(srcRegs[0].idx, lane)
+            : uint64_t(wf.readVreg(srcRegs[0].idx, lane));
+        double v;
+        switch (srcDtype) {
+          case DataType::F32: v = asF32(uint32_t(s)); break;
+          case DataType::F64: v = asF64(s); break;
+          case DataType::S32: v = double(int32_t(s)); break;
+          default: v = double(s); break;
+        }
+        switch (dtype) {
+          case DataType::F32: return fromF32(float(v));
+          case DataType::F64: return fromF64(v);
+          case DataType::S32: return uint64_t(uint32_t(int32_t(v)));
+          case DataType::U64: return uint64_t(v);
+          default: return uint64_t(uint32_t(v));
+        }
+      }
+      case Opcode::WorkItemAbsId:
+        return wf.globalId(lane);
+      case Opcode::WorkItemId:
+        return wf.wfIdInWg * WavefrontSize + lane;
+      case Opcode::WorkGroupId:
+        return wf.wgId;
+      case Opcode::WorkGroupSize:
+        return wf.wgSize;
+      case Opcode::GridSize:
+        return wf.gridSize;
+      default:
+        panic("laneAlu on non-ALU opcode %s", opcodeName(opc));
+    }
+}
+
+void
+HsailInst::executeAlu(arch::WfState &wf) const
+{
+    uint64_t mask = wf.activeMask();
+    unsigned dst_regs = (opc == Opcode::Cmp) ? 1 : typeRegs(dtype);
+    for (unsigned lane = 0; lane < WavefrontSize; ++lane) {
+        if (!(mask & (1ull << lane)))
+            continue;
+        uint64_t r = laneAlu(wf, lane);
+        if (!dstReg.valid())
+            continue;
+        if (dst_regs == 2)
+            wf.writeVreg64(dstReg.idx, lane, r);
+        else
+            wf.writeVreg(dstReg.idx, lane, uint32_t(r));
+    }
+}
+
+void
+HsailInst::executeMem(arch::WfState &wf) const
+{
+    using arch::MemAccess;
+    uint64_t mask = wf.activeMask();
+    unsigned bytes = typeBytes(dtype);
+    MemAccess acc;
+    acc.bytesPerLane = bytes;
+    acc.mask = mask;
+
+    if (seg == Segment::Kernarg || seg == Segment::Arg) {
+        // The IL has no ABI: the simulator supplies the kernarg base
+        // itself and services the access from functional state.
+        Addr addr = wf.kernargBase + uint64_t(imm);
+        uint64_t val = 0;
+        wf.memory->read(addr, &val, bytes);
+        for (unsigned lane = 0; lane < WavefrontSize; ++lane) {
+            if (!(mask & (1ull << lane)))
+                continue;
+            if (bytes == 8)
+                wf.writeVreg64(dstReg.idx, lane, val);
+            else
+                wf.writeVreg(dstReg.idx, lane, uint32_t(val));
+        }
+        acc.kind = MemAccess::Kind::KernargDirect;
+        acc.scalarAddr = addr;
+        acc.scalarBytes = bytes;
+        wf.pendingAccess = acc;
+        return;
+    }
+
+    if (seg == Segment::Group) {
+        // LDS: zero-based offsets within the workgroup's block.
+        acc.kind = (opc == Opcode::St) ? MemAccess::Kind::LdsStore
+                                       : MemAccess::Kind::LdsLoad;
+        for (unsigned lane = 0; lane < WavefrontSize; ++lane) {
+            if (!(mask & (1ull << lane)))
+                continue;
+            Addr off = uint64_t(imm);
+            if (srcRegs[0].valid())
+                off += wf.readVreg(srcRegs[0].idx, lane);
+            acc.laneAddrs[lane] = off;
+            if (opc == Opcode::St) {
+                wf.lds->write32(off, wf.readVreg(srcRegs[1].idx, lane));
+                if (bytes == 8)
+                    wf.lds->write32(off + 4,
+                                    wf.readVreg(srcRegs[1].idx + 1, lane));
+            } else {
+                wf.writeVreg(dstReg.idx, lane, wf.lds->read32(off));
+                if (bytes == 8)
+                    wf.writeVreg(dstReg.idx + 1, lane,
+                                 wf.lds->read32(off + 4));
+            }
+        }
+        wf.pendingAccess = acc;
+        return;
+    }
+
+    // Global / readonly / private / spill all reach main memory; the
+    // private and spill segments use simulator-held base addresses and
+    // per-work-item strides (no visible address arithmetic — the exact
+    // abstraction the paper calls out).
+    acc.kind = (opc == Opcode::St) ? MemAccess::Kind::VectorStore
+                                   : MemAccess::Kind::VectorLoad;
+    for (unsigned lane = 0; lane < WavefrontSize; ++lane) {
+        if (!(mask & (1ull << lane)))
+            continue;
+        Addr addr;
+        switch (seg) {
+          case Segment::Global:
+          case Segment::Readonly:
+            addr = wf.readVreg64(srcRegs[0].idx, lane) + uint64_t(imm);
+            break;
+          case Segment::Private:
+            addr = wf.privateBase +
+                   uint64_t(wf.globalId(lane)) * wf.privateStridePerWi +
+                   (srcRegs[0].valid()
+                        ? wf.readVreg(srcRegs[0].idx, lane) : 0) +
+                   uint64_t(imm);
+            break;
+          case Segment::Spill:
+            addr = wf.spillBase +
+                   uint64_t(wf.globalId(lane)) * wf.spillStridePerWi +
+                   (srcRegs[0].valid()
+                        ? wf.readVreg(srcRegs[0].idx, lane) : 0) +
+                   uint64_t(imm);
+            break;
+          default:
+            panic("unhandled segment");
+        }
+        acc.laneAddrs[lane] = addr;
+
+        if (opc == Opcode::St) {
+            if (bytes == 8) {
+                uint64_t v = wf.readVreg64(srcRegs[1].idx, lane);
+                wf.memory->write(addr, &v, 8);
+            } else {
+                uint32_t v = wf.readVreg(srcRegs[1].idx, lane);
+                wf.memory->write(addr, &v, 4);
+            }
+        } else if (opc == Opcode::AtomicAdd) {
+            uint32_t old = wf.memory->read<uint32_t>(addr);
+            uint32_t add = wf.readVreg(srcRegs[1].idx, lane);
+            wf.memory->write<uint32_t>(addr, old + add);
+            if (dstReg.valid())
+                wf.writeVreg(dstReg.idx, lane, old);
+        } else {
+            if (bytes == 8) {
+                uint64_t v = 0;
+                wf.memory->read(addr, &v, 8);
+                wf.writeVreg64(dstReg.idx, lane, v);
+            } else {
+                uint32_t v = 0;
+                wf.memory->read(addr, &v, 4);
+                wf.writeVreg(dstReg.idx, lane, v);
+            }
+        }
+    }
+    wf.pendingAccess = acc;
+}
+
+void
+HsailInst::executeBranch(arch::WfState &wf) const
+{
+    Addr fallthrough = wf.pc + EncodedBytes;
+    Addr target = targetOffset();
+
+    if (opc == Opcode::Br) {
+        wf.nextPc = target;
+        return;
+    }
+
+    uint64_t active = wf.activeMask();
+    bool if_zero = branchIfZero();
+    uint64_t taken = 0;
+    for (unsigned lane = 0; lane < WavefrontSize; ++lane) {
+        if ((active & (1ull << lane)) &&
+            (wf.readVreg(srcRegs[0].idx, lane) != 0) != if_zero) {
+            taken |= 1ull << lane;
+        }
+    }
+    uint64_t not_taken = active & ~taken;
+
+    if (taken == 0) {
+        wf.nextPc = fallthrough;
+    } else if (not_taken == 0) {
+        wf.nextPc = target;
+    } else {
+        // Divergence: the simulator manages it with the reconvergence
+        // stack. The current top becomes the reconvergence entry and
+        // waits at the immediate post-dominator; both paths are pushed
+        // and execute serially.
+        panic_if(rpcOff == InvalidAddr,
+                 "divergent branch without ipdom analysis");
+        wf.rs.back().pc = rpcOff;
+        wf.rs.push_back({fallthrough, rpcOff, not_taken});
+        wf.rs.push_back({target, rpcOff, taken});
+        wf.nextPc = target;
+    }
+}
+
+void
+HsailInst::execute(arch::WfState &wf) const
+{
+    wf.nextPc = wf.pc + EncodedBytes;
+    switch (opc) {
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::AtomicAdd:
+        executeMem(wf);
+        return;
+      case Opcode::Br:
+      case Opcode::CBr:
+        executeBranch(wf);
+        return;
+      case Opcode::Barrier:
+        wf.atBarrier = true;
+        return;
+      case Opcode::Ret:
+        wf.done = true;
+        return;
+      case Opcode::Nop:
+        return;
+      default:
+        executeAlu(wf);
+        return;
+    }
+}
+
+std::string
+HsailInst::disassemble() const
+{
+    std::ostringstream os;
+    auto reg = [](Reg r, unsigned w) {
+        std::ostringstream s;
+        if (w == 2)
+            s << "$v[" << r.idx << ":" << r.idx + 1 << "]";
+        else
+            s << "$v" << r.idx;
+        return s.str();
+    };
+    unsigned w = typeRegs(dtype);
+
+    switch (opc) {
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::AtomicAdd: {
+        os << opcodeName(opc) << "_" << segmentName(seg) << "_"
+           << typeName(dtype) << " ";
+        std::string val = opc == Opcode::St ? reg(srcRegs[1], w)
+                                            : reg(dstReg, w);
+        os << val << ", [";
+        if (srcRegs[0].valid()) {
+            unsigned aw = (seg == Segment::Global ||
+                           seg == Segment::Readonly) ? 2 : 1;
+            os << reg(srcRegs[0], aw);
+            if (imm)
+                os << "+" << int64_t(imm);
+        } else {
+            os << "%off+" << int64_t(imm);
+        }
+        os << "]";
+        if (opc == Opcode::AtomicAdd)
+            os << ", " << reg(srcRegs[1], w);
+        return os.str();
+      }
+      case Opcode::Br:
+        os << "br @" << targetIdx;
+        return os.str();
+      case Opcode::CBr:
+        os << (branchIfZero() ? "cbrz " : "cbr ") << reg(srcRegs[0], 1)
+           << ", @" << targetIdx;
+        return os.str();
+      case Opcode::Barrier:
+        return "barrier";
+      case Opcode::Ret:
+        return "ret";
+      case Opcode::Nop:
+        return "nop";
+      case Opcode::Cmp:
+        os << "cmp_" << cmpOpName(cmpop) << "_" << typeName(dtype) << " "
+           << reg(dstReg, 1) << ", " << reg(srcRegs[0], w) << ", "
+           << reg(srcRegs[1], w);
+        return os.str();
+      case Opcode::MovImm:
+        os << "mov_" << typeName(dtype) << " " << reg(dstReg, w) << ", #"
+           << imm;
+        return os.str();
+      case Opcode::Cvt:
+        os << "cvt_" << typeName(dtype) << "_" << typeName(srcDtype) << " "
+           << reg(dstReg, w) << ", " << reg(srcRegs[0], typeRegs(srcDtype));
+        return os.str();
+      default: {
+        os << opcodeName(opc) << "_" << typeName(dtype);
+        if (dstReg.valid())
+            os << " " << reg(dstReg, opc == Opcode::Cmp ? 1 : w);
+        for (unsigned s = 0; s < 3; ++s) {
+            if (srcRegs[s].valid()) {
+                unsigned ww = (opc == Opcode::CMov && s == 0) ? 1 : w;
+                os << ", " << reg(srcRegs[s], ww);
+            }
+        }
+        return os.str();
+      }
+    }
+}
+
+} // namespace last::hsail

@@ -1,0 +1,154 @@
+#include "hsail/ipdom.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.hh"
+#include "hsail/inst.hh"
+
+namespace last::hsail
+{
+
+std::vector<BasicBlock>
+buildCfg(const arch::KernelCode &code)
+{
+    size_t n = code.numInsts();
+    std::set<size_t> leaders;
+    leaders.insert(0);
+    for (size_t i = 0; i < n; ++i) {
+        const auto &inst = static_cast<const HsailInst &>(code.inst(i));
+        if (inst.is(arch::IsBranch)) {
+            leaders.insert(inst.targetIndex());
+            if (i + 1 < n)
+                leaders.insert(i + 1);
+        } else if (inst.is(arch::IsEndPgm) && i + 1 < n) {
+            leaders.insert(i + 1);
+        }
+    }
+
+    std::vector<BasicBlock> blocks;
+    std::map<size_t, size_t> blockOfLeader;
+    for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+        auto next = std::next(it);
+        size_t first = *it;
+        size_t last = (next == leaders.end() ? n : *next) - 1;
+        blockOfLeader[first] = blocks.size();
+        blocks.push_back({first, last, {}});
+    }
+
+    for (auto &bb : blocks) {
+        const auto &inst =
+            static_cast<const HsailInst &>(code.inst(bb.last));
+        if (inst.is(arch::IsEndPgm))
+            continue;
+        if (inst.is(arch::IsBranch)) {
+            bb.succs.push_back(blockOfLeader.at(inst.targetIndex()));
+            if (inst.op() == Opcode::CBr && bb.last + 1 < n) {
+                size_t ft = blockOfLeader.at(bb.last + 1);
+                if (ft != bb.succs[0])
+                    bb.succs.push_back(ft);
+            }
+        } else if (bb.last + 1 < n) {
+            bb.succs.push_back(blockOfLeader.at(bb.last + 1));
+        }
+    }
+    return blocks;
+}
+
+std::vector<size_t>
+postDominators(const std::vector<BasicBlock> &blocks)
+{
+    size_t n = blocks.size();
+    const size_t Exit = n; // virtual exit node
+
+    // preds on the reverse CFG = successors on the forward CFG; build
+    // forward-successor sets including the virtual exit.
+    std::vector<std::vector<size_t>> succs(n);
+    for (size_t b = 0; b < n; ++b) {
+        if (blocks[b].succs.empty())
+            succs[b].push_back(Exit);
+        else
+            succs[b] = blocks[b].succs;
+    }
+
+    // Iterative set-based post-dominator computation (kernels are tiny,
+    // so O(n^2) sets are fine and simple to verify).
+    std::vector<std::set<size_t>> pdom(n + 1);
+    std::set<size_t> all;
+    for (size_t b = 0; b <= n; ++b)
+        all.insert(b);
+    for (size_t b = 0; b < n; ++b)
+        pdom[b] = all;
+    pdom[Exit] = {Exit};
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = n; b-- > 0;) {
+            std::set<size_t> meet = all;
+            for (size_t s : succs[b]) {
+                std::set<size_t> tmp;
+                std::set_intersection(meet.begin(), meet.end(),
+                                      pdom[s].begin(), pdom[s].end(),
+                                      std::inserter(tmp, tmp.begin()));
+                meet = std::move(tmp);
+            }
+            meet.insert(b);
+            if (meet != pdom[b]) {
+                pdom[b] = std::move(meet);
+                changed = true;
+            }
+        }
+    }
+
+    // Immediate post-dominator: the strict post-dominator that is
+    // post-dominated by every other strict post-dominator, i.e., the
+    // one whose pdom set has size |pdom[b]| - 1.
+    std::vector<size_t> ipdom(n, SIZE_MAX);
+    for (size_t b = 0; b < n; ++b) {
+        size_t want = pdom[b].size() - 1;
+        for (size_t d : pdom[b]) {
+            if (d == b)
+                continue;
+            if (pdom[d].size() == want) {
+                ipdom[b] = d;
+                break;
+            }
+        }
+    }
+    return ipdom;
+}
+
+void
+annotateReconvergence(arch::KernelCode &code)
+{
+    panic_if(code.isa() != IsaKind::HSAIL,
+             "ipdom analysis is for HSAIL kernels");
+    auto blocks = buildCfg(code);
+    auto ipdom = postDominators(blocks);
+
+    std::map<size_t, size_t> blockOfFirst;
+    for (size_t b = 0; b < blocks.size(); ++b)
+        blockOfFirst[blocks[b].first] = b;
+
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        auto &inst = const_cast<HsailInst &>(
+            static_cast<const HsailInst &>(code.inst(blocks[b].last)));
+        if (inst.op() != Opcode::CBr)
+            continue;
+        size_t r = ipdom[b];
+        panic_if(r == SIZE_MAX,
+                 "conditional branch at inst %zu has no post-dominator "
+                 "(irreducible control flow is not supported by the RS)",
+                 blocks[b].last);
+        // Reconvergence at the virtual exit means "paths only rejoin at
+        // the end of the kernel": point the RS at the ret instruction.
+        Addr rpc = (r == blocks.size())
+            ? code.offsetOf(code.numInsts() - 1)
+            : code.offsetOf(blocks[r].first);
+        inst.setRpcOffset(rpc);
+    }
+}
+
+} // namespace last::hsail

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Immediate post-dominator analysis for HSAIL kernels.
+ *
+ * The IL does not identify reconvergence points, so — exactly as the
+ * paper describes — the simulator parses the kernel code at load time,
+ * builds the control-flow graph, computes immediate post-dominators,
+ * and annotates every conditional branch with its reconvergence PC for
+ * the reconvergence stack.
+ */
+
+#ifndef LAST_HSAIL_IPDOM_HH
+#define LAST_HSAIL_IPDOM_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/kernel_code.hh"
+
+namespace last::hsail
+{
+
+/** One basic block of the IL CFG (instruction index range). */
+struct BasicBlock
+{
+    size_t first;              ///< first instruction index
+    size_t last;               ///< last instruction index (inclusive)
+    std::vector<size_t> succs; ///< successor block ids
+};
+
+/** Build basic blocks for a sealed HSAIL kernel. */
+std::vector<BasicBlock> buildCfg(const arch::KernelCode &code);
+
+/**
+ * Compute each block's immediate post-dominator block id (SIZE_MAX for
+ * the virtual exit). Index i of the result corresponds to block i.
+ */
+std::vector<size_t> postDominators(const std::vector<BasicBlock> &blocks);
+
+/**
+ * Annotate every conditional branch in the kernel with its
+ * reconvergence byte offset. Must run once after seal() and before
+ * execution; panics on irreducible patterns with no post-dominator.
+ */
+void annotateReconvergence(arch::KernelCode &code);
+
+} // namespace last::hsail
+
+#endif // LAST_HSAIL_IPDOM_HH

@@ -1,0 +1,158 @@
+#include "memory/cache.hh"
+
+#include <algorithm>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+
+namespace last::mem
+{
+
+Cache::Cache(const std::string &name, const CacheConfig &cfg_,
+             MemLevel *next_, stats::Group *stat_parent)
+    : stats::Group(name, stat_parent),
+      hits(this, "hits", "demand hits"),
+      misses(this, "misses", "demand misses"),
+      mshrMerges(this, "mshrMerges", "misses merged into an MSHR"),
+      writebacks(this, "writebacks", "dirty lines written back"),
+      accessLatencyTotal(this, "accessLatencyTotal",
+                         "sum of access latencies"),
+      cfg(cfg_), next(next_)
+{
+    panic_if(!isPowerOf2(cfg.lineBytes), "line size must be a power of 2");
+    uint64_t num_lines = cfg.sizeBytes / cfg.lineBytes;
+    ways = cfg.associativity == 0 ? unsigned(num_lines)
+                                  : cfg.associativity;
+    numSets = unsigned(num_lines / ways);
+    panic_if(numSets == 0, "cache too small for its associativity");
+    lines.assign(size_t(numSets) * ways, Line());
+}
+
+unsigned
+Cache::setIndex(Addr line_addr) const
+{
+    return unsigned(line_addr % numSets);
+}
+
+Cache::Line *
+Cache::findLine(Addr line_addr)
+{
+    Line *set = &lines[size_t(setIndex(line_addr)) * ways];
+    for (unsigned w = 0; w < ways; ++w)
+        if (set[w].valid && set[w].tag == line_addr)
+            return &set[w];
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLineConst(Addr line_addr) const
+{
+    const Line *set = &lines[size_t(setIndex(line_addr)) * ways];
+    for (unsigned w = 0; w < ways; ++w)
+        if (set[w].valid && set[w].tag == line_addr)
+            return &set[w];
+    return nullptr;
+}
+
+Cache::Line &
+Cache::victimLine(Addr line_addr, Cycle now)
+{
+    Line *set = &lines[size_t(setIndex(line_addr)) * ways];
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < ways; ++w) {
+        if (!set[w].valid)
+            return set[w];
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+    if (victim->dirty) {
+        // Account the writeback as bandwidth on the next level.
+        ++writebacks;
+        if (next)
+            next->access(victim->tag * cfg.lineBytes, true, now);
+    }
+    return *victim;
+}
+
+Cycle
+Cache::access(Addr addr, bool is_write, Cycle now)
+{
+    Addr la = lineAddr(addr);
+
+    // Lazily retire MSHRs whose fill completed in the past.
+    auto mshr = mshrs.find(la);
+    if (mshr != mshrs.end() && mshr->second <= now)
+        mshrs.erase(mshr), mshr = mshrs.end();
+
+    Cycle done;
+    Line *line = findLine(la);
+    if (line) {
+        ++hits;
+        line->lastUse = now;
+        if (is_write) {
+            if (cfg.writeBack) {
+                line->dirty = true;
+            } else if (next) {
+                // Write-through: forward for bandwidth accounting; the
+                // store completes at hit latency (store buffer).
+                next->access(addr, true, now);
+            }
+        }
+        done = now + cfg.hitLatency;
+        // A hit on a line whose fill is still in flight cannot return
+        // data before the fill arrives.
+        if (mshr != mshrs.end())
+            done = std::max(done, mshr->second);
+    } else if (mshr != mshrs.end()) {
+        // Miss on an already-outstanding line: merge.
+        ++mshrMerges;
+        done = mshr->second;
+        if (is_write && !cfg.writeBack && next)
+            next->access(addr, true, now);
+    } else {
+        ++misses;
+        Cycle fill = next ? next->access(addr, false, now)
+                          : now + cfg.hitLatency;
+        fill += cfg.hitLatency;
+        if (mshrs.size() >= cfg.mshrs) {
+            // All MSHRs busy: serialize behind the soonest-finishing
+            // outstanding miss.
+            Cycle soonest = fill;
+            for (const auto &kv : mshrs)
+                soonest = std::max(soonest, kv.second);
+            fill = soonest + 1;
+        }
+        mshrs[la] = fill;
+        Line &victim = victimLine(la, now);
+        victim.tag = la;
+        victim.valid = true;
+        victim.dirty = false;
+        victim.lastUse = now;
+        if (is_write) {
+            if (cfg.writeBack)
+                victim.dirty = true;
+            else if (next)
+                next->access(addr, true, now);
+        }
+        done = fill;
+    }
+
+    accessLatencyTotal += double(done - now);
+    return done;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &l : lines)
+        l = Line();
+    mshrs.clear();
+}
+
+bool
+Cache::isCached(Addr addr) const
+{
+    return findLineConst(lineAddr(addr)) != nullptr;
+}
+
+} // namespace last::mem

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Timing models for the cache hierarchy.
+ *
+ * These are stateful latency calculators: an access updates tags, LRU
+ * state, and MSHR bookkeeping immediately and returns the absolute
+ * cycle at which the data is available. The requester (the CU's memory
+ * pipelines) schedules its own completion callback at that cycle. Same
+ * fidelity class as the classic-cache style used by the simulators the
+ * paper studies.
+ */
+
+#ifndef LAST_MEMORY_CACHE_HH
+#define LAST_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace last::mem
+{
+
+/** Anything that can serve a line-granularity timing access. */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Perform a timing access for the line containing addr.
+     *
+     * @param addr byte address (the line containing it is accessed)
+     * @param isWrite true for stores
+     * @param now current cycle
+     * @return absolute cycle when the access completes
+     */
+    virtual Cycle access(Addr addr, bool isWrite, Cycle now) = 0;
+};
+
+/**
+ * A set-associative (or fully associative) cache with LRU replacement,
+ * MSHR-based miss merging, and write-through or write-back policy.
+ */
+class Cache : public MemLevel, public stats::Group
+{
+  public:
+    Cache(const std::string &name, const CacheConfig &cfg, MemLevel *next,
+          stats::Group *statParent);
+
+    Cycle access(Addr addr, bool isWrite, Cycle now) override;
+
+    /** Drop all tags and MSHRs (between kernel launches in tests). */
+    void invalidateAll();
+
+    /** True if the line holding addr is present (for tests). */
+    bool isCached(Addr addr) const;
+
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar mshrMerges;
+    stats::Scalar writebacks;
+    stats::Scalar accessLatencyTotal; ///< sum over accesses, for mean
+
+  private:
+    struct Line
+    {
+        Addr tag = InvalidAddr;
+        bool valid = false;
+        bool dirty = false;
+        Cycle lastUse = 0;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr / cfg.lineBytes; }
+    unsigned setIndex(Addr line_addr) const;
+    Line *findLine(Addr line_addr);
+    const Line *findLineConst(Addr line_addr) const;
+    Line &victimLine(Addr line_addr, Cycle now);
+
+    CacheConfig cfg;
+    MemLevel *next;
+    unsigned numSets;
+    unsigned ways;
+    std::vector<Line> lines; ///< numSets x ways
+
+    /** line addr -> cycle the fill completes. */
+    std::unordered_map<Addr, Cycle> mshrs;
+};
+
+} // namespace last::mem
+
+#endif // LAST_MEMORY_CACHE_HH

@@ -1,0 +1,42 @@
+#include "memory/dram.hh"
+
+#include <algorithm>
+
+namespace last::mem
+{
+
+Dram::Dram(const std::string &name, const GpuConfig &cfg,
+           stats::Group *stat_parent)
+    : stats::Group(name, stat_parent),
+      reads(this, "reads", "read line accesses"),
+      writes(this, "writes", "write line accesses"),
+      busyCyclesTotal(this, "busyCyclesTotal",
+                      "total channel busy cycles accumulated"),
+      lineBytes(cfg.l2.lineBytes), latency(cfg.dramLatency),
+      cyclesPerLine(cfg.dramCyclesPerLine),
+      channelFree(cfg.dramChannels, 0)
+{
+}
+
+unsigned
+Dram::channelFor(Addr addr) const
+{
+    return unsigned((addr / lineBytes) % channelFree.size());
+}
+
+Cycle
+Dram::access(Addr addr, bool is_write, Cycle now)
+{
+    if (is_write)
+        ++writes;
+    else
+        ++reads;
+
+    unsigned ch = channelFor(addr);
+    Cycle start = std::max(channelFree[ch], now);
+    channelFree[ch] = start + cyclesPerLine;
+    busyCyclesTotal += cyclesPerLine;
+    return start + latency;
+}
+
+} // namespace last::mem

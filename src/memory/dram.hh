@@ -1,0 +1,43 @@
+/**
+ * @file
+ * A DDR3-like multi-channel DRAM timing model: fixed access latency
+ * plus per-channel bandwidth occupancy, line-interleaved across
+ * channels (Table 4: 32 channels at 500 MHz).
+ */
+
+#ifndef LAST_MEMORY_DRAM_HH
+#define LAST_MEMORY_DRAM_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "memory/cache.hh"
+
+namespace last::mem
+{
+
+class Dram : public MemLevel, public stats::Group
+{
+  public:
+    Dram(const std::string &name, const GpuConfig &cfg,
+         stats::Group *stat_parent);
+
+    Cycle access(Addr addr, bool is_write, Cycle now) override;
+
+    stats::Scalar reads;
+    stats::Scalar writes;
+    stats::Scalar busyCyclesTotal; ///< sum of channel occupancy added
+
+  private:
+    unsigned channelFor(Addr addr) const;
+
+    unsigned lineBytes;
+    unsigned latency;
+    unsigned cyclesPerLine;
+    std::vector<Cycle> channelFree;
+};
+
+} // namespace last::mem
+
+#endif // LAST_MEMORY_DRAM_HH

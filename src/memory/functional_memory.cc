@@ -1,0 +1,72 @@
+#include "memory/functional_memory.hh"
+
+#include "common/logging.hh"
+
+namespace last::mem
+{
+
+FunctionalMemory::Page &
+FunctionalMemory::pageFor(Addr addr)
+{
+    Addr vpn = addr / PageBytes;
+    auto &slot = pages[vpn];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+const FunctionalMemory::Page *
+FunctionalMemory::pageForRead(Addr addr) const
+{
+    Addr vpn = addr / PageBytes;
+    auto it = pages.find(vpn);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+void
+FunctionalMemory::touch(Addr addr, size_t len)
+{
+    Addr first = addr / LineBytes;
+    Addr last = (addr + (len ? len - 1 : 0)) / LineBytes;
+    for (Addr line = first; line <= last; ++line)
+        touchedLines.insert(line);
+}
+
+void
+FunctionalMemory::read(Addr addr, void *buf, size_t len)
+{
+    touch(addr, len);
+    auto *out = static_cast<uint8_t *>(buf);
+    while (len > 0) {
+        Addr off = addr % PageBytes;
+        size_t chunk = std::min<size_t>(len, PageBytes - off);
+        const Page *page = pageForRead(addr);
+        if (page)
+            std::memcpy(out, page->data() + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        addr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+FunctionalMemory::write(Addr addr, const void *buf, size_t len)
+{
+    touch(addr, len);
+    const auto *in = static_cast<const uint8_t *>(buf);
+    while (len > 0) {
+        Addr off = addr % PageBytes;
+        size_t chunk = std::min<size_t>(len, PageBytes - off);
+        Page &page = pageFor(addr);
+        std::memcpy(page.data() + off, in, chunk);
+        addr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace last::mem

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Sparse, paged, byte-addressable functional memory with a
+ * data-footprint probe.
+ *
+ * The footprint probe counts distinct 64 B lines ever touched; Table 6
+ * of the paper compares this between the two ISAs (the interesting
+ * cases are the private/spill segments, which the HSAIL runtime path
+ * re-allocates per kernel launch while GCN3 reuses a per-process
+ * arena).
+ */
+
+#ifndef LAST_MEMORY_FUNCTIONAL_MEMORY_HH
+#define LAST_MEMORY_FUNCTIONAL_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hh"
+
+namespace last::mem
+{
+
+class FunctionalMemory
+{
+  public:
+    static constexpr unsigned PageBytes = 4096;
+    static constexpr unsigned LineBytes = 64;
+
+    /** Read len bytes at addr into buf. Unwritten memory reads 0. */
+    void read(Addr addr, void *buf, size_t len);
+
+    /** Write len bytes from buf at addr. */
+    void write(Addr addr, const void *buf, size_t len);
+
+    template <typename T>
+    T
+    read(Addr addr)
+    {
+        T val;
+        read(addr, &val, sizeof(T));
+        return val;
+    }
+
+    template <typename T>
+    void
+    write(Addr addr, const T &val)
+    {
+        write(addr, &val, sizeof(T));
+    }
+
+    /** Distinct 64 B lines touched (reads + writes). */
+    uint64_t footprintLines() const { return touchedLines.size(); }
+    uint64_t footprintBytes() const { return footprintLines() * LineBytes; }
+
+    /** Forget footprint history (not contents). */
+    void resetFootprint() { touchedLines.clear(); }
+
+    /** Number of resident pages (for tests). */
+    size_t numPages() const { return pages.size(); }
+
+  private:
+    using Page = std::array<uint8_t, PageBytes>;
+
+    Page &pageFor(Addr addr);
+    const Page *pageForRead(Addr addr) const;
+    void touch(Addr addr, size_t len);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+    std::unordered_set<Addr> touchedLines;
+};
+
+} // namespace last::mem
+
+#endif // LAST_MEMORY_FUNCTIONAL_MEMORY_HH

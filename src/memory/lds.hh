@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Local data share (group segment): per-workgroup functional storage
+ * plus a simple banked timing model.
+ */
+
+#ifndef LAST_MEMORY_LDS_HH
+#define LAST_MEMORY_LDS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace last::mem
+{
+
+/**
+ * One workgroup's LDS allocation. The CU allocates a block when a
+ * workgroup is dispatched and frees it at completion; addressing is
+ * zero-based within the block for both ISAs (the group segment).
+ */
+class LdsBlock
+{
+  public:
+    explicit LdsBlock(uint64_t bytes) : store(bytes, 0) {}
+
+    uint64_t size() const { return store.size(); }
+
+    uint32_t
+    read32(Addr offset) const
+    {
+        if (offset + 4 > store.size())
+            return 0;
+        uint32_t v;
+        __builtin_memcpy(&v, store.data() + offset, 4);
+        return v;
+    }
+
+    void
+    write32(Addr offset, uint32_t v)
+    {
+        if (offset + 4 > store.size())
+            return;
+        __builtin_memcpy(store.data() + offset, &v, 4);
+    }
+
+    /**
+     * Bank-conflict latency for a set of lane offsets: with 32 banks of
+     * 4 B, the access takes max-lanes-per-bank passes.
+     */
+    static unsigned
+    conflictPasses(const std::array<Addr, 64> &offsets, uint64_t mask)
+    {
+        std::array<uint8_t, 32> perBank{};
+        unsigned passes = 1;
+        for (unsigned lane = 0; lane < 64; ++lane) {
+            if (!(mask & (1ull << lane)))
+                continue;
+            unsigned bank = unsigned((offsets[lane] / 4) % 32);
+            perBank[bank]++;
+            if (perBank[bank] > passes)
+                passes = perBank[bank];
+        }
+        return passes;
+    }
+
+  private:
+    std::vector<uint8_t> store;
+};
+
+} // namespace last::mem
+
+#endif // LAST_MEMORY_LDS_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A ROCm-flavoured user-level runtime: memory allocation, kernel
+ * loading, dispatch, and segment management.
+ *
+ * The segment manager implements the paper's Table 6 asymmetry:
+ *  - GCN3: one per-process scratch arena, reused across kernel
+ *    launches (the real runtime allocates segment memory per process);
+ *  - HSAIL: the emulated ABI allocates NEW private/spill arenas on
+ *    every dynamic kernel launch, inflating the data footprint.
+ */
+
+#ifndef LAST_RUNTIME_RUNTIME_HH
+#define LAST_RUNTIME_RUNTIME_HH
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "arch/kernel_code.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "gpu/command_processor.hh"
+#include "gpu/gpu.hh"
+#include "memory/functional_memory.hh"
+
+namespace last::runtime
+{
+
+/** Per-dispatch record (drives the Table 7 per-kernel comparison). */
+struct LaunchRecord
+{
+    std::string kernel;
+    Cycle cycles;
+    uint64_t instsIssued;
+};
+
+class Runtime : public stats::Group
+{
+  public:
+    explicit Runtime(const GpuConfig &cfg = GpuConfig{});
+
+    /** @{ Device memory management (bump allocator). */
+    Addr allocGlobal(uint64_t bytes, uint64_t align = 64);
+    void writeGlobal(Addr addr, const void *src, size_t len);
+    void readGlobal(Addr addr, void *dst, size_t len);
+
+    template <typename T>
+    void
+    writeGlobal(Addr addr, const T &v)
+    {
+        memory.write(addr, &v, sizeof(T));
+    }
+
+    template <typename T>
+    T
+    readGlobal(Addr addr)
+    {
+        T v;
+        memory.read(addr, &v, sizeof(T));
+        return v;
+    }
+    /** @} */
+
+    /** Load a kernel code object (assigns its fetch address and
+     *  charges its instruction footprint). Idempotent. */
+    void loadKernel(arch::KernelCode &code);
+
+    /**
+     * Synchronously dispatch a kernel: writes the kernarg buffer and
+     * AQL packet, sets up segment arenas per the ISA's ABI rules, and
+     * runs the GPU to completion.
+     */
+    Cycle dispatch(arch::KernelCode &code, unsigned grid_size,
+                   unsigned wg_size, const void *args,
+                   size_t arg_bytes);
+
+    /** @{ Whole-process observables. */
+    uint64_t dataFootprintBytes() const
+    {
+        return memory.footprintBytes();
+    }
+    uint64_t instFootprintBytes() const
+    {
+        return uint64_t(instFootprint.value());
+    }
+    const std::vector<LaunchRecord> &launchRecords() const
+    {
+        return records;
+    }
+    /** @} */
+
+    mem::FunctionalMemory &mem() { return memory; }
+    gpu::Gpu &gpu() { return *gpuModel; }
+    const GpuConfig &config() const { return cfg; }
+
+    stats::Scalar instFootprint;
+    stats::Scalar dispatches;
+    stats::Scalar scratchArenaBytes;
+
+  private:
+    Addr allocScratchArenas(arch::KernelCode &code,
+                            cu::KernelLaunch &launch,
+                            unsigned grid_size);
+
+    GpuConfig cfg;
+    mem::FunctionalMemory memory;
+    std::unique_ptr<gpu::Gpu> gpuModel;
+    gpu::CommandProcessor cp;
+
+    Addr globalBrk = 0x10000;        ///< global data region
+    Addr codeBrk = 0x7f0000000000;   ///< code objects live high
+    std::set<const arch::KernelCode *> loaded;
+
+    /** GCN3 per-process scratch arena. */
+    Addr processScratch = 0;
+    uint64_t processScratchBytes = 0;
+
+    std::vector<LaunchRecord> records;
+};
+
+} // namespace last::runtime
+
+#endif // LAST_RUNTIME_RUNTIME_HH

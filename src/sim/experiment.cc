@@ -1,0 +1,94 @@
+#include "sim/experiment.hh"
+
+#include "common/logging.hh"
+
+namespace last::sim
+{
+
+AppResult
+runApp(const std::string &workload, IsaKind isa, const GpuConfig &cfg,
+       const workloads::WorkloadScale &scale)
+{
+    runtime::Runtime rt(cfg);
+    auto wl = workloads::makeWorkload(workload, scale);
+
+    AppResult r;
+    r.workload = workload;
+    r.isa = isa;
+    r.verified = wl->run(rt, isa);
+    r.digest = wl->resultDigest();
+
+    gpu::Gpu &gpu = rt.gpu();
+    auto sum = [&](const char *name) {
+        return uint64_t(gpu.sumCuStat(name));
+    };
+    r.dynInsts = sum("dynInsts");
+    r.valu = sum("valuInsts");
+    r.salu = sum("saluInsts");
+    r.vmem = sum("vmemInsts");
+    r.smem = sum("smemInsts");
+    r.lds = sum("ldsInsts");
+    r.branch = sum("branchInsts");
+    r.waitcnt = sum("waitcntInsts");
+    r.misc = sum("miscInsts");
+    r.vrfBankConflicts = sum("vrfBankConflicts");
+    r.ibFlushes = sum("ibFlushes");
+    r.hazardViolations = sum("hazardViolations");
+    r.scoreboardStalls = sum("scoreboardStalls");
+    r.waitcntStalls = sum("waitcntStalls");
+    r.ibEmptyStalls = sum("ibEmptyStalls");
+    r.fuConflictStalls = sum("fuConflictStalls");
+    r.coalescedLines = sum("coalescedLines");
+    r.busyCycles = sum("busyCycles");
+
+    // Merged histograms / weighted averages over CUs.
+    stats::Histogram reuse(nullptr, "reuse", "merged");
+    double ru_n = 0, ru_s = 0, wu_n = 0, wu_s = 0, su_n = 0, su_s = 0;
+    for (unsigned c = 0; c < gpu.numCus(); ++c) {
+        auto &cu = gpu.computeUnit(c);
+        reuse.merge(cu.vregReuseDist);
+        ru_s += cu.vrfReadUniq.value() * double(cu.vrfReadUniq.samples());
+        ru_n += double(cu.vrfReadUniq.samples());
+        wu_s +=
+            cu.vrfWriteUniq.value() * double(cu.vrfWriteUniq.samples());
+        wu_n += double(cu.vrfWriteUniq.samples());
+        su_s += cu.valuUtilization.value() *
+                double(cu.valuUtilization.samples());
+        su_n += double(cu.valuUtilization.samples());
+    }
+    r.reuseMedian = reuse.median();
+    r.readUniq = ru_n ? ru_s / ru_n : 0;
+    r.writeUniq = wu_n ? wu_s / wu_n : 0;
+    r.vrfUniq =
+        (ru_n + wu_n) ? (ru_s + wu_s) / (ru_n + wu_n) : 0;
+    r.simdUtil = su_n ? su_s / su_n : 0;
+
+    // Cycles: sum of per-dispatch durations (dispatches run
+    // back-to-back on this GPU).
+    for (const auto &rec : rt.launchRecords())
+        r.cycles += rec.cycles;
+    r.ipc = r.cycles ? double(r.dynInsts) / double(r.cycles) : 0;
+
+    r.instFootprint = rt.instFootprintBytes();
+    r.dataFootprint = rt.dataFootprintBytes();
+
+    unsigned clusters =
+        (cfg.numCus + cfg.cusPerCluster - 1) / cfg.cusPerCluster;
+    for (unsigned c = 0; c < clusters; ++c) {
+        r.l1iMisses += uint64_t(gpu.l1iCache(c).misses.value());
+        r.l1iHits += uint64_t(gpu.l1iCache(c).hits.value());
+    }
+
+    r.launches = rt.launchRecords();
+    return r;
+}
+
+std::pair<AppResult, AppResult>
+runBoth(const std::string &workload, const GpuConfig &cfg,
+        const workloads::WorkloadScale &scale)
+{
+    return {runApp(workload, IsaKind::HSAIL, cfg, scale),
+            runApp(workload, IsaKind::GCN3, cfg, scale)};
+}
+
+} // namespace last::sim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The experiment harness: run one (workload x ISA) configuration and
+ * collect every statistic the paper's tables and figures need.
+ */
+
+#ifndef LAST_SIM_EXPERIMENT_HH
+#define LAST_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "runtime/runtime.hh"
+#include "workloads/workload.hh"
+
+namespace last::sim
+{
+
+struct AppResult
+{
+    std::string workload;
+    IsaKind isa = IsaKind::HSAIL;
+    bool verified = false;
+    uint64_t digest = 0;
+
+    /** @{ Figure 5: dynamic instruction counts by class. */
+    uint64_t dynInsts = 0;
+    uint64_t valu = 0;
+    uint64_t salu = 0;
+    uint64_t vmem = 0;
+    uint64_t smem = 0;
+    uint64_t lds = 0;
+    uint64_t branch = 0;
+    uint64_t waitcnt = 0;
+    uint64_t misc = 0;
+    /** @} */
+
+    uint64_t cycles = 0;   ///< total GPU cycles across all dispatches
+    double ipc = 0;        ///< Figure 11
+
+    uint64_t vrfBankConflicts = 0; ///< Figure 6
+    double reuseMedian = 0;        ///< Figure 7
+    uint64_t instFootprint = 0;    ///< Figure 8 (bytes)
+    uint64_t ibFlushes = 0;        ///< Figure 9
+    double readUniq = 0;           ///< Figure 10
+    double writeUniq = 0;
+    double vrfUniq = 0;            ///< combined reads+writes
+
+    uint64_t dataFootprint = 0; ///< Table 6 (bytes)
+    double simdUtil = 0;        ///< Table 6
+
+    uint64_t l1iMisses = 0;
+    uint64_t l1iHits = 0;
+    uint64_t hazardViolations = 0;
+    uint64_t scoreboardStalls = 0;
+    uint64_t waitcntStalls = 0;
+    uint64_t ibEmptyStalls = 0;
+    uint64_t fuConflictStalls = 0;
+    uint64_t coalescedLines = 0;
+    uint64_t busyCycles = 0;
+
+    std::vector<runtime::LaunchRecord> launches;
+};
+
+/** Run a workload at one ISA level on a fresh simulated process. */
+AppResult runApp(const std::string &workload, IsaKind isa,
+                 const GpuConfig &cfg = GpuConfig{},
+                 const workloads::WorkloadScale &scale = {});
+
+/** Convenience: both ISAs, same workload. Index 0 = HSAIL, 1 = GCN3. */
+std::pair<AppResult, AppResult>
+runBoth(const std::string &workload,
+        const GpuConfig &cfg = GpuConfig{},
+        const workloads::WorkloadScale &scale = {});
+
+} // namespace last::sim
+
+#endif // LAST_SIM_EXPERIMENT_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Array BW: memory streaming (Table 5). Each work-item strides through
+ * a large array in a tight loop and accumulates, then writes its sum.
+ * Control flow is a single uniform loop — the case the paper calls
+ * "amenable to HSAIL execution" — but operand values at the VRF differ
+ * sharply between the ISAs (Figure 10).
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace last::workloads
+{
+
+namespace
+{
+
+class ArrayBw : public Workload
+{
+  public:
+    explicit ArrayBw(const WorkloadScale &s)
+        : grid(scaleGrid(4096, s)), iters(24)
+    {
+    }
+
+    std::string name() const override { return "ArrayBW"; }
+
+    bool
+    run(runtime::Runtime &rt, IsaKind isa) override
+    {
+        using namespace hsail;
+        const unsigned n = grid * iters;
+
+        Addr in = rt.allocGlobal(uint64_t(n) * 4);
+        Addr out = rt.allocGlobal(uint64_t(grid) * 4);
+        Rng rng(0xa11a5);
+        std::vector<float> host(n);
+        for (auto &v : host)
+            v = rng.nextFloat();
+        rt.writeGlobal(in, host.data(), host.size() * 4);
+
+        KernelBuilder kb("arraybw_stream");
+        kb.setKernargBytes(24);
+        Val a_in = kb.ldKernarg(DataType::U64, 0);
+        Val a_out = kb.ldKernarg(DataType::U64, 8);
+        Val a_iters = kb.ldKernarg(DataType::U32, 16);
+        Val gid = kb.workitemAbsId();
+        Val four = kb.immU32(4);
+        Val off = kb.cvt(DataType::U64, kb.mul(gid, four));
+        Val step =
+            kb.cvt(DataType::U64, kb.mul(kb.gridSize(), four));
+        Val addr = kb.add(a_in, off);
+        Val acc = kb.immF32(0.0f);
+        Val i = kb.immU32(0);
+        Val one = kb.immU32(1);
+        kb.doBegin();
+        {
+            Val v = kb.ldGlobal(DataType::F32, addr);
+            kb.emitAluTo(Opcode::Add, acc, acc, v);
+            kb.emitAluTo(Opcode::Add, addr, addr, step);
+            kb.emitAluTo(Opcode::Add, i, i, one);
+        }
+        kb.doEnd(kb.cmp(CmpOp::Lt, i, a_iters));
+        kb.stGlobal(acc, kb.add(a_out, off));
+
+        auto &code = prepare(kb.build(), isa, rt.config());
+
+        struct Args
+        {
+            uint64_t in, out;
+            uint32_t iters;
+        } args{in, out, iters};
+        rt.dispatch(code, grid, 256, &args, sizeof(args));
+
+        // Verify against a host reference.
+        std::vector<float> got(grid);
+        rt.readGlobal(out, got.data(), got.size() * 4);
+        bool ok = true;
+        for (unsigned g = 0; g < grid && ok; ++g) {
+            float want = 0.0f;
+            for (unsigned k = 0; k < iters; ++k)
+                want += host[g + k * grid];
+            ok = got[g] == want;
+        }
+        digestBytes(got.data(), got.size() * 4);
+        return ok;
+    }
+
+  private:
+    unsigned grid;
+    unsigned iters;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeArrayBw(const WorkloadScale &s)
+{
+    return std::make_unique<ArrayBw>(s);
+}
+
+} // namespace last::workloads

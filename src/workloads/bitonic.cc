@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Bitonic Sort: parallel merge sort (Table 5). The classic branch-free
+ * formulation — every compare-exchange decision is a conditional move,
+ * so SIMD utilization stays at 100% and the kernel exercises the
+ * predication path the paper contrasts with branchy control flow.
+ * One dispatch per (stage, pass): dozens of dynamic kernel launches.
+ */
+
+#include <algorithm>
+
+#include "workloads/workload_impl.hh"
+
+namespace last::workloads
+{
+
+namespace
+{
+
+class BitonicSort : public Workload
+{
+  public:
+    explicit BitonicSort(const WorkloadScale &s)
+        : n(scaleGrid(2048, s))
+    {
+        // n must be a power of two for the bitonic network.
+        unsigned p = 256;
+        while (p * 2 <= n)
+            p *= 2;
+        n = p;
+    }
+
+    std::string name() const override { return "BitonicSort"; }
+
+    bool
+    run(runtime::Runtime &rt, IsaKind isa) override
+    {
+        using namespace hsail;
+        Addr buf[2];
+        buf[0] = rt.allocGlobal(uint64_t(n) * 4);
+        buf[1] = rt.allocGlobal(uint64_t(n) * 4);
+
+        Rng rng(0xb170);
+        std::vector<uint32_t> host(n);
+        for (auto &v : host)
+            v = uint32_t(rng.next());
+        rt.writeGlobal(buf[0], host.data(), host.size() * 4);
+
+        KernelBuilder kb("bitonic_step");
+        kb.setKernargBytes(32);
+        Val src = kb.ldKernarg(DataType::U64, 0);
+        Val dst = kb.ldKernarg(DataType::U64, 8);
+        Val kk = kb.ldKernarg(DataType::U32, 16);
+        Val jj = kb.ldKernarg(DataType::U32, 24);
+        Val i = kb.workitemAbsId();
+        Val j = kb.xor_(i, jj);
+        Val a = kb.ldGlobal(DataType::U32, addrAt(kb, src, i, 4));
+        Val b = kb.ldGlobal(DataType::U32, addrAt(kb, src, j, 4));
+        Val lo = kb.min_(a, b);
+        Val hi = kb.max_(a, b);
+        Val zero = kb.immU32(0);
+        // Ascending block iff (i & k) == 0; this work-item keeps the
+        // small value iff it is the left element of its pair.
+        Val up = kb.cmp(CmpOp::Eq, kb.and_(i, kk), zero);
+        Val left = kb.cmp(CmpOp::Lt, i, j);
+        Val asc = kb.cmov(left, lo, hi);
+        Val desc = kb.cmov(left, hi, lo);
+        Val res = kb.cmov(up, asc, desc);
+        kb.stGlobal(res, addrAt(kb, dst, i, 4));
+
+        auto &code = prepare(kb.build(), isa, rt.config());
+
+        unsigned cur = 0;
+        struct Args
+        {
+            uint64_t src, dst;
+            uint32_t k;
+            uint32_t pad;
+            uint32_t j;
+        };
+        for (unsigned k = 2; k <= n; k <<= 1) {
+            for (unsigned j = k >> 1; j >= 1; j >>= 1) {
+                Args args{buf[cur], buf[1 - cur], k, 0, j};
+                rt.dispatch(code, n, 256, &args, sizeof(args));
+                cur = 1 - cur;
+            }
+        }
+
+        std::vector<uint32_t> got(n);
+        rt.readGlobal(buf[cur], got.data(), got.size() * 4);
+        std::sort(host.begin(), host.end());
+        bool ok = got == host;
+        digestBytes(got.data(), got.size() * 4);
+        return ok;
+    }
+
+  private:
+    unsigned n;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBitonicSort(const WorkloadScale &s)
+{
+    return std::make_unique<BitonicSort>(s);
+}
+
+} // namespace last::workloads

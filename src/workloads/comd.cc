@@ -1,0 +1,150 @@
+/**
+ * @file
+ * CoMD: DOE molecular-dynamics proxy (Table 5). A cell-list force
+ * kernel with a cutoff test: the candidate-neighbour loop is uniform
+ * but the force computation runs under a divergent if whose pass rate
+ * is low, giving the branch-heavy instruction mix and the ~20% SIMD
+ * utilization the paper reports. The in-cutoff path includes an f32
+ * divide (Newton-Raphson expansion under GCN3).
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace last::workloads
+{
+
+namespace
+{
+
+class CoMD : public Workload
+{
+  public:
+    explicit CoMD(const WorkloadScale &s)
+        : atoms(scaleGrid(1024, s)), neighbors(24)
+    {
+    }
+
+    std::string name() const override { return "CoMD"; }
+
+    bool
+    run(runtime::Runtime &rt, IsaKind isa) override
+    {
+        using namespace hsail;
+        Rng rng(0xc03d);
+        const float cutoff2 = 0.05f;
+
+        std::vector<float> px(atoms), py(atoms), pz(atoms);
+        for (unsigned i = 0; i < atoms; ++i) {
+            px[i] = rng.nextFloat();
+            py[i] = rng.nextFloat();
+            pz[i] = rng.nextFloat();
+        }
+        std::vector<uint32_t> nbr(size_t(atoms) * neighbors);
+        for (auto &n : nbr)
+            n = uint32_t(rng.nextBounded(atoms));
+
+        Addr d_x = rt.allocGlobal(atoms * 4);
+        Addr d_y = rt.allocGlobal(atoms * 4);
+        Addr d_z = rt.allocGlobal(atoms * 4);
+        Addr d_n = rt.allocGlobal(nbr.size() * 4);
+        Addr d_f = rt.allocGlobal(atoms * 4);
+        rt.writeGlobal(d_x, px.data(), px.size() * 4);
+        rt.writeGlobal(d_y, py.data(), py.size() * 4);
+        rt.writeGlobal(d_z, pz.data(), pz.size() * 4);
+        rt.writeGlobal(d_n, nbr.data(), nbr.size() * 4);
+
+        KernelBuilder kb("comd_force");
+        kb.setKernargBytes(48);
+        Val p_x = kb.ldKernarg(DataType::U64, 0);
+        Val p_y = kb.ldKernarg(DataType::U64, 8);
+        Val p_z = kb.ldKernarg(DataType::U64, 16);
+        Val p_n = kb.ldKernarg(DataType::U64, 24);
+        Val p_f = kb.ldKernarg(DataType::U64, 32);
+        Val nnb = kb.ldKernarg(DataType::U32, 40);
+        Val i = kb.workitemAbsId();
+        Val xi = kb.ldGlobal(DataType::F32, addrAt(kb, p_x, i, 4));
+        Val yi = kb.ldGlobal(DataType::F32, addrAt(kb, p_y, i, 4));
+        Val zi = kb.ldGlobal(DataType::F32, addrAt(kb, p_z, i, 4));
+        Val fsum = kb.immF32(0.0f);
+        Val m = kb.immU32(0);
+        Val one = kb.immU32(1);
+        Val base = kb.mul(i, nnb);
+        Val c2 = kb.immF32(cutoff2);
+        Val zf = kb.immF32(0.0f);
+        kb.doBegin();
+        {
+            Val slot = kb.add(base, m);
+            Val jidx =
+                kb.ldGlobal(DataType::U32, addrAt(kb, p_n, slot, 4));
+            Val xj = kb.ldGlobal(DataType::F32, addrAt(kb, p_x, jidx, 4));
+            Val yj = kb.ldGlobal(DataType::F32, addrAt(kb, p_y, jidx, 4));
+            Val zj = kb.ldGlobal(DataType::F32, addrAt(kb, p_z, jidx, 4));
+            Val dx = kb.sub(xi, xj);
+            Val dy = kb.sub(yi, yj);
+            Val dz = kb.sub(zi, zj);
+            Val r2 = kb.fma_(dx, dx,
+                             kb.fma_(dy, dy, kb.mul(dz, dz)));
+            Val in_cut = kb.and_(kb.cmp(CmpOp::Lt, r2, c2),
+                                 kb.cmp(CmpOp::Gt, r2, zf));
+            kb.ifBegin(in_cut);
+            {
+                // Lennard-Jones-ish: r2i = 1/r2; r6 = r2i^3;
+                // f = r6 * (r6 - 0.5).
+                Val r2i = kb.div(kb.immF32(1.0f), r2);
+                Val r6 = kb.mul(kb.mul(r2i, r2i), r2i);
+                Val fm = kb.mul(r6, kb.sub(r6, kb.immF32(0.5f)));
+                kb.emitAluTo(Opcode::Add, fsum, fsum, fm);
+            }
+            kb.ifEnd();
+            kb.emitAluTo(Opcode::Add, m, m, one);
+        }
+        kb.doEnd(kb.cmp(CmpOp::Lt, m, nnb));
+        kb.stGlobal(fsum, addrAt(kb, p_f, i, 4));
+
+        auto &code = prepare(kb.build(), isa, rt.config());
+
+        struct Args
+        {
+            uint64_t x, y, z, n, f;
+            uint32_t nnb;
+        } args{d_x, d_y, d_z, d_n, d_f, neighbors};
+        rt.dispatch(code, atoms, 256, &args, sizeof(args));
+
+        std::vector<float> got(atoms);
+        rt.readGlobal(d_f, got.data(), got.size() * 4);
+        bool ok = true;
+        for (unsigned a = 0; a < atoms && ok; ++a) {
+            float fsum_h = 0.0f;
+            for (unsigned mm = 0; mm < neighbors; ++mm) {
+                uint32_t j = nbr[size_t(a) * neighbors + mm];
+                float dx = px[a] - px[j];
+                float dy = py[a] - py[j];
+                float dz = pz[a] - pz[j];
+                float r2 =
+                    std::fma(dx, dx, std::fma(dy, dy, dz * dz));
+                if (r2 < cutoff2 && r2 > 0.0f) {
+                    float r2i = 1.0f / r2;
+                    float r6 = r2i * r2i * r2i;
+                    fsum_h += r6 * (r6 - 0.5f);
+                }
+            }
+            ok = got[a] == fsum_h;
+        }
+        digestBytes(got.data(), got.size() * 4);
+        return ok;
+    }
+
+  private:
+    unsigned atoms;
+    unsigned neighbors;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCoMD(const WorkloadScale &s)
+{
+    return std::make_unique<CoMD>(s);
+}
+
+} // namespace last::workloads

@@ -1,0 +1,34 @@
+#include "workloads/workload_impl.hh"
+
+namespace last::workloads
+{
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadScale &scale)
+{
+    if (name == "ArrayBW")
+        return makeArrayBw(scale);
+    if (name == "BitonicSort")
+        return makeBitonicSort(scale);
+    if (name == "CoMD")
+        return makeCoMD(scale);
+    if (name == "FFT")
+        return makeFft(scale);
+    if (name == "HPGMG")
+        return makeHpgmg(scale);
+    if (name == "LULESH")
+        return makeLulesh(scale);
+    if (name == "MD")
+        return makeMd(scale);
+    if (name == "SNAP")
+        return makeSnap(scale);
+    if (name == "SpMV")
+        return makeSpmv(scale);
+    if (name == "XSBench")
+        return makeXsBench(scale);
+    if (name == "VecAdd")
+        return makeVecAdd(scale);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace last::workloads

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * FFT: digital signal processing (Table 5). Each work-item transforms
+ * 8 complex single-precision points through fully unrolled radix-2
+ * stages, three rounds with direction flags selected by conditional
+ * moves — the paper's compute-bound outlier: ~95% ALU, no divides, no
+ * branches, and explicit spill-segment traffic from register
+ * pressure (the spill/fill the high-level compiler emits).
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace last::workloads
+{
+
+namespace
+{
+
+constexpr float Sqrt2Over2 = 0.70710678f;
+
+class Fft : public Workload
+{
+  public:
+    explicit Fft(const WorkloadScale &s) : grid(scaleGrid(1024, s)) {}
+
+    std::string name() const override { return "FFT"; }
+
+    bool
+    run(runtime::Runtime &rt, IsaKind isa) override
+    {
+        using namespace hsail;
+        const unsigned vals = grid * 16; // 8 complex f32 per WI
+
+        Addr d_in = rt.allocGlobal(uint64_t(vals) * 4);
+        Addr d_out = rt.allocGlobal(uint64_t(vals) * 4);
+        Rng rng(0xff7);
+        std::vector<float> host(vals);
+        for (auto &v : host)
+            v = rng.nextFloat() - 0.5f;
+        rt.writeGlobal(d_in, host.data(), host.size() * 4);
+
+        KernelBuilder kb("fft8_rounds");
+        kb.setKernargBytes(16);
+        kb.setSpillBytesPerWi(16);
+        Val p_in = kb.ldKernarg(DataType::U64, 0);
+        Val p_out = kb.ldKernarg(DataType::U64, 8);
+        Val gid = kb.workitemAbsId();
+        Val base = kb.mul(gid, kb.immU32(16));
+        Val wg = kb.workgroupId();
+
+        Val re[8], im[8];
+        for (unsigned k = 0; k < 8; ++k) {
+            re[k] = kb.ldGlobal(
+                DataType::F32,
+                addrAt(kb, p_in, kb.add(base, kb.immU32(2 * k)), 4));
+            im[k] = kb.ldGlobal(
+                DataType::F32,
+                addrAt(kb, p_in, kb.add(base, kb.immU32(2 * k + 1)),
+                       4));
+        }
+
+        Val cpos = kb.immF32(Sqrt2Over2);
+        Val cneg = kb.immF32(-Sqrt2Over2);
+        Val onep = kb.immF32(1.0f);
+        Val onen = kb.immF32(-1.0f);
+
+        // Butterfly with twiddle (wr, wi): top = t + u, and the
+        // bottom leg is (t - u) * w.
+        auto bf = [&](Val &tr, Val &ti, Val &ur, Val &ui, Val wr,
+                      Val wi, bool unit) {
+            Val dr = kb.sub(tr, ur);
+            Val di = kb.sub(ti, ui);
+            tr = kb.add(tr, ur);
+            ti = kb.add(ti, ui);
+            if (unit) {
+                ur = dr;
+                ui = di;
+            } else {
+                ur = kb.sub(kb.mul(dr, wr), kb.mul(di, wi));
+                ui = kb.add(kb.mul(dr, wi), kb.mul(di, wr));
+            }
+        };
+
+        for (unsigned round = 0; round < 3; ++round) {
+            // Direction flag: uniform at run time, resolved with
+            // conditional moves (no control flow).
+            Val flag = kb.cmp(CmpOp::Eq,
+                              kb.and_(kb.add(wg, kb.immU32(round)),
+                                      kb.immU32(1)),
+                              kb.immU32(0));
+            Val w1i = kb.cmov(flag, cneg, cpos);  // -s * c
+            Val w2i = kb.cmov(flag, onen, onep);  // -s
+            Val w3r = kb.cmov(flag, cneg, cneg);  // -c (both dirs)
+            Val zero = kb.immF32(0.0f);
+
+            // Stage 1: span 4.
+            bf(re[0], im[0], re[4], im[4], onep, zero, true);
+            bf(re[1], im[1], re[5], im[5], cpos, w1i, false);
+            bf(re[2], im[2], re[6], im[6], zero, w2i, false);
+            bf(re[3], im[3], re[7], im[7], w3r, w1i, false);
+            // Stage 2: span 2 in each half.
+            bf(re[0], im[0], re[2], im[2], onep, zero, true);
+            bf(re[1], im[1], re[3], im[3], zero, w2i, false);
+            bf(re[4], im[4], re[6], im[6], onep, zero, true);
+            bf(re[5], im[5], re[7], im[7], zero, w2i, false);
+            // Stage 3: span 1.
+            bf(re[0], im[0], re[1], im[1], onep, zero, true);
+            bf(re[2], im[2], re[3], im[3], onep, zero, true);
+            bf(re[4], im[4], re[5], im[5], onep, zero, true);
+            bf(re[6], im[6], re[7], im[7], onep, zero, true);
+
+            if (round == 0) {
+                // Spill/fill the first two points between rounds —
+                // the register-pressure traffic the paper attributes
+                // to the spill segment.
+                kb.stSpill(re[0], 0);
+                kb.stSpill(im[0], 4);
+                kb.stSpill(re[1], 8);
+                kb.stSpill(im[1], 12);
+                re[0] = kb.ldSpill(DataType::F32, 0);
+                im[0] = kb.ldSpill(DataType::F32, 4);
+                re[1] = kb.ldSpill(DataType::F32, 8);
+                im[1] = kb.ldSpill(DataType::F32, 12);
+            }
+        }
+
+        for (unsigned k = 0; k < 8; ++k) {
+            kb.stGlobal(re[k], addrAt(kb, p_out,
+                                      kb.add(base, kb.immU32(2 * k)),
+                                      4));
+            kb.stGlobal(im[k],
+                        addrAt(kb, p_out,
+                               kb.add(base, kb.immU32(2 * k + 1)), 4));
+        }
+
+        auto &code = prepare(kb.build(), isa, rt.config());
+
+        // Multiple dispatches ping-ponging between buffers: each one
+        // re-maps the spill segment under the HSAIL ABI emulation (the
+        // Table 6 footprint effect for FFT).
+        struct Args
+        {
+            uint64_t in, out;
+        };
+        Addr cur = d_in, nxt = d_out;
+        const unsigned passes = 4;
+        for (unsigned p = 0; p < passes; ++p) {
+            Args args{cur, nxt};
+            rt.dispatch(code, grid, 256, &args, sizeof(args));
+            std::swap(cur, nxt);
+        }
+
+        // Host mirror with identical float arithmetic.
+        auto hostBf = [](float &tr, float &ti, float &ur, float &ui,
+                         float wr, float wi, bool unit) {
+            float dr = tr - ur;
+            float di = ti - ui;
+            tr = tr + ur;
+            ti = ti + ui;
+            if (unit) {
+                ur = dr;
+                ui = di;
+            } else {
+                ur = dr * wr - di * wi;
+                ui = dr * wi + di * wr;
+            }
+        };
+        std::vector<float> want(vals);
+        for (unsigned g = 0; g < grid; ++g) {
+            float r[8], q[8];
+            for (unsigned k = 0; k < 8; ++k) {
+                r[k] = host[g * 16 + 2 * k];
+                q[k] = host[g * 16 + 2 * k + 1];
+            }
+            unsigned wgid = g / 256;
+            for (unsigned pass = 0; pass < passes; ++pass)
+            for (unsigned round = 0; round < 3; ++round) {
+                bool flag = ((wgid + round) & 1) == 0;
+                float w1i = flag ? -Sqrt2Over2 : Sqrt2Over2;
+                float w2i = flag ? -1.0f : 1.0f;
+                float w3r = -Sqrt2Over2;
+                hostBf(r[0], q[0], r[4], q[4], 1, 0, true);
+                hostBf(r[1], q[1], r[5], q[5], Sqrt2Over2, w1i, false);
+                hostBf(r[2], q[2], r[6], q[6], 0, w2i, false);
+                hostBf(r[3], q[3], r[7], q[7], w3r, w1i, false);
+                hostBf(r[0], q[0], r[2], q[2], 1, 0, true);
+                hostBf(r[1], q[1], r[3], q[3], 0, w2i, false);
+                hostBf(r[4], q[4], r[6], q[6], 1, 0, true);
+                hostBf(r[5], q[5], r[7], q[7], 0, w2i, false);
+                for (unsigned p = 0; p < 8; p += 2)
+                    hostBf(r[p], q[p], r[p + 1], q[p + 1], 1, 0, true);
+            }
+            for (unsigned k = 0; k < 8; ++k) {
+                want[g * 16 + 2 * k] = r[k];
+                want[g * 16 + 2 * k + 1] = q[k];
+            }
+        }
+
+        std::vector<float> got(vals);
+        rt.readGlobal(cur, got.data(), got.size() * 4);
+        bool ok = got == want;
+        digestBytes(got.data(), got.size() * 4);
+        return ok;
+    }
+
+  private:
+    unsigned grid;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFft(const WorkloadScale &s)
+{
+    return std::make_unique<Fft>(s);
+}
+
+} // namespace last::workloads

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * HPGMG: the HPC-ranking multigrid benchmark (Table 5). A weighted
+ * Jacobi smoother over a shrinking level hierarchy; boundary and
+ * level-edge handling is pure predication (min/max clamps + cmov), so
+ * there are no branches at all — one of the paper's predication-only
+ * workloads. Multiple dispatches per V-cycle.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace last::workloads
+{
+
+namespace
+{
+
+class Hpgmg : public Workload
+{
+  public:
+    explicit Hpgmg(const WorkloadScale &s) : n0(scaleGrid(4096, s)) {}
+
+    std::string name() const override { return "HPGMG"; }
+
+    bool
+    run(runtime::Runtime &rt, IsaKind isa) override
+    {
+        using namespace hsail;
+        const double w = 2.0 / 3.0;
+
+        Addr v = rt.allocGlobal(uint64_t(n0) * 8);
+        Addr tmp = rt.allocGlobal(uint64_t(n0) * 8);
+        Addr rhs = rt.allocGlobal(uint64_t(n0) * 8);
+
+        Rng rng(0x4692);
+        std::vector<double> hv(n0), hr(n0);
+        for (unsigned i = 0; i < n0; ++i) {
+            hv[i] = rng.nextDouble();
+            hr[i] = rng.nextDouble() - 0.5;
+        }
+        rt.writeGlobal(v, hv.data(), hv.size() * 8);
+        rt.writeGlobal(rhs, hr.data(), hr.size() * 8);
+
+        KernelBuilder kb("hpgmg_smooth");
+        kb.setKernargBytes(32);
+        Val p_in = kb.ldKernarg(DataType::U64, 0);
+        Val p_out = kb.ldKernarg(DataType::U64, 8);
+        Val p_rhs = kb.ldKernarg(DataType::U64, 16);
+        Val lvl = kb.ldKernarg(DataType::U32, 24);
+        Val i = kb.workitemAbsId();
+        Val one = kb.immU32(1);
+        Val zero = kb.immU32(0);
+        Val lm1 = kb.sub(lvl, one);
+        // Clamped neighbour indices: pure predication, no branches.
+        Val im1 = kb.cmov(kb.cmp(CmpOp::Eq, i, zero), zero,
+                          kb.sub(i, one));
+        Val ip1 = kb.min_(kb.add(i, one), lm1);
+        Val c = kb.ldGlobal(DataType::F64, addrAt(kb, p_in, i, 8));
+        Val l = kb.ldGlobal(DataType::F64, addrAt(kb, p_in, im1, 8));
+        Val r = kb.ldGlobal(DataType::F64, addrAt(kb, p_in, ip1, 8));
+        Val f = kb.ldGlobal(DataType::F64, addrAt(kb, p_rhs, i, 8));
+        // upd = c + w * (f - (2c - l - r)) / diag, diag = 2.
+        Val two = kb.immF64(2.0);
+        Val lap = kb.sub(kb.mul(two, c), kb.add(l, r));
+        Val res = kb.sub(f, lap);
+        Val upd = kb.fma_(kb.immF64(w), kb.div(res, two), c);
+        // Work-items past the active level just copy their value.
+        Val live = kb.cmp(CmpOp::Lt, i, lvl);
+        kb.stGlobal(kb.cmov(live, upd, c), addrAt(kb, p_out, i, 8));
+
+        auto &code = prepare(kb.build(), isa, rt.config());
+
+        struct Args
+        {
+            uint64_t in, out, rhs;
+            uint32_t lvl;
+        };
+        Addr cur = v, nxt = tmp;
+        std::vector<unsigned> levels{n0, n0 / 2, n0 / 4, n0 / 2, n0};
+        for (unsigned level : levels) {
+            for (int sweep = 0; sweep < 3; ++sweep) {
+                Args args{cur, nxt, rhs, level};
+                rt.dispatch(code, n0, 256, &args, sizeof(args));
+                std::swap(cur, nxt);
+            }
+        }
+
+        // Host reference with identical arithmetic and order.
+        std::vector<double> ref = hv, scratch(n0);
+        for (unsigned level : levels) {
+            for (int sweep = 0; sweep < 3; ++sweep) {
+                for (unsigned g = 0; g < n0; ++g) {
+                    unsigned im = g == 0 ? 0 : g - 1;
+                    unsigned ip = std::min(g + 1, level - 1);
+                    double lap = 2.0 * ref[g] - (ref[im] + ref[ip]);
+                    double resid = hr[g] - lap;
+                    double upd =
+                        std::fma(w, resid / 2.0, ref[g]);
+                    scratch[g] = g < level ? upd : ref[g];
+                }
+                std::swap(ref, scratch);
+            }
+        }
+
+        std::vector<double> got(n0);
+        rt.readGlobal(cur, got.data(), got.size() * 8);
+        bool ok = got == ref;
+        digestBytes(got.data(), got.size() * 8);
+        return ok;
+    }
+
+  private:
+    unsigned n0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeHpgmg(const WorkloadScale &s)
+{
+    return std::make_unique<Hpgmg>(s);
+}
+
+} // namespace last::workloads

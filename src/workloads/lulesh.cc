@@ -1,0 +1,183 @@
+/**
+ * @file
+ * LULESH: hydrodynamics proxy (Table 5). The paper's stress case: 27
+ * unique small kernels dispatched over and over (hundreds of dynamic
+ * launches), per-work-item private arrays (the private segment), and
+ * a combined instruction footprint that fits the 16 kB L1I at the IL
+ * level but overflows it at the machine-ISA level — the 10x L1I miss
+ * blow-up of Figure 8 / Figure 12.
+ *
+ * Each generated kernel gathers a few f64 node values with its own
+ * stride pattern, parks them in a private array, and reduces them
+ * with its own coefficient set (some kernels divide, some take square
+ * roots), mirroring LULESH's many small distinct loops.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace last::workloads
+{
+
+namespace
+{
+
+constexpr unsigned NumKernels = 27;
+constexpr unsigned Elems = 4;         ///< gathered values per WI
+constexpr unsigned TimeSteps = 6;
+
+struct KernelShape
+{
+    uint32_t strideA;
+    uint32_t strideB;
+    double coeff[Elems];
+    enum class Op { FmaChain, Divide, Root } op;
+};
+
+KernelShape
+shapeFor(unsigned k)
+{
+    KernelShape s;
+    s.strideA = 1 + (k * 7) % 13;
+    s.strideB = 3 + (k * 5) % 11;
+    for (unsigned j = 0; j < Elems; ++j)
+        s.coeff[j] = 0.25 + 0.125 * ((k + j) % 7);
+    s.op = k % 3 == 0 ? KernelShape::Op::Divide
+         : k % 3 == 1 ? KernelShape::Op::Root
+                      : KernelShape::Op::FmaChain;
+    return s;
+}
+
+class Lulesh : public Workload
+{
+  public:
+    explicit Lulesh(const WorkloadScale &s)
+        : grid(scaleGrid(1024, s)), n(grid * 16)
+    {
+    }
+
+    std::string name() const override { return "LULESH"; }
+
+    bool
+    run(runtime::Runtime &rt, IsaKind isa) override
+    {
+        using namespace hsail;
+        Addr d_in = rt.allocGlobal(uint64_t(n) * 8);
+        Addr d_out = rt.allocGlobal(uint64_t(grid) * 8);
+        Rng rng(0x1e5e);
+        std::vector<double> nodes(n);
+        for (auto &v : nodes)
+            v = rng.nextDouble() + 0.5;
+        rt.writeGlobal(d_in, nodes.data(), nodes.size() * 8);
+
+        std::vector<arch::KernelCode *> codes;
+        for (unsigned k = 0; k < NumKernels; ++k)
+            codes.push_back(&buildKernel(k, isa, rt.config()));
+
+        struct Args
+        {
+            uint64_t in, out;
+            uint32_t n_mask;
+        } args{d_in, d_out, n - 1};
+
+        // The time-step loop: every step dispatches all 27 kernels.
+        for (unsigned t = 0; t < TimeSteps; ++t)
+            for (unsigned k = 0; k < NumKernels; ++k)
+                rt.dispatch(*codes[k], grid, 256, &args, sizeof(args));
+
+        // Host reference for the final step's last kernel is not
+        // enough: out is overwritten by each kernel, so the final
+        // contents equal kernel 26's result.
+        std::vector<double> want(grid);
+        {
+            KernelShape s = shapeFor(NumKernels - 1);
+            for (unsigned i = 0; i < grid; ++i)
+                want[i] = hostKernel(s, nodes, i);
+        }
+        std::vector<double> got(grid);
+        rt.readGlobal(d_out, got.data(), got.size() * 8);
+        bool ok = got == want;
+        digestBytes(got.data(), got.size() * 8);
+        return ok;
+    }
+
+  private:
+    arch::KernelCode &
+    buildKernel(unsigned k, IsaKind isa, const GpuConfig &cfg)
+    {
+        using namespace hsail;
+        KernelShape s = shapeFor(k);
+        KernelBuilder kb("lulesh_k" + std::to_string(k));
+        kb.setKernargBytes(24);
+        kb.setPrivateBytesPerWi(Elems * 8);
+        Val p_in = kb.ldKernarg(DataType::U64, 0);
+        Val p_out = kb.ldKernarg(DataType::U64, 8);
+        Val mask = kb.ldKernarg(DataType::U32, 16);
+        Val i = kb.workitemAbsId();
+        // Gather into the private array.
+        for (unsigned j = 0; j < Elems; ++j) {
+            Val idx = kb.and_(
+                kb.add(kb.mul(i, kb.immU32(s.strideA)),
+                       kb.immU32(j * s.strideB)),
+                mask);
+            Val v = kb.ldGlobal(DataType::F64, addrAt(kb, p_in, idx, 8));
+            kb.stPrivate(v, Val{}, int64_t(j) * 8);
+        }
+        // Reduce from the private array.
+        Val acc = kb.immF64(0.0);
+        for (unsigned j = 0; j < Elems; ++j) {
+            Val v = kb.ldPrivate(DataType::F64, Val{}, int64_t(j) * 8);
+            kb.emitAluTo(Opcode::Fma, acc, v, kb.immF64(s.coeff[j]),
+                         acc);
+        }
+        switch (s.op) {
+          case KernelShape::Op::Divide:
+            acc = kb.div(acc, kb.immF64(3.0));
+            break;
+          case KernelShape::Op::Root:
+            acc = kb.sqrt_(kb.abs_(acc));
+            break;
+          case KernelShape::Op::FmaChain:
+            acc = kb.fma_(acc, kb.immF64(0.5), kb.immF64(1.0));
+            break;
+        }
+        kb.stGlobal(acc, addrAt(kb, p_out, i, 8));
+        return prepare(kb.build(), isa, cfg);
+    }
+
+    double
+    hostKernel(const KernelShape &s, const std::vector<double> &nodes,
+               unsigned i) const
+    {
+        double priv[Elems];
+        for (unsigned j = 0; j < Elems; ++j) {
+            uint32_t idx =
+                (i * s.strideA + j * s.strideB) & (n - 1);
+            priv[j] = nodes[idx];
+        }
+        double acc = 0.0;
+        for (unsigned j = 0; j < Elems; ++j)
+            acc = std::fma(priv[j], s.coeff[j], acc);
+        switch (s.op) {
+          case KernelShape::Op::Divide:
+            return acc / 3.0;
+          case KernelShape::Op::Root:
+            return std::sqrt(std::fabs(acc));
+          case KernelShape::Op::FmaChain:
+            return std::fma(acc, 0.5, 1.0);
+        }
+        return acc;
+    }
+
+    unsigned grid;
+    uint32_t n;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLulesh(const WorkloadScale &s)
+{
+    return std::make_unique<Lulesh>(s);
+}
+
+} // namespace last::workloads

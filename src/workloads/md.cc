@@ -1,0 +1,143 @@
+/**
+ * @file
+ * MD: generic molecular dynamics (Table 5). Lennard-Jones forces in
+ * double precision over a pre-built (valid) neighbour list — no
+ * control divergence (100% SIMD utilization per Table 6) but heavy
+ * 64-bit register-pair pressure, f64 sqrt, and f64 divide.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace last::workloads
+{
+
+namespace
+{
+
+class Md : public Workload
+{
+  public:
+    explicit Md(const WorkloadScale &s)
+        : atoms(scaleGrid(1024, s)), neighbors(12)
+    {
+    }
+
+    std::string name() const override { return "MD"; }
+
+    bool
+    run(runtime::Runtime &rt, IsaKind isa) override
+    {
+        using namespace hsail;
+        Rng rng(0x3dd1);
+
+        std::vector<double> px(atoms), py(atoms), pz(atoms);
+        for (unsigned i = 0; i < atoms; ++i) {
+            px[i] = rng.nextDouble() * 10.0;
+            py[i] = rng.nextDouble() * 10.0;
+            pz[i] = rng.nextDouble() * 10.0;
+        }
+        std::vector<uint32_t> nbr(size_t(atoms) * neighbors);
+        for (unsigned i = 0; i < atoms; ++i)
+            for (unsigned m = 0; m < neighbors; ++m)
+                nbr[size_t(i) * neighbors + m] =
+                    uint32_t((i + 1 + rng.nextBounded(atoms - 1)) %
+                             atoms);
+
+        Addr d_x = rt.allocGlobal(atoms * 8);
+        Addr d_y = rt.allocGlobal(atoms * 8);
+        Addr d_z = rt.allocGlobal(atoms * 8);
+        Addr d_n = rt.allocGlobal(nbr.size() * 4);
+        Addr d_u = rt.allocGlobal(atoms * 8);
+        rt.writeGlobal(d_x, px.data(), px.size() * 8);
+        rt.writeGlobal(d_y, py.data(), py.size() * 8);
+        rt.writeGlobal(d_z, pz.data(), pz.size() * 8);
+        rt.writeGlobal(d_n, nbr.data(), nbr.size() * 4);
+
+        KernelBuilder kb("md_lj_force");
+        kb.setKernargBytes(48);
+        Val p_x = kb.ldKernarg(DataType::U64, 0);
+        Val p_y = kb.ldKernarg(DataType::U64, 8);
+        Val p_z = kb.ldKernarg(DataType::U64, 16);
+        Val p_n = kb.ldKernarg(DataType::U64, 24);
+        Val p_u = kb.ldKernarg(DataType::U64, 32);
+        Val nnb = kb.ldKernarg(DataType::U32, 40);
+        Val i = kb.workitemAbsId();
+        Val xi = kb.ldGlobal(DataType::F64, addrAt(kb, p_x, i, 8));
+        Val yi = kb.ldGlobal(DataType::F64, addrAt(kb, p_y, i, 8));
+        Val zi = kb.ldGlobal(DataType::F64, addrAt(kb, p_z, i, 8));
+        Val u = kb.immF64(0.0);
+        Val m = kb.immU32(0);
+        Val one = kb.immU32(1);
+        Val base = kb.mul(i, nnb);
+        Val onef = kb.immF64(1.0);
+        Val half = kb.immF64(0.5);
+        kb.doBegin();
+        {
+            Val slot = kb.add(base, m);
+            Val j = kb.ldGlobal(DataType::U32, addrAt(kb, p_n, slot, 4));
+            Val xj = kb.ldGlobal(DataType::F64, addrAt(kb, p_x, j, 8));
+            Val yj = kb.ldGlobal(DataType::F64, addrAt(kb, p_y, j, 8));
+            Val zj = kb.ldGlobal(DataType::F64, addrAt(kb, p_z, j, 8));
+            Val dx = kb.sub(xi, xj);
+            Val dy = kb.sub(yi, yj);
+            Val dz = kb.sub(zi, zj);
+            Val r2 = kb.fma_(dx, dx, kb.fma_(dy, dy, kb.mul(dz, dz)));
+            Val r = kb.sqrt_(r2);
+            Val rinv = kb.div(onef, r);
+            Val r2i = kb.mul(rinv, rinv);
+            Val r6i = kb.mul(kb.mul(r2i, r2i), r2i);
+            // u += r6i * (r6i - 0.5) * rinv
+            Val term = kb.mul(kb.mul(r6i, kb.sub(r6i, half)), rinv);
+            kb.emitAluTo(Opcode::Add, u, u, term);
+            kb.emitAluTo(Opcode::Add, m, m, one);
+        }
+        kb.doEnd(kb.cmp(CmpOp::Lt, m, nnb));
+        kb.stGlobal(u, addrAt(kb, p_u, i, 8));
+
+        auto &code = prepare(kb.build(), isa, rt.config());
+
+        struct Args
+        {
+            uint64_t x, y, z, n, u;
+            uint32_t nnb;
+        } args{d_x, d_y, d_z, d_n, d_u, neighbors};
+        rt.dispatch(code, atoms, 256, &args, sizeof(args));
+
+        std::vector<double> got(atoms);
+        rt.readGlobal(d_u, got.data(), got.size() * 8);
+        bool ok = true;
+        for (unsigned a = 0; a < atoms && ok; ++a) {
+            double usum = 0.0;
+            for (unsigned mm = 0; mm < neighbors; ++mm) {
+                uint32_t j = nbr[size_t(a) * neighbors + mm];
+                double dx = px[a] - px[j];
+                double dy = py[a] - py[j];
+                double dz = pz[a] - pz[j];
+                double r2 =
+                    std::fma(dx, dx, std::fma(dy, dy, dz * dz));
+                double r = std::sqrt(r2);
+                double rinv = 1.0 / r;
+                double r2i = rinv * rinv;
+                double r6i = r2i * r2i * r2i;
+                usum += r6i * (r6i - 0.5) * rinv;
+            }
+            ok = got[a] == usum;
+        }
+        digestBytes(got.data(), got.size() * 8);
+        return ok;
+    }
+
+  private:
+    unsigned atoms;
+    unsigned neighbors;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMd(const WorkloadScale &s)
+{
+    return std::make_unique<Md>(s);
+}
+
+} // namespace last::workloads

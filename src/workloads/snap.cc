@@ -1,0 +1,138 @@
+/**
+ * @file
+ * SNAP: discrete-ordinates neutral-particle transport proxy (Table 5).
+ * Each work-item owns a spatial cell and reduces angular flux over all
+ * ordinates with quadrature weights (weights come from a readonly
+ * table at a uniform address — scalar memory traffic under GCN3),
+ * then exchanges with workgroup neighbours through the LDS under a
+ * barrier.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace last::workloads
+{
+
+namespace
+{
+
+class Snap : public Workload
+{
+  public:
+    explicit Snap(const WorkloadScale &s)
+        : cells(scaleGrid(2048, s)), angles(16)
+    {
+    }
+
+    std::string name() const override { return "SNAP"; }
+
+    bool
+    run(runtime::Runtime &rt, IsaKind isa) override
+    {
+        using namespace hsail;
+        Rng rng(0x5a4a9);
+
+        std::vector<double> psi(size_t(cells) * angles);
+        for (auto &p : psi)
+            p = rng.nextDouble();
+        std::vector<double> wgt(angles);
+        for (auto &w : wgt)
+            w = rng.nextDouble() / angles;
+
+        Addr d_psi = rt.allocGlobal(psi.size() * 8);
+        Addr d_w = rt.allocGlobal(wgt.size() * 8);
+        Addr d_out = rt.allocGlobal(cells * 8);
+        rt.writeGlobal(d_psi, psi.data(), psi.size() * 8);
+        rt.writeGlobal(d_w, wgt.data(), wgt.size() * 8);
+
+        const unsigned wg_size = 256;
+
+        KernelBuilder kb("snap_sweep");
+        kb.setKernargBytes(32);
+        kb.setLdsBytesPerWg(wg_size * 8);
+        Val p_psi = kb.ldKernarg(DataType::U64, 0);
+        Val p_w = kb.ldKernarg(DataType::U64, 8);
+        Val p_out = kb.ldKernarg(DataType::U64, 16);
+        Val n_ang = kb.ldKernarg(DataType::U32, 24);
+        Val cell = kb.workitemAbsId();
+        Val lid = kb.workitemId();
+        Val flux = kb.immF64(0.0);
+        Val a = kb.immU32(0);
+        Val one = kb.immU32(1);
+        Val base = kb.mul(cell, n_ang);
+        kb.doBegin();
+        {
+            Val pv = kb.ldGlobal(DataType::F64,
+                                 addrAt(kb, p_psi, kb.add(base, a), 8));
+            // Quadrature weight: readonly segment, uniform address ->
+            // a scalar load in the finalized code.
+            Val wv = kb.ldReadonly(DataType::F64,
+                                   addrAt(kb, p_w, a, 8));
+            kb.emitAluTo(Opcode::Fma, flux, pv, wv, flux);
+            kb.emitAluTo(Opcode::Add, a, a, one);
+        }
+        kb.doEnd(kb.cmp(CmpOp::Lt, a, n_ang));
+
+        // Workgroup-local diffusion step through the LDS.
+        Val loff = kb.mul(lid, kb.immU32(8));
+        kb.stGroup(flux, loff);
+        kb.barrier();
+        Val lm = kb.cmov(kb.cmp(CmpOp::Eq, lid, kb.immU32(0)),
+                         kb.immU32(0), kb.sub(lid, one));
+        Val lp = kb.min_(kb.add(lid, one), kb.immU32(wg_size - 1));
+        Val left = kb.ldGroup(DataType::F64, kb.mul(lm, kb.immU32(8)));
+        Val right = kb.ldGroup(DataType::F64, kb.mul(lp, kb.immU32(8)));
+        Val smooth = kb.fma_(kb.immF64(0.25), kb.add(left, right),
+                             kb.mul(kb.immF64(0.5), flux));
+        kb.stGlobal(smooth, addrAt(kb, p_out, cell, 8));
+
+        auto &code = prepare(kb.build(), isa, rt.config());
+
+        struct Args
+        {
+            uint64_t psi, w, out;
+            uint32_t angles;
+        } args{d_psi, d_w, d_out, angles};
+        rt.dispatch(code, cells, wg_size, &args, sizeof(args));
+
+        // Host reference.
+        std::vector<double> flux_h(cells);
+        for (unsigned c = 0; c < cells; ++c) {
+            double f = 0.0;
+            for (unsigned aa = 0; aa < angles; ++aa)
+                f = std::fma(psi[size_t(c) * angles + aa], wgt[aa], f);
+            flux_h[c] = f;
+        }
+        std::vector<double> got(cells);
+        rt.readGlobal(d_out, got.data(), got.size() * 8);
+        bool ok = true;
+        for (unsigned c = 0; c < cells && ok; ++c) {
+            unsigned wg = c / wg_size;
+            unsigned lidh = c % wg_size;
+            unsigned lmh = lidh == 0 ? 0 : lidh - 1;
+            unsigned lph = std::min(lidh + 1, wg_size - 1);
+            double want =
+                std::fma(0.25,
+                         flux_h[wg * wg_size + lmh] +
+                             flux_h[wg * wg_size + lph],
+                         0.5 * flux_h[c]);
+            ok = got[c] == want;
+        }
+        digestBytes(got.data(), got.size() * 8);
+        return ok;
+    }
+
+  private:
+    unsigned cells;
+    uint32_t angles;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSnap(const WorkloadScale &s)
+{
+    return std::make_unique<Snap>(s);
+}
+
+} // namespace last::workloads

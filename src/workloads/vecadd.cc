@@ -1,0 +1,79 @@
+/**
+ * @file
+ * VecAdd: the canonical quickstart kernel (not one of the paper's ten
+ * applications; used by tests and examples).
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace last::workloads
+{
+
+namespace
+{
+
+class VecAdd : public Workload
+{
+  public:
+    explicit VecAdd(const WorkloadScale &s) : grid(scaleGrid(2048, s)) {}
+
+    std::string name() const override { return "VecAdd"; }
+
+    bool
+    run(runtime::Runtime &rt, IsaKind isa) override
+    {
+        using namespace hsail;
+        Addr a = rt.allocGlobal(uint64_t(grid) * 4);
+        Addr b = rt.allocGlobal(uint64_t(grid) * 4);
+        Addr c = rt.allocGlobal(uint64_t(grid) * 4);
+
+        Rng rng(0x7ec4dd);
+        std::vector<float> ha(grid), hb(grid);
+        for (unsigned i = 0; i < grid; ++i) {
+            ha[i] = rng.nextFloat();
+            hb[i] = rng.nextFloat();
+        }
+        rt.writeGlobal(a, ha.data(), ha.size() * 4);
+        rt.writeGlobal(b, hb.data(), hb.size() * 4);
+
+        KernelBuilder kb("vecadd");
+        kb.setKernargBytes(24);
+        Val pa = kb.ldKernarg(DataType::U64, 0);
+        Val pb = kb.ldKernarg(DataType::U64, 8);
+        Val pc = kb.ldKernarg(DataType::U64, 16);
+        Val off = kb.cvt(DataType::U64,
+                         kb.mul(kb.workitemAbsId(), kb.immU32(4)));
+        Val va = kb.ldGlobal(DataType::F32, kb.add(pa, off));
+        Val vb = kb.ldGlobal(DataType::F32, kb.add(pb, off));
+        kb.stGlobal(kb.add(va, vb), kb.add(pc, off));
+
+        auto &code = prepare(kb.build(), isa, rt.config());
+
+        struct Args
+        {
+            uint64_t a, b, c;
+        } args{a, b, c};
+        rt.dispatch(code, grid, 256, &args, sizeof(args));
+
+        std::vector<float> hc(grid);
+        rt.readGlobal(c, hc.data(), hc.size() * 4);
+        bool ok = true;
+        for (unsigned i = 0; i < grid && ok; ++i)
+            ok = hc[i] == ha[i] + hb[i];
+        digestBytes(hc.data(), hc.size() * 4);
+        return ok;
+    }
+
+  private:
+    unsigned grid;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeVecAdd(const WorkloadScale &s)
+{
+    return std::make_unique<VecAdd>(s);
+}
+
+} // namespace last::workloads

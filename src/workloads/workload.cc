@@ -1,0 +1,45 @@
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "finalizer/finalizer.hh"
+#include "finalizer/regalloc.hh"
+
+namespace last::workloads
+{
+
+arch::KernelCode &
+Workload::prepare(hsail::IlKernel &&il, IsaKind isa,
+                  const GpuConfig &cfg)
+{
+    ownedIl.push_back(std::move(il));
+    hsail::IlKernel &kept = ownedIl.back();
+    // The high-level compiler's register allocation over the IL's
+    // 2,048-register space happens for both paths (the finalizer then
+    // re-allocates into the much smaller GCN3 files).
+    finalizer::compactIlRegisters(kept);
+    if (isa == IsaKind::HSAIL)
+        return *kept.code;
+    ownedKernels.push_back(finalizer::finalize(kept, cfg));
+    return *ownedKernels.back();
+}
+
+void
+Workload::digestBytes(const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < len; ++i) {
+        digest ^= p[i];
+        digest *= 1099511628211ull;
+    }
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"ArrayBW", "BitonicSort", "CoMD",   "FFT",  "HPGMG",
+            "LULESH",  "MD",          "SNAP",   "SpMV", "XSBench"};
+}
+
+// makeWorkload() lives in factory.cc next to the implementations.
+
+} // namespace last::workloads

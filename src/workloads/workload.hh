@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Workload interface and registry.
+ *
+ * Each workload is written ONCE against the KernelBuilder DSL (the
+ * single-source property of the paper's methodology) and can run at
+ * either ISA level: the HSAIL path executes the IL directly, the GCN3
+ * path routes the same IL through the finalizer first. Every workload
+ * self-verifies its output, and the harness additionally checks that
+ * the two ISAs produce identical results.
+ */
+
+#ifndef LAST_WORKLOADS_WORKLOAD_HH
+#define LAST_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/kernel_code.hh"
+#include "common/config.hh"
+#include "hsail/builder.hh"
+#include "runtime/runtime.hh"
+
+namespace last::workloads
+{
+
+/** Scale knob for workload inputs (1 = default bench scale). */
+struct WorkloadScale
+{
+    double factor = 1.0;
+};
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Build, dispatch, and verify on the given runtime at the given
+     * ISA level.
+     *
+     * @return true iff the computed results verified against the
+     *         host-side reference.
+     */
+    virtual bool run(runtime::Runtime &rt, IsaKind isa) = 0;
+
+    /** Digest of the output buffers from the last run (must match
+     *  across ISAs). */
+    virtual uint64_t resultDigest() const { return digest; }
+
+  protected:
+    /** Prepare an IL kernel for execution at `isa`: returns the IL
+     *  code itself or the finalized GCN3 code, keeping ownership. */
+    arch::KernelCode &prepare(hsail::IlKernel &&il, IsaKind isa,
+                              const GpuConfig &cfg);
+
+    /** FNV-1a over a byte range, for cross-ISA result digests. */
+    void digestBytes(const void *data, size_t len);
+
+    uint64_t digest = 1469598103934665603ull;
+
+  private:
+    std::vector<std::unique_ptr<arch::KernelCode>> ownedKernels;
+    std::vector<hsail::IlKernel> ownedIl;
+};
+
+/** The Table 5 applications, in paper order. */
+std::vector<std::string> workloadNames();
+
+/** Instantiate a workload by name (fatal on unknown names). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const WorkloadScale &scale = {});
+
+} // namespace last::workloads
+
+#endif // LAST_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared includes and helpers for workload implementations.
+ */
+
+#ifndef LAST_WORKLOADS_WORKLOAD_IMPL_HH
+#define LAST_WORKLOADS_WORKLOAD_IMPL_HH
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "workloads/workload.hh"
+
+namespace last::workloads
+{
+
+/** Scale a grid size, keeping it a positive multiple of 256. */
+inline unsigned
+scaleGrid(unsigned base, const WorkloadScale &s)
+{
+    auto scaled = unsigned(double(base) * s.factor);
+    scaled = scaled / 256 * 256;
+    return scaled < 256 ? 256 : scaled;
+}
+
+/** Emit base64 + idx * scale as a 64-bit address value. */
+inline hsail::Val
+addrAt(hsail::KernelBuilder &kb, hsail::Val base64, hsail::Val idx,
+       unsigned scale)
+{
+    hsail::Val off = kb.mul(idx, kb.immU32(scale));
+    return kb.add(base64, kb.cvt(hsail::DataType::U64, off));
+}
+
+/** @{ Factories, one per Table 5 application (defined per-file). */
+std::unique_ptr<Workload> makeArrayBw(const WorkloadScale &);
+std::unique_ptr<Workload> makeBitonicSort(const WorkloadScale &);
+std::unique_ptr<Workload> makeCoMD(const WorkloadScale &);
+std::unique_ptr<Workload> makeFft(const WorkloadScale &);
+std::unique_ptr<Workload> makeHpgmg(const WorkloadScale &);
+std::unique_ptr<Workload> makeLulesh(const WorkloadScale &);
+std::unique_ptr<Workload> makeMd(const WorkloadScale &);
+std::unique_ptr<Workload> makeSnap(const WorkloadScale &);
+std::unique_ptr<Workload> makeSpmv(const WorkloadScale &);
+std::unique_ptr<Workload> makeXsBench(const WorkloadScale &);
+/** Extra (not part of the paper's ten): used by tests/examples. */
+std::unique_ptr<Workload> makeVecAdd(const WorkloadScale &);
+/** @} */
+
+} // namespace last::workloads
+
+#endif // LAST_WORKLOADS_WORKLOAD_IMPL_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * XSBench: Monte Carlo neutron-transport macroscopic cross-section
+ * lookup (Table 5). Each work-item runs an xorshift RNG, binary-
+ * searches a sorted energy grid (fixed-trip loop with conditional
+ * moves), then takes a ~50/50 divergent branch on the sampled material
+ * — the mid-50s% SIMD utilization of Table 6.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace last::workloads
+{
+
+namespace
+{
+
+class XsBench : public Workload
+{
+  public:
+    explicit XsBench(const WorkloadScale &s)
+        : grid(scaleGrid(2048, s)), gridPoints(1024), lookups(8)
+    {
+    }
+
+    std::string name() const override { return "XSBench"; }
+
+    bool
+    run(runtime::Runtime &rt, IsaKind isa) override
+    {
+        using namespace hsail;
+        Rng rng(0x5be9c4);
+
+        std::vector<double> egrid(gridPoints);
+        for (unsigned i = 0; i < gridPoints; ++i)
+            egrid[i] = double(i) / gridPoints +
+                       rng.nextDouble() / gridPoints;
+        std::vector<double> xs(size_t(gridPoints) * 5);
+        for (auto &v : xs)
+            v = rng.nextDouble();
+
+        Addr d_e = rt.allocGlobal(egrid.size() * 8);
+        Addr d_xs = rt.allocGlobal(xs.size() * 8);
+        Addr d_out = rt.allocGlobal(grid * 8);
+        rt.writeGlobal(d_e, egrid.data(), egrid.size() * 8);
+        rt.writeGlobal(d_xs, xs.data(), xs.size() * 8);
+
+        const unsigned log2n = 10;
+
+        KernelBuilder kb("xs_lookup");
+        kb.setKernargBytes(32);
+        Val p_e = kb.ldKernarg(DataType::U64, 0);
+        Val p_xs = kb.ldKernarg(DataType::U64, 8);
+        Val p_out = kb.ldKernarg(DataType::U64, 16);
+        Val n_pts = kb.ldKernarg(DataType::U32, 24);
+        Val n_look = kb.ldKernarg(DataType::U32, 28);
+        Val gid = kb.workitemAbsId();
+        Val seed = kb.add(kb.mul(gid, kb.immU32(2654435761u)),
+                          kb.immU32(12345));
+        Val acc = kb.immF64(0.0);
+        Val l = kb.immU32(0);
+        Val one = kb.immU32(1);
+        Val inv32 = kb.immF64(1.0 / 4294967296.0);
+        kb.doBegin();
+        {
+            // xorshift32
+            kb.emitAluTo(Opcode::Xor, seed, seed,
+                         kb.shl(seed, kb.immU32(13)));
+            kb.emitAluTo(Opcode::Xor, seed, seed,
+                         kb.shr(seed, kb.immU32(17)));
+            kb.emitAluTo(Opcode::Xor, seed, seed,
+                         kb.shl(seed, kb.immU32(5)));
+            Val e = kb.mul(kb.cvt(DataType::F64, seed), inv32);
+
+            // Fixed-trip binary search (pure predication).
+            Val lo = kb.immU32(0);
+            Val hi = kb.sub(n_pts, one);
+            Val it = kb.immU32(0);
+            kb.doBegin();
+            {
+                Val mid = kb.shr(kb.add(lo, hi), one);
+                Val em = kb.ldGlobal(DataType::F64,
+                                     addrAt(kb, p_e, mid, 8));
+                Val below = kb.cmp(CmpOp::Lt, em, e);
+                kb.assign(lo, kb.cmov(below, kb.add(mid, one), lo));
+                kb.assign(hi, kb.cmov(below, hi, mid));
+                kb.emitAluTo(Opcode::Add, it, it, one);
+            }
+            kb.doEnd(kb.cmp(CmpOp::Lt, it, kb.immU32(log2n)));
+            Val idx = kb.min_(lo, kb.sub(n_pts, one));
+            Val row = kb.mul(idx, kb.immU32(5));
+
+            // Divergent material branch (~50/50).
+            Val heavy = kb.cmp(CmpOp::Eq,
+                               kb.and_(seed, kb.immU32(1)),
+                               kb.immU32(0));
+            kb.ifBegin(heavy);
+            {
+                // Full 5-reaction macro XS accumulation.
+                Val t = kb.immF64(0.0);
+                for (unsigned k = 0; k < 5; ++k) {
+                    Val xv = kb.ldGlobal(
+                        DataType::F64,
+                        addrAt(kb, p_xs, kb.add(row, kb.immU32(k)), 8));
+                    kb.emitAluTo(Opcode::Fma, t, xv,
+                                 kb.immF64(0.1 + k), t);
+                }
+                kb.emitAluTo(Opcode::Add, acc, acc, t);
+            }
+            kb.ifElse();
+            {
+                Val xv = kb.ldGlobal(DataType::F64,
+                                     addrAt(kb, p_xs, row, 8));
+                kb.emitAluTo(Opcode::Add, acc, acc, xv);
+            }
+            kb.ifEnd();
+            kb.emitAluTo(Opcode::Add, l, l, one);
+        }
+        kb.doEnd(kb.cmp(CmpOp::Lt, l, n_look));
+        kb.stGlobal(acc, addrAt(kb, p_out, gid, 8));
+
+        auto &code = prepare(kb.build(), isa, rt.config());
+
+        struct Args
+        {
+            uint64_t e, xs, out;
+            uint32_t n, looks;
+        } args{d_e, d_xs, d_out, gridPoints, lookups};
+        rt.dispatch(code, grid, 256, &args, sizeof(args));
+
+        std::vector<double> got(grid);
+        rt.readGlobal(d_out, got.data(), got.size() * 8);
+        bool ok = true;
+        for (unsigned g = 0; g < grid && ok; ++g) {
+            uint32_t seed_h = g * 2654435761u + 12345u;
+            double acc_h = 0.0;
+            for (unsigned ll = 0; ll < lookups; ++ll) {
+                seed_h ^= seed_h << 13;
+                seed_h ^= seed_h >> 17;
+                seed_h ^= seed_h << 5;
+                double e = double(seed_h) * (1.0 / 4294967296.0);
+                uint32_t lo = 0, hi = gridPoints - 1;
+                for (unsigned it = 0; it < log2n; ++it) {
+                    uint32_t mid = (lo + hi) >> 1;
+                    if (egrid[mid] < e)
+                        lo = mid + 1;
+                    else
+                        hi = mid;
+                }
+                uint32_t idx = std::min(lo, gridPoints - 1);
+                uint32_t row = idx * 5;
+                if ((seed_h & 1) == 0) {
+                    double t = 0.0;
+                    for (unsigned k = 0; k < 5; ++k)
+                        t = std::fma(xs[row + k], 0.1 + k, t);
+                    acc_h += t;
+                } else {
+                    acc_h += xs[row];
+                }
+            }
+            ok = got[g] == acc_h;
+        }
+        digestBytes(got.data(), got.size() * 8);
+        return ok;
+    }
+
+  private:
+    unsigned grid;
+    uint32_t gridPoints;
+    unsigned lookups;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeXsBench(const WorkloadScale &s)
+{
+    return std::make_unique<XsBench>(s);
+}
+
+} // namespace last::workloads

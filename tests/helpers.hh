@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared test utilities: a bare functional executor that runs a kernel
+ * on a single wavefront without the timing model (for ISA semantics
+ * tests), and a random IL kernel generator (for differential property
+ * tests).
+ */
+
+#ifndef LAST_TESTS_HELPERS_HH
+#define LAST_TESTS_HELPERS_HH
+
+#include <memory>
+
+#include "arch/kernel_code.hh"
+#include "arch/wf_state.hh"
+#include "common/random.hh"
+#include "hsail/builder.hh"
+#include "memory/functional_memory.hh"
+#include "memory/lds.hh"
+
+namespace last::test
+{
+
+/** A one-wavefront functional execution environment. */
+struct MiniWf
+{
+    mem::FunctionalMemory mem;
+    mem::LdsBlock lds{4096};
+    arch::WfState st;
+
+    explicit MiniWf(const arch::KernelCode &code, unsigned wg_size = 64,
+                    unsigned grid = 64, unsigned wg_id = 0)
+    {
+        st.isa = code.isa();
+        st.code = &code;
+        st.wgId = wg_id;
+        st.wgSize = wg_size;
+        st.gridSize = grid;
+        st.wfIdInWg = 0;
+        st.firstWorkitem = wg_id * wg_size;
+        st.memory = &mem;
+        st.lds = &lds;
+        st.vregs.assign(std::max<unsigned>(code.vregsUsed, 1),
+                        arch::LaneVec{});
+        st.initLaunch(~0ull);
+    }
+
+    /** Execute to completion (functional; no timing). Returns the
+     *  number of dynamic instructions. */
+    uint64_t
+    run(uint64_t max_insts = 1000000)
+    {
+        uint64_t n = 0;
+        const arch::KernelCode &code = *st.code;
+        while (!st.done && n < max_insts) {
+            size_t idx = code.indexAt(st.pc);
+            st.pendingAccess.reset();
+            st.atBarrier = false;
+            code.inst(idx).execute(st);
+            ++n;
+            if (st.isa == IsaKind::HSAIL) {
+                st.rs.back().pc = st.nextPc;
+                while (st.rs.size() > 1 &&
+                       st.rs.back().pc == st.rs.back().rpc)
+                    st.rs.pop_back();
+                st.pc = st.rs.back().pc;
+            } else {
+                st.pc = st.nextPc;
+            }
+        }
+        return n;
+    }
+};
+
+/**
+ * Generate a random-but-valid IL kernel: mixed u32/f32 arithmetic,
+ * conditional moves, divergent and uniform ifs, a bounded loop, loads
+ * from an input buffer, one store per work-item to out[gid].
+ * kernargs: [0]=in (u64), [8]=out (u64).
+ */
+hsail::IlKernel randomKernel(uint64_t seed);
+
+} // namespace last::test
+
+#endif // LAST_TESTS_HELPERS_HH

@@ -1,0 +1,187 @@
+/** @file CFG / post-dominator / reconvergence-stack tests. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "hsail/inst.hh"
+#include "hsail/ipdom.hh"
+
+using namespace last;
+using namespace last::hsail;
+using last::test::MiniWf;
+
+TEST(IpdomCfg, IfThenBlocks)
+{
+    KernelBuilder kb("ifthen");
+    Val c = kb.cmp(CmpOp::Lt, kb.workitemAbsId(), kb.immU32(10));
+    kb.ifBegin(c);
+    kb.add(kb.immU32(1), kb.immU32(2));
+    kb.ifEnd();
+    auto il = kb.build();
+    auto blocks = buildCfg(*il.code);
+    // entry+branch | then | after.
+    ASSERT_EQ(blocks.size(), 3u);
+    EXPECT_EQ(blocks[0].succs.size(), 2u);
+    EXPECT_EQ(blocks[1].succs.size(), 1u);
+    auto ipd = postDominators(blocks);
+    EXPECT_EQ(ipd[0], 2u); // branch reconverges at the join block
+}
+
+TEST(IpdomCfg, IfElseReconvergesAtJoin)
+{
+    KernelBuilder kb("ifelse");
+    Val c = kb.cmp(CmpOp::Lt, kb.workitemAbsId(), kb.immU32(10));
+    kb.ifBegin(c);
+    kb.add(kb.immU32(1), kb.immU32(2));
+    kb.ifElse();
+    kb.add(kb.immU32(3), kb.immU32(4));
+    kb.ifEnd();
+    Val after = kb.add(kb.immU32(5), kb.immU32(6));
+    (void)after;
+    auto il = kb.build();
+    auto blocks = buildCfg(*il.code);
+    auto ipd = postDominators(blocks);
+    // Branch block's ipdom must be the join block, which starts with
+    // the first instruction after the region.
+    const auto &cbr =
+        static_cast<const HsailInst &>(il.code->inst(blocks[0].last));
+    ASSERT_TRUE(cbr.is(arch::IsBranch));
+    size_t join = ipd[0];
+    ASSERT_NE(join, SIZE_MAX);
+    EXPECT_EQ(cbr.rpcOffset(), il.code->offsetOf(blocks[join].first));
+}
+
+TEST(IpdomCfg, LoopBackedge)
+{
+    KernelBuilder kb("loop");
+    Val i = kb.immU32(0);
+    Val one = kb.immU32(1);
+    kb.doBegin();
+    kb.emitAluTo(Opcode::Add, i, i, one);
+    kb.doEnd(kb.cmp(CmpOp::Lt, i, kb.immU32(5)));
+    auto il = kb.build();
+    auto blocks = buildCfg(*il.code);
+    // The backedge block must have two successors (top + fallthrough).
+    bool saw_backedge = false;
+    for (const auto &b : blocks) {
+        const auto &inst =
+            static_cast<const HsailInst &>(il.code->inst(b.last));
+        if (inst.is(arch::IsBranch) && inst.op() == Opcode::CBr &&
+            b.succs.size() == 2)
+            saw_backedge = true;
+    }
+    EXPECT_TRUE(saw_backedge);
+}
+
+TEST(ReconvergenceStack, DivergentIfMasksLanes)
+{
+    KernelBuilder kb("div");
+    Val gid = kb.workitemAbsId();
+    Val r = kb.immU32(0);
+    Val c = kb.cmp(CmpOp::Lt, gid, kb.immU32(20));
+    kb.ifBegin(c);
+    kb.emitAluTo(Opcode::Add, r, r, kb.immU32(100));
+    kb.ifElse();
+    kb.emitAluTo(Opcode::Add, r, r, kb.immU32(200));
+    kb.ifEnd();
+    kb.emitAluTo(Opcode::Add, r, r, kb.immU32(1));
+    auto il = kb.build();
+    MiniWf wf(*il.code);
+    wf.run();
+    EXPECT_EQ(wf.st.readVreg(r.reg, 0), 101u);
+    EXPECT_EQ(wf.st.readVreg(r.reg, 19), 101u);
+    EXPECT_EQ(wf.st.readVreg(r.reg, 20), 201u);
+    EXPECT_EQ(wf.st.readVreg(r.reg, 63), 201u);
+    // Stack fully unwound at the end.
+    EXPECT_EQ(wf.st.rs.size(), 1u);
+}
+
+TEST(ReconvergenceStack, DivergentLoopTripCounts)
+{
+    // Lane l iterates (l % 4) + 1 times.
+    KernelBuilder kb("divloop");
+    Val gid = kb.workitemAbsId();
+    Val j = kb.and_(gid, kb.immU32(3));
+    Val cnt = kb.immU32(0);
+    Val one = kb.immU32(1);
+    kb.doBegin();
+    kb.emitAluTo(Opcode::Add, cnt, cnt, one);
+    kb.emitAluTo(Opcode::Add, j, j, one);
+    kb.doEnd(kb.cmp(CmpOp::Lt, j, kb.immU32(4)));
+    auto il = kb.build();
+    MiniWf wf(*il.code);
+    wf.run();
+    for (unsigned lane = 0; lane < 64; ++lane)
+        EXPECT_EQ(wf.st.readVreg(cnt.reg, lane), 4 - (lane % 4));
+}
+
+TEST(ReconvergenceStack, NestedDivergence)
+{
+    KernelBuilder kb("nested");
+    Val gid = kb.workitemAbsId();
+    Val r = kb.immU32(0);
+    Val outer = kb.cmp(CmpOp::Lt, gid, kb.immU32(32));
+    kb.ifBegin(outer);
+    {
+        Val inner = kb.cmp(CmpOp::Lt, gid, kb.immU32(16));
+        kb.ifBegin(inner);
+        kb.emitAluTo(Opcode::Add, r, r, kb.immU32(10));
+        kb.ifEnd();
+        kb.emitAluTo(Opcode::Add, r, r, kb.immU32(1));
+    }
+    kb.ifEnd();
+    auto il = kb.build();
+    MiniWf wf(*il.code);
+    wf.run();
+    EXPECT_EQ(wf.st.readVreg(r.reg, 5), 11u);
+    EXPECT_EQ(wf.st.readVreg(r.reg, 20), 1u);
+    EXPECT_EQ(wf.st.readVreg(r.reg, 40), 0u);
+}
+
+TEST(ReconvergenceStack, Figure3IfElseIf)
+{
+    // The paper's Figure 3: if / else-if with five work-items taking
+    // different paths; every work-item writes 84 or 90.
+    KernelBuilder kb("fig3");
+    Val gid = kb.workitemAbsId();
+    Val out = kb.immU64(0x8000);
+    Val off = kb.cvt(DataType::U64, kb.mul(gid, kb.immU32(4)));
+    Val dst = kb.add(out, off);
+    Val c1 = kb.cmp(CmpOp::Lt, gid, kb.immU32(2));
+    kb.ifBegin(c1);
+    kb.stGlobal(kb.immU32(84), dst);
+    kb.ifElse();
+    {
+        Val c2 = kb.cmp(CmpOp::Lt, gid, kb.immU32(4));
+        kb.ifBegin(c2);
+        kb.stGlobal(kb.immU32(90), dst);
+        kb.ifElse();
+        kb.stGlobal(kb.immU32(84), dst);
+        kb.ifEnd();
+    }
+    kb.ifEnd();
+    auto il = kb.build();
+    MiniWf wf(*il.code);
+    wf.run();
+    EXPECT_EQ(wf.mem.read<uint32_t>(0x8000 + 0 * 4), 84u);
+    EXPECT_EQ(wf.mem.read<uint32_t>(0x8000 + 1 * 4), 84u);
+    EXPECT_EQ(wf.mem.read<uint32_t>(0x8000 + 2 * 4), 90u);
+    EXPECT_EQ(wf.mem.read<uint32_t>(0x8000 + 3 * 4), 90u);
+    EXPECT_EQ(wf.mem.read<uint32_t>(0x8000 + 4 * 4), 84u);
+}
+
+TEST(ReconvergenceStack, UniformBranchNoDivergence)
+{
+    KernelBuilder kb("uniform");
+    Val wg = kb.workgroupId();
+    Val r = kb.immU32(0);
+    Val c = kb.cmp(CmpOp::Eq, wg, kb.immU32(0));
+    kb.ifBegin(c);
+    kb.emitAluTo(Opcode::Add, r, r, kb.immU32(7));
+    kb.ifEnd();
+    auto il = kb.build();
+    MiniWf wf(*il.code); // wgId = 0 -> taken uniformly
+    wf.run();
+    EXPECT_EQ(wf.st.readVreg(r.reg, 0), 7u);
+    EXPECT_EQ(wf.st.readVreg(r.reg, 63), 7u);
+}

@@ -1,0 +1,220 @@
+/** @file Unit tests for functional memory, caches, DRAM, and LDS. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "memory/cache.hh"
+#include "memory/dram.hh"
+#include "memory/functional_memory.hh"
+#include "memory/lds.hh"
+
+using namespace last;
+using namespace last::mem;
+
+TEST(FunctionalMemory, ReadWriteRoundTrip)
+{
+    FunctionalMemory m;
+    m.write<uint32_t>(0x1000, 0xdeadbeef);
+    EXPECT_EQ(m.read<uint32_t>(0x1000), 0xdeadbeefu);
+    m.write<double>(0x2000, 3.25);
+    EXPECT_DOUBLE_EQ(m.read<double>(0x2000), 3.25);
+}
+
+TEST(FunctionalMemory, UnwrittenReadsZero)
+{
+    FunctionalMemory m;
+    EXPECT_EQ(m.read<uint64_t>(0x98765), 0u);
+}
+
+TEST(FunctionalMemory, CrossPageAccess)
+{
+    FunctionalMemory m;
+    uint64_t v = 0x1122334455667788ull;
+    m.write(4096 - 4, &v, 8); // straddles a page boundary
+    uint64_t got = 0;
+    m.read(4096 - 4, &got, 8);
+    EXPECT_EQ(got, v);
+    EXPECT_GE(m.numPages(), 2u);
+}
+
+TEST(FunctionalMemory, FootprintCountsLines)
+{
+    FunctionalMemory m;
+    EXPECT_EQ(m.footprintLines(), 0u);
+    m.write<uint32_t>(0, 1);
+    m.write<uint32_t>(4, 1); // same 64 B line
+    EXPECT_EQ(m.footprintLines(), 1u);
+    m.write<uint32_t>(64, 1);
+    EXPECT_EQ(m.footprintLines(), 2u);
+    m.read<uint32_t>(640); // reads count too
+    EXPECT_EQ(m.footprintLines(), 3u);
+    m.resetFootprint();
+    EXPECT_EQ(m.footprintLines(), 0u);
+    EXPECT_EQ(m.read<uint32_t>(0), 1u); // contents survive
+}
+
+namespace
+{
+
+/** Fixed-latency backing level for cache tests. */
+class FakeNext : public MemLevel
+{
+  public:
+    Cycle
+    access(Addr, bool is_write, Cycle now) override
+    {
+        ++accesses;
+        if (is_write)
+            ++writes;
+        return now + 100;
+    }
+    unsigned accesses = 0;
+    unsigned writes = 0;
+};
+
+CacheConfig
+smallCache()
+{
+    return {1024, 64, 2, 4, false, 4};
+}
+
+} // namespace
+
+TEST(Cache, HitAfterMiss)
+{
+    stats::Group root("root");
+    FakeNext next;
+    Cache c("l1", smallCache(), &next, &root);
+    Cycle t1 = c.access(0x100, false, 0);
+    EXPECT_GT(t1, 100u); // miss went to the next level
+    EXPECT_EQ(c.misses.value(), 1.0);
+    Cycle t2 = c.access(0x104, false, Cycle(t1));
+    EXPECT_EQ(t2, t1 + 4); // same-line hit at hit latency
+    EXPECT_EQ(c.hits.value(), 1.0);
+    EXPECT_TRUE(c.isCached(0x100));
+}
+
+TEST(Cache, MshrMergesOutstandingMisses)
+{
+    stats::Group root("root");
+    FakeNext next;
+    Cache c("l1", smallCache(), &next, &root);
+    Cycle t1 = c.access(0x200, false, 0);
+    Cycle t2 = c.access(0x220, false, 1); // same line, still in flight
+    EXPECT_EQ(t2, t1);
+    EXPECT_EQ(next.accesses, 1u);
+    // After the fill completes, accesses hit at hit latency again.
+    Cycle t3 = c.access(0x200, false, t1 + 1);
+    EXPECT_EQ(t3, t1 + 1 + 4);
+}
+
+TEST(Cache, LruEviction)
+{
+    stats::Group root("root");
+    FakeNext next;
+    // 2-way, 64 B lines, 1 kB => 8 sets. Three lines in one set.
+    Cache c("l1", smallCache(), &next, &root);
+    Addr set_stride = 8 * 64;
+    c.access(0 * set_stride, false, 1000);
+    c.access(1 * set_stride, false, 2000);
+    c.access(2 * set_stride, false, 3000); // evicts the first
+    EXPECT_FALSE(c.isCached(0));
+    EXPECT_TRUE(c.isCached(1 * set_stride));
+    EXPECT_TRUE(c.isCached(2 * set_stride));
+}
+
+TEST(Cache, WriteThroughForwards)
+{
+    stats::Group root("root");
+    FakeNext next;
+    Cache c("l1", smallCache(), &next, &root);
+    c.access(0x40, false, 0);
+    unsigned before = next.writes;
+    c.access(0x40, true, 500);
+    EXPECT_EQ(next.writes, before + 1);
+}
+
+TEST(Cache, WriteBackDefersAndEvictsDirty)
+{
+    stats::Group root("root");
+    FakeNext next;
+    CacheConfig cfg = smallCache();
+    cfg.writeBack = true;
+    Cache c("l1", cfg, &next, &root);
+    c.access(0x40, true, 0);
+    EXPECT_EQ(next.writes, 0u); // dirty in cache, no write-through
+    // Force eviction of the dirty line.
+    Addr set_stride = 8 * 64;
+    c.access(0x40 + set_stride, false, 1000);
+    c.access(0x40 + 2 * set_stride, false, 2000);
+    EXPECT_EQ(c.writebacks.value(), 1.0);
+    EXPECT_EQ(next.writes, 1u);
+}
+
+TEST(Cache, FullyAssociativeConfig)
+{
+    stats::Group root("root");
+    FakeNext next;
+    CacheConfig cfg{16 * 1024, 64, 0, 4, true, 16};
+    Cache c("l1d", cfg, &next, &root);
+    // 256 distinct lines all fit.
+    for (unsigned i = 0; i < 256; ++i)
+        c.access(Addr(i) * 64, false, i * 200);
+    for (unsigned i = 0; i < 256; ++i)
+        EXPECT_TRUE(c.isCached(Addr(i) * 64));
+}
+
+TEST(Cache, InvalidateAll)
+{
+    stats::Group root("root");
+    FakeNext next;
+    Cache c("l1", smallCache(), &next, &root);
+    c.access(0x40, false, 0);
+    c.invalidateAll();
+    EXPECT_FALSE(c.isCached(0x40));
+}
+
+TEST(Dram, ChannelBandwidthSerializes)
+{
+    stats::Group root("root");
+    GpuConfig cfg;
+    cfg.dramChannels = 2;
+    cfg.dramLatency = 100;
+    cfg.dramCyclesPerLine = 10;
+    Dram d("dram", cfg, &root);
+    // Same channel: line addresses 0 and 2*64 both map to channel 0.
+    Cycle t1 = d.access(0, false, 0);
+    Cycle t2 = d.access(2 * 64, false, 0);
+    EXPECT_EQ(t1, 100u);
+    EXPECT_EQ(t2, 110u); // queued behind the first transfer
+    // Different channel: no queueing.
+    Cycle t3 = d.access(64, false, 0);
+    EXPECT_EQ(t3, 100u);
+    EXPECT_EQ(d.reads.value(), 3.0);
+}
+
+TEST(Lds, ReadWriteAndBounds)
+{
+    LdsBlock lds(256);
+    lds.write32(0, 42);
+    lds.write32(252, 7);
+    EXPECT_EQ(lds.read32(0), 42u);
+    EXPECT_EQ(lds.read32(252), 7u);
+    lds.write32(300, 9); // out of bounds: ignored
+    EXPECT_EQ(lds.read32(300), 0u);
+}
+
+TEST(Lds, ConflictPasses)
+{
+    std::array<Addr, 64> offs{};
+    // All lanes hit distinct banks: one pass.
+    for (unsigned l = 0; l < 64; ++l)
+        offs[l] = (l % 32) * 4;
+    EXPECT_EQ(LdsBlock::conflictPasses(offs, ~0ull), 2u); // 64/32 lanes
+    // All lanes hit the same bank.
+    for (unsigned l = 0; l < 64; ++l)
+        offs[l] = 128 * l; // bank 0 every time
+    EXPECT_EQ(LdsBlock::conflictPasses(offs, ~0ull), 64u);
+    // Only one active lane.
+    EXPECT_EQ(LdsBlock::conflictPasses(offs, 1ull), 1u);
+}
