@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_dynamic_insts.dir/fig05_dynamic_insts.cc.o"
+  "CMakeFiles/fig05_dynamic_insts.dir/fig05_dynamic_insts.cc.o.d"
+  "fig05_dynamic_insts"
+  "fig05_dynamic_insts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_dynamic_insts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_vrf_conflicts.dir/fig06_vrf_conflicts.cc.o"
+  "CMakeFiles/fig06_vrf_conflicts.dir/fig06_vrf_conflicts.cc.o.d"
+  "fig06_vrf_conflicts"
+  "fig06_vrf_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_vrf_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

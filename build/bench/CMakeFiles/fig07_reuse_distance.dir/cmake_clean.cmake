@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_reuse_distance.dir/fig07_reuse_distance.cc.o"
+  "CMakeFiles/fig07_reuse_distance.dir/fig07_reuse_distance.cc.o.d"
+  "fig07_reuse_distance"
+  "fig07_reuse_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_reuse_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

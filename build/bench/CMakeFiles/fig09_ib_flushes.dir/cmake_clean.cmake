@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_ib_flushes.dir/fig09_ib_flushes.cc.o"
+  "CMakeFiles/fig09_ib_flushes.dir/fig09_ib_flushes.cc.o.d"
+  "fig09_ib_flushes"
+  "fig09_ib_flushes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ib_flushes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

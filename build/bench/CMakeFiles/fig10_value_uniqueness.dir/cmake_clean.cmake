@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_value_uniqueness.dir/fig10_value_uniqueness.cc.o"
+  "CMakeFiles/fig10_value_uniqueness.dir/fig10_value_uniqueness.cc.o.d"
+  "fig10_value_uniqueness"
+  "fig10_value_uniqueness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_value_uniqueness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

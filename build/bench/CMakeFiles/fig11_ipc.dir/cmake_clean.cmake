@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ipc.dir/fig11_ipc.cc.o"
+  "CMakeFiles/fig11_ipc.dir/fig11_ipc.cc.o.d"
+  "fig11_ipc"
+  "fig11_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

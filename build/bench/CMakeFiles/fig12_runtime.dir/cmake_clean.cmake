@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_runtime.dir/fig12_runtime.cc.o"
+  "CMakeFiles/fig12_runtime.dir/fig12_runtime.cc.o.d"
+  "fig12_runtime"
+  "fig12_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

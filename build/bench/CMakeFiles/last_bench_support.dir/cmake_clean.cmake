@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/last_bench_support.dir/support.cc.o"
+  "CMakeFiles/last_bench_support.dir/support.cc.o.d"
+  "liblast_bench_support.a"
+  "liblast_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/last_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

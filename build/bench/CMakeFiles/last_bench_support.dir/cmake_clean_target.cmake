@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblast_bench_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_abi_expansions.dir/tab01_abi_expansions.cc.o"
+  "CMakeFiles/tab01_abi_expansions.dir/tab01_abi_expansions.cc.o.d"
+  "tab01_abi_expansions"
+  "tab01_abi_expansions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_abi_expansions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

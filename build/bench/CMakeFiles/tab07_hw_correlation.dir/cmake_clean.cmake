@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab07_hw_correlation.dir/tab07_hw_correlation.cc.o"
+  "CMakeFiles/tab07_hw_correlation.dir/tab07_hw_correlation.cc.o.d"
+  "tab07_hw_correlation"
+  "tab07_hw_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_hw_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

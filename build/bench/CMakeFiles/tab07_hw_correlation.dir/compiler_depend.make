@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab07_hw_correlation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_expansions.dir/isa_expansions.cpp.o"
+  "CMakeFiles/isa_expansions.dir/isa_expansions.cpp.o.d"
+  "isa_expansions"
+  "isa_expansions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_expansions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/instruction.cc" "src/CMakeFiles/last.dir/arch/instruction.cc.o" "gcc" "src/CMakeFiles/last.dir/arch/instruction.cc.o.d"
+  "/root/repo/src/arch/kernel_code.cc" "src/CMakeFiles/last.dir/arch/kernel_code.cc.o" "gcc" "src/CMakeFiles/last.dir/arch/kernel_code.cc.o.d"
+  "/root/repo/src/arch/wf_state.cc" "src/CMakeFiles/last.dir/arch/wf_state.cc.o" "gcc" "src/CMakeFiles/last.dir/arch/wf_state.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/last.dir/common/config.cc.o" "gcc" "src/CMakeFiles/last.dir/common/config.cc.o.d"
+  "/root/repo/src/common/event_queue.cc" "src/CMakeFiles/last.dir/common/event_queue.cc.o" "gcc" "src/CMakeFiles/last.dir/common/event_queue.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/last.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/last.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/last.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/last.dir/common/stats.cc.o.d"
+  "/root/repo/src/cu/compute_unit.cc" "src/CMakeFiles/last.dir/cu/compute_unit.cc.o" "gcc" "src/CMakeFiles/last.dir/cu/compute_unit.cc.o.d"
+  "/root/repo/src/finalizer/finalizer.cc" "src/CMakeFiles/last.dir/finalizer/finalizer.cc.o" "gcc" "src/CMakeFiles/last.dir/finalizer/finalizer.cc.o.d"
+  "/root/repo/src/finalizer/regalloc.cc" "src/CMakeFiles/last.dir/finalizer/regalloc.cc.o" "gcc" "src/CMakeFiles/last.dir/finalizer/regalloc.cc.o.d"
+  "/root/repo/src/finalizer/uniformity.cc" "src/CMakeFiles/last.dir/finalizer/uniformity.cc.o" "gcc" "src/CMakeFiles/last.dir/finalizer/uniformity.cc.o.d"
+  "/root/repo/src/gcn3/inst.cc" "src/CMakeFiles/last.dir/gcn3/inst.cc.o" "gcc" "src/CMakeFiles/last.dir/gcn3/inst.cc.o.d"
+  "/root/repo/src/gpu/command_processor.cc" "src/CMakeFiles/last.dir/gpu/command_processor.cc.o" "gcc" "src/CMakeFiles/last.dir/gpu/command_processor.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/last.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/last.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/hsail/brig.cc" "src/CMakeFiles/last.dir/hsail/brig.cc.o" "gcc" "src/CMakeFiles/last.dir/hsail/brig.cc.o.d"
+  "/root/repo/src/hsail/builder.cc" "src/CMakeFiles/last.dir/hsail/builder.cc.o" "gcc" "src/CMakeFiles/last.dir/hsail/builder.cc.o.d"
+  "/root/repo/src/hsail/inst.cc" "src/CMakeFiles/last.dir/hsail/inst.cc.o" "gcc" "src/CMakeFiles/last.dir/hsail/inst.cc.o.d"
+  "/root/repo/src/hsail/ipdom.cc" "src/CMakeFiles/last.dir/hsail/ipdom.cc.o" "gcc" "src/CMakeFiles/last.dir/hsail/ipdom.cc.o.d"
+  "/root/repo/src/memory/cache.cc" "src/CMakeFiles/last.dir/memory/cache.cc.o" "gcc" "src/CMakeFiles/last.dir/memory/cache.cc.o.d"
+  "/root/repo/src/memory/dram.cc" "src/CMakeFiles/last.dir/memory/dram.cc.o" "gcc" "src/CMakeFiles/last.dir/memory/dram.cc.o.d"
+  "/root/repo/src/memory/functional_memory.cc" "src/CMakeFiles/last.dir/memory/functional_memory.cc.o" "gcc" "src/CMakeFiles/last.dir/memory/functional_memory.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/CMakeFiles/last.dir/runtime/runtime.cc.o" "gcc" "src/CMakeFiles/last.dir/runtime/runtime.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/last.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/last.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/workloads/arraybw.cc" "src/CMakeFiles/last.dir/workloads/arraybw.cc.o" "gcc" "src/CMakeFiles/last.dir/workloads/arraybw.cc.o.d"
+  "/root/repo/src/workloads/bitonic.cc" "src/CMakeFiles/last.dir/workloads/bitonic.cc.o" "gcc" "src/CMakeFiles/last.dir/workloads/bitonic.cc.o.d"
+  "/root/repo/src/workloads/comd.cc" "src/CMakeFiles/last.dir/workloads/comd.cc.o" "gcc" "src/CMakeFiles/last.dir/workloads/comd.cc.o.d"
+  "/root/repo/src/workloads/factory.cc" "src/CMakeFiles/last.dir/workloads/factory.cc.o" "gcc" "src/CMakeFiles/last.dir/workloads/factory.cc.o.d"
+  "/root/repo/src/workloads/fft.cc" "src/CMakeFiles/last.dir/workloads/fft.cc.o" "gcc" "src/CMakeFiles/last.dir/workloads/fft.cc.o.d"
+  "/root/repo/src/workloads/hpgmg.cc" "src/CMakeFiles/last.dir/workloads/hpgmg.cc.o" "gcc" "src/CMakeFiles/last.dir/workloads/hpgmg.cc.o.d"
+  "/root/repo/src/workloads/lulesh.cc" "src/CMakeFiles/last.dir/workloads/lulesh.cc.o" "gcc" "src/CMakeFiles/last.dir/workloads/lulesh.cc.o.d"
+  "/root/repo/src/workloads/md.cc" "src/CMakeFiles/last.dir/workloads/md.cc.o" "gcc" "src/CMakeFiles/last.dir/workloads/md.cc.o.d"
+  "/root/repo/src/workloads/snap.cc" "src/CMakeFiles/last.dir/workloads/snap.cc.o" "gcc" "src/CMakeFiles/last.dir/workloads/snap.cc.o.d"
+  "/root/repo/src/workloads/spmv.cc" "src/CMakeFiles/last.dir/workloads/spmv.cc.o" "gcc" "src/CMakeFiles/last.dir/workloads/spmv.cc.o.d"
+  "/root/repo/src/workloads/vecadd.cc" "src/CMakeFiles/last.dir/workloads/vecadd.cc.o" "gcc" "src/CMakeFiles/last.dir/workloads/vecadd.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/last.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/last.dir/workloads/workload.cc.o.d"
+  "/root/repo/src/workloads/xsbench.cc" "src/CMakeFiles/last.dir/workloads/xsbench.cc.o" "gcc" "src/CMakeFiles/last.dir/workloads/xsbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/helpers.cc" "tests/CMakeFiles/last_tests.dir/helpers.cc.o" "gcc" "tests/CMakeFiles/last_tests.dir/helpers.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/last_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/last_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_cu.cc" "tests/CMakeFiles/last_tests.dir/test_cu.cc.o" "gcc" "tests/CMakeFiles/last_tests.dir/test_cu.cc.o.d"
+  "/root/repo/tests/test_differential.cc" "tests/CMakeFiles/last_tests.dir/test_differential.cc.o" "gcc" "tests/CMakeFiles/last_tests.dir/test_differential.cc.o.d"
+  "/root/repo/tests/test_finalizer.cc" "tests/CMakeFiles/last_tests.dir/test_finalizer.cc.o" "gcc" "tests/CMakeFiles/last_tests.dir/test_finalizer.cc.o.d"
+  "/root/repo/tests/test_gcn3.cc" "tests/CMakeFiles/last_tests.dir/test_gcn3.cc.o" "gcc" "tests/CMakeFiles/last_tests.dir/test_gcn3.cc.o.d"
+  "/root/repo/tests/test_hsail.cc" "tests/CMakeFiles/last_tests.dir/test_hsail.cc.o" "gcc" "tests/CMakeFiles/last_tests.dir/test_hsail.cc.o.d"
+  "/root/repo/tests/test_ipdom.cc" "tests/CMakeFiles/last_tests.dir/test_ipdom.cc.o" "gcc" "tests/CMakeFiles/last_tests.dir/test_ipdom.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/last_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/last_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/last_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/last_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_runtime.cc" "tests/CMakeFiles/last_tests.dir/test_runtime.cc.o" "gcc" "tests/CMakeFiles/last_tests.dir/test_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/last.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

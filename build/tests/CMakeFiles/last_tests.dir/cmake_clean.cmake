@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/last_tests.dir/helpers.cc.o"
+  "CMakeFiles/last_tests.dir/helpers.cc.o.d"
+  "CMakeFiles/last_tests.dir/test_common.cc.o"
+  "CMakeFiles/last_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/last_tests.dir/test_cu.cc.o"
+  "CMakeFiles/last_tests.dir/test_cu.cc.o.d"
+  "CMakeFiles/last_tests.dir/test_differential.cc.o"
+  "CMakeFiles/last_tests.dir/test_differential.cc.o.d"
+  "CMakeFiles/last_tests.dir/test_finalizer.cc.o"
+  "CMakeFiles/last_tests.dir/test_finalizer.cc.o.d"
+  "CMakeFiles/last_tests.dir/test_gcn3.cc.o"
+  "CMakeFiles/last_tests.dir/test_gcn3.cc.o.d"
+  "CMakeFiles/last_tests.dir/test_hsail.cc.o"
+  "CMakeFiles/last_tests.dir/test_hsail.cc.o.d"
+  "CMakeFiles/last_tests.dir/test_ipdom.cc.o"
+  "CMakeFiles/last_tests.dir/test_ipdom.cc.o.d"
+  "CMakeFiles/last_tests.dir/test_memory.cc.o"
+  "CMakeFiles/last_tests.dir/test_memory.cc.o.d"
+  "CMakeFiles/last_tests.dir/test_properties.cc.o"
+  "CMakeFiles/last_tests.dir/test_properties.cc.o.d"
+  "CMakeFiles/last_tests.dir/test_runtime.cc.o"
+  "CMakeFiles/last_tests.dir/test_runtime.cc.o.d"
+  "last_tests"
+  "last_tests.pdb"
+  "last_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/last_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
