@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/event_queue.hh"
 #include "finalizer/finalizer.hh"
 #include "finalizer/regalloc.hh"
 #include "hsail/builder.hh"
@@ -32,6 +33,51 @@ BM_FunctionalMemoryWrite(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FunctionalMemoryWrite);
+
+void
+BM_FunctionalMemoryRead(benchmark::State &state)
+{
+    mem::FunctionalMemory m;
+    for (Addr a = 0; a < 0x100000; a += 64)
+        m.write<uint64_t>(a, a);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.read<uint64_t>(addr));
+        addr = (addr + 64) & 0xfffff;
+    }
+}
+BENCHMARK(BM_FunctionalMemoryRead);
+
+void
+BM_FunctionalMemoryBulkCopy(benchmark::State &state)
+{
+    // Packet-sized transfers, the pattern runtime::writeGlobal and the
+    // per-lane vmem path produce: same page hit nearly every time.
+    mem::FunctionalMemory m;
+    uint8_t buf[256] = {};
+    Addr addr = 0;
+    for (auto _ : state) {
+        m.write(addr, buf, sizeof(buf));
+        m.read(addr, buf, sizeof(buf));
+        addr = (addr + 192) & 0xfffff; // misaligned, crosses lines
+    }
+}
+BENCHMARK(BM_FunctionalMemoryBulkCopy);
+
+void
+BM_EventQueueScheduleTick(benchmark::State &state)
+{
+    // One pending event per tick: the steady-state shape the GPU loop
+    // produces (fetch fills and waitcnt decrements a few cycles out).
+    EventQueue eq;
+    uint64_t fired = 0;
+    for (auto _ : state) {
+        eq.scheduleAfter(4, [&] { ++fired; });
+        eq.tick();
+    }
+    benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueScheduleTick);
 
 void
 BM_CacheAccess(benchmark::State &state)

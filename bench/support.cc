@@ -5,8 +5,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/logging.hh"
+#include "sim/parallel.hh"
 
 namespace last::bench
 {
@@ -44,6 +46,12 @@ writeRow(std::ostream &os, const sim::AppResult &r)
     os << "end\n";
 }
 
+/**
+ * Parse one cached app row. Returns false on a clean end-of-file;
+ * throws (std::invalid_argument from the numeric conversions, or
+ * std::runtime_error for a bad ISA tag) on a truncated or garbled
+ * row — the caller treats any throw as a cache miss.
+ */
 bool
 readRow(std::istream &is, sim::AppResult &r)
 {
@@ -53,11 +61,14 @@ readRow(std::istream &is, sim::AppResult &r)
     std::istringstream ls(line);
     std::string isa, tok;
     auto next = [&]() {
-        std::getline(ls, tok, ',');
+        if (!std::getline(ls, tok, ','))
+            throw std::runtime_error("truncated cache row");
         return tok;
     };
     r.workload = next();
     isa = next();
+    if (isa != "GCN3" && isa != "HSAIL")
+        throw std::runtime_error("bad ISA tag in cache row");
     r.isa = isa == "GCN3" ? IsaKind::GCN3 : IsaKind::HSAIL;
     r.verified = std::stoi(next());
     r.digest = std::stoull(next());
@@ -100,18 +111,61 @@ readRow(std::istream &is, sim::AppResult &r)
 std::vector<AppPair>
 computeAll()
 {
-    std::vector<AppPair> out;
+    const auto names = workloads::workloadNames();
     workloads::WorkloadScale scale{benchScale()};
-    for (const auto &w : workloads::workloadNames()) {
-        std::fprintf(stderr, "[bench] simulating %s ...\n", w.c_str());
-        auto [h, g] = sim::runBoth(w, GpuConfig{}, scale);
+
+    // The 10-workload x 2-ISA sweep is embarrassingly parallel: every
+    // run owns its Runtime/Gpu/FunctionalMemory. Results come back in
+    // spec order, bit-identical to a serial (LAST_JOBS=1) sweep.
+    std::vector<sim::RunSpec> specs;
+    specs.reserve(names.size() * 2);
+    for (const auto &w : names) {
+        specs.push_back({w, IsaKind::HSAIL, GpuConfig{}, scale});
+        specs.push_back({w, IsaKind::GCN3, GpuConfig{}, scale});
+    }
+    std::fprintf(stderr,
+                 "[bench] simulating %zu workloads x 2 ISAs on %u "
+                 "worker(s) (override with LAST_JOBS) ...\n",
+                 names.size(), sim::defaultJobs());
+    auto results = sim::runMany(specs);
+
+    std::vector<AppPair> out;
+    out.reserve(names.size());
+    for (size_t i = 0; i < names.size(); ++i) {
+        sim::AppResult &h = results[2 * i];
+        sim::AppResult &g = results[2 * i + 1];
         fatal_if(!h.verified || !g.verified,
-                 "workload %s failed verification", w.c_str());
+                 "workload %s failed verification", names[i].c_str());
         fatal_if(h.digest != g.digest,
-                 "workload %s: cross-ISA result mismatch", w.c_str());
+                 "workload %s: cross-ISA result mismatch",
+                 names[i].c_str());
         out.push_back({std::move(h), std::move(g)});
     }
     return out;
+}
+
+/**
+ * Parse a complete cache body. Each app pair is validated against the
+ * canonical workload list — name and ISA per row — so a stale or
+ * reordered cache with the right row count is rejected rather than
+ * silently mislabelling every figure. Truncated or garbled rows throw
+ * out of readRow; the caller treats that as a cache miss.
+ */
+bool
+readCacheBody(std::istream &in, std::vector<AppPair> &out)
+{
+    const auto names = workloads::workloadNames();
+    for (const auto &name : names) {
+        AppPair p;
+        if (!readRow(in, p.hsail) || !readRow(in, p.gcn3))
+            return false;
+        if (p.hsail.workload != name || p.gcn3.workload != name ||
+            p.hsail.isa != IsaKind::HSAIL ||
+            p.gcn3.isa != IsaKind::GCN3)
+            return false;
+        out.push_back(std::move(p));
+    }
+    return out.size() == names.size();
 }
 
 std::vector<AppPair>
@@ -129,15 +183,22 @@ loadOrCompute()
                         &ver, &cached_scale);
             if (ver == CacheVersion && cached_scale == scale) {
                 std::vector<AppPair> out;
-                while (true) {
-                    AppPair p;
-                    if (!readRow(in, p.hsail))
-                        break;
-                    if (!readRow(in, p.gcn3))
-                        break;
-                    out.push_back(std::move(p));
+                bool ok = false;
+                try {
+                    ok = readCacheBody(in, out);
+                    if (!ok)
+                        std::fprintf(stderr,
+                                     "[bench] ignoring stale cache "
+                                     "%s: rows do not match the "
+                                     "current workload list\n",
+                                     CacheFile);
+                } catch (const std::exception &e) {
+                    std::fprintf(stderr,
+                                 "[bench] ignoring damaged cache "
+                                 "%s: %s\n",
+                                 CacheFile, e.what());
                 }
-                if (out.size() == workloads::workloadNames().size())
+                if (ok)
                     return out;
             }
         }

@@ -16,6 +16,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "sim/parallel.hh"
 #include "support.hh"
 
 using namespace last;
@@ -77,18 +78,29 @@ main()
                 "hardware oracle");
     const auto &rs = allResults();
 
-    std::printf("building the oracle (perturbed-config GCN3 runs)...\n");
+    std::printf("building the oracle (perturbed-config GCN3 runs, "
+                "%u worker(s))...\n",
+                sim::defaultJobs());
     workloads::WorkloadScale scale{1.0};
     if (const char *s = std::getenv("LAST_BENCH_SCALE"))
         scale.factor = std::atof(s);
+
+    // The oracle runs are independent simulations; sweep them on the
+    // parallel driver and consume the results in app order.
+    std::vector<sim::RunSpec> specs;
+    specs.reserve(rs.size());
+    for (const auto &p : rs)
+        specs.push_back(
+            {p.hsail.workload, IsaKind::GCN3, oracleConfig(), scale});
+    auto oracles = sim::runMany(specs);
 
     std::vector<double> oracle, hs, gs;
     std::vector<double> herr, gerr;
     std::printf("%-12s %12s %12s %12s %8s %8s\n", "app", "oracle",
                 "HSAIL", "GCN3", "errH", "errG");
-    for (const auto &p : rs) {
-        auto o = sim::runApp(p.hsail.workload, IsaKind::GCN3,
-                             oracleConfig(), scale);
+    for (size_t i = 0; i < rs.size(); ++i) {
+        const auto &p = rs[i];
+        const auto &o = oracles[i];
         double ocyc = double(o.cycles) * noiseFor(p.hsail.workload);
         oracle.push_back(std::log(ocyc));
         hs.push_back(std::log(double(p.hsail.cycles)));

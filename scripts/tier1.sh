@@ -1,0 +1,23 @@
+#!/bin/sh
+# Tier-1 verification: the full test suite on a regular build, then the
+# concurrency-sensitive suites again under ThreadSanitizer with a
+# multi-worker pool, so data races in the parallel experiment driver
+# fail CI instead of corrupting sweeps.
+#
+# Usage: scripts/tier1.sh    (from the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+# TSan pass: build only the test binary and run the parallel-driver and
+# differential suites with 4 workers forced via LAST_JOBS.
+cmake -B build-tsan -S . -DLAST_TSAN=ON
+cmake --build build-tsan -j --target last_tests
+LAST_JOBS=4 ./build-tsan/tests/last_tests \
+    --gtest_filter='ParallelDriver.*:FastForward.*:FunctionalMemoryFootprint.*'
+
+echo "tier1: OK"

@@ -97,6 +97,11 @@ struct GpuConfig
     /// with independent instructions or s_nop (see DESIGN.md).
     unsigned valuHazardWindow = 2;
 
+    /// Skip cycles where no CU can fetch, issue, or dispatch (e.g. the
+    /// whole GPU is stalled on in-flight memory). Statistic-identical
+    /// to full per-cycle ticking; disable to cross-check that.
+    bool fastForwardIdle = true;
+
     /** Human-readable one-line summary (printed by bench headers). */
     std::string summary() const;
 };

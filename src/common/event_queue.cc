@@ -1,5 +1,7 @@
 #include "common/event_queue.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace last
@@ -48,6 +50,23 @@ EventQueue::fastForward()
     Cycle next = events.begin()->first;
     curCycle = next > curCycle ? next : curCycle;
     tick();
+}
+
+Cycle
+EventQueue::nextEventCycle() const
+{
+    return events.empty() ? InvalidCycle : events.begin()->first;
+}
+
+Cycle
+EventQueue::fastForwardTo(Cycle limit)
+{
+    Cycle target = std::min(nextEventCycle(), limit);
+    if (target == InvalidCycle || target <= curCycle)
+        return 0;
+    Cycle skipped = target - curCycle;
+    curCycle = target;
+    return skipped;
 }
 
 size_t

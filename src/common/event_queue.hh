@@ -37,8 +37,22 @@ class EventQueue
     void tick();
 
     /** Advance the clock directly to the next scheduled event (or by
-     *  one cycle if none); used to fast-forward idle periods. */
+     *  one cycle if none) and run it; used to fast-forward idle
+     *  periods. */
     void fastForward();
+
+    /** Cycle of the earliest pending event (InvalidCycle if none). */
+    Cycle nextEventCycle() const;
+
+    /**
+     * Advance the clock to min(nextEventCycle(), limit) WITHOUT
+     * running anything, so the caller's per-cycle loop resumes exactly
+     * at the first cycle where something can happen. No-op if that
+     * target is not in the future.
+     *
+     * @return cycles skipped (target - now() before the call).
+     */
+    Cycle fastForwardTo(Cycle limit);
 
     /** Current cycle. */
     Cycle now() const { return curCycle; }

@@ -200,12 +200,92 @@ ComputeUnit::accept(const WorkgroupTask &task)
 void
 ComputeUnit::tick()
 {
+    progressLastTick = false;
     if (activeWfs == 0)
         return;
     Cycle now = eq.now();
     ++busyCycles;
     fetchStage(now);
     issueStage(now);
+}
+
+Cycle
+ComputeUnit::nextProgressCycle(Cycle now) const
+{
+    if (activeWfs == 0)
+        return InvalidCycle;
+    Cycle t = InvalidCycle;
+    for (const auto &wfp : slots) {
+        const Wavefront &wf = *wfp;
+        if (!wf.active || wf.st.done)
+            continue;
+        const auto *code = wf.st.code;
+        // A wavefront that could start a fetch progresses immediately
+        // (mirrors the fetchStage eligibility conditions).
+        if (!wf.fetchInFlight && wf.ibNextIdx < code->numInsts() &&
+            wf.ibCount + cfg.fetchWidth <= cfg.ibEntries)
+            return now;
+        if (!wf.runnable() || wf.ibCount == 0)
+            continue; // barrier release / fetch fill: event driven
+        const auto &inst = code->inst(wf.pcIdx);
+        Cycle start = std::max(now, wf.blockedUntil);
+        if (inst.fuType() != arch::FuType::Special)
+            start = std::max(start, fuBusyUntil[fuIndex(wf, inst)]);
+        if (wf.st.isa == IsaKind::HSAIL) {
+            // Scoreboard: the issue cycle is bounded by the operand
+            // ready times (mirrors depsReady()).
+            for (const auto &op : inst.regOps()) {
+                if (op.cls != arch::RegClass::Vector)
+                    continue;
+                for (unsigned w = 0; w < op.width; ++w)
+                    start = std::max(start, wf.vregReady[op.idx + w]);
+            }
+        } else if (inst.is(arch::IsWaitcnt)) {
+            const auto &wc = static_cast<const gcn3::Gcn3Inst &>(inst);
+            if (wf.st.vmCnt > wc.vmThreshold() ||
+                wf.st.lgkmCnt > wc.lgkmThreshold())
+                continue; // unblocked by an event-queue decrement
+        }
+        t = std::min(t, start);
+    }
+    return t;
+}
+
+void
+ComputeUnit::chargeSkippedCycles(Cycle now, Cycle k)
+{
+    if (activeWfs == 0 || k == 0)
+        return;
+    busyCycles += double(k);
+    Cycle end = now + k;
+    for (const auto &wfp : slots) {
+        const Wavefront &wf = *wfp;
+        if (!wf.runnable())
+            continue;
+        // issueStage skips (without counting) while blockedUntil > M.
+        Cycle lo = std::max(now, wf.blockedUntil);
+        if (lo >= end)
+            continue;
+        if (wf.ibCount == 0) {
+            ibEmptyStalls += double(end - lo);
+            continue;
+        }
+        const auto &inst = wf.st.code->inst(wf.pcIdx);
+        Cycle fu_free = lo;
+        if (inst.fuType() != arch::FuType::Special)
+            fu_free = std::max(lo, fuBusyUntil[fuIndex(wf, inst)]);
+        if (fu_free > lo)
+            fuConflictStalls += double(std::min(end, fu_free) - lo);
+        if (fu_free >= end)
+            continue;
+        // The remaining cycles can only be dependency stalls: the skip
+        // target never goes past a cycle where this wavefront could
+        // have issued.
+        if (wf.st.isa == IsaKind::HSAIL)
+            scoreboardStalls += double(end - fu_free);
+        else
+            waitcntStalls += double(end - fu_free);
+    }
 }
 
 void
@@ -239,6 +319,7 @@ ComputeUnit::fetchStage(Cycle now)
         }
 
         Cycle done = l1i->access(addr, false, now);
+        progressLastTick = true;
         wf->fetchInFlight = true;
         uint64_t gen = wf->gen;
         size_t start_idx = wf->ibNextIdx;
@@ -448,6 +529,7 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
                        Cycle now)
 {
     arch::WfState &st = wf.st;
+    progressLastTick = true;
 
     // --- classification (Figure 5) ---
     ++dynInsts;

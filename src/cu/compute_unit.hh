@@ -69,6 +69,29 @@ class ComputeUnit : public stats::Group
 
     bool busy() const { return activeWfs > 0; }
 
+    /** True iff the last tick() initiated a fetch or issued an
+     *  instruction (used by the GPU's idle-cycle fast-forward). */
+    bool madeProgress() const { return progressLastTick; }
+
+    /**
+     * Earliest future cycle (>= now) at which this CU could fetch or
+     * issue, considering only time-gated conditions (s_nop wait
+     * states, functional-unit occupancy, scoreboard register-ready
+     * times). Returns InvalidCycle when the CU is idle or every
+     * stalled wavefront is waiting on an event-queue callback (fetch
+     * fill, waitcnt decrement) — the event queue bounds those.
+     */
+    Cycle nextProgressCycle(Cycle now) const;
+
+    /**
+     * Account for k skipped cycles starting at now during which this
+     * CU provably made no progress: replays exactly the busy-cycle and
+     * per-wavefront stall accounting the per-cycle loop would have
+     * performed, so fast-forwarded runs are statistic-identical to
+     * fully ticked ones.
+     */
+    void chargeSkippedCycles(Cycle now, Cycle k);
+
     /** @{ Dynamic instruction counters (Figure 5 classification). */
     stats::Scalar dynInsts;
     stats::Scalar valuInsts;
@@ -134,6 +157,7 @@ class ComputeUnit : public stats::Group
     std::vector<std::unique_ptr<WgInstance>> workgroups;
 
     unsigned activeWfs = 0;
+    bool progressLastTick = false;
     unsigned vrfUsed = 0;
     unsigned srfUsed = 0;
     uint64_t ldsUsed = 0;

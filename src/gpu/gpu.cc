@@ -1,5 +1,7 @@
 #include "gpu/gpu.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace last::gpu
@@ -65,9 +67,10 @@ Gpu::launch(cu::KernelLaunch &launch)
         pendingWgs.push_back({&launch, wg});
 }
 
-void
+bool
 Gpu::dispatchPending()
 {
+    bool any = false;
     while (!pendingWgs.empty()) {
         const cu::WorkgroupTask &task = pendingWgs.front();
         bool placed = false;
@@ -77,6 +80,7 @@ Gpu::dispatchPending()
                 cus[i]->accept(task);
                 dispatchRr = (i + 1) % cus.size();
                 placed = true;
+                any = true;
                 break;
             }
         }
@@ -84,18 +88,18 @@ Gpu::dispatchPending()
             break;
         pendingWgs.pop_front();
     }
+    return any;
 }
 
 bool
 Gpu::idle() const
 {
-    if (!pendingWgs.empty())
+    // Completed launches retire from liveLaunches as their last
+    // workgroup finishes, so this is three cheap emptiness checks.
+    if (!pendingWgs.empty() || !liveLaunches.empty())
         return false;
     for (const auto &c : cus)
         if (c->busy())
-            return false;
-    for (const auto *l : liveLaunches)
-        if (!l->complete())
             return false;
     return true;
 }
@@ -103,11 +107,20 @@ Gpu::idle() const
 void
 Gpu::tick()
 {
-    dispatchPending();
-    for (auto &c : cus)
+    bool progress = dispatchPending();
+    for (auto &c : cus) {
         c->tick();
+        progress |= c->madeProgress();
+    }
     eq.tick();
     ++totalCycles;
+    // Launch completion requires an instruction to have issued, so
+    // only scan for retirement on progress ticks.
+    if (progress && !liveLaunches.empty())
+        std::erase_if(liveLaunches, [](const cu::KernelLaunch *l) {
+            return l->complete();
+        });
+    progressLastTick = progress;
 }
 
 Cycle
@@ -119,8 +132,24 @@ Gpu::runToCompletion()
         tick();
         panic_if(++guard > 2000000000ull,
                  "GPU appears wedged after 2e9 cycles");
+        if (!progressLastTick && cfg.fastForwardIdle) {
+            // Nothing fetched, issued, or dispatched this cycle: jump
+            // the clock to the next event-queue callback or time-gated
+            // wakeup, whichever comes first, charging the skipped
+            // cycles to the same counters the per-cycle loop would
+            // have bumped (the run stays statistic-identical).
+            Cycle now = eq.now();
+            Cycle target = InvalidCycle;
+            for (const auto &c : cus)
+                target = std::min(target, c->nextProgressCycle(now));
+            Cycle skipped = eq.fastForwardTo(target);
+            if (skipped) {
+                totalCycles += double(skipped);
+                for (auto &c : cus)
+                    c->chargeSkippedCycles(now, skipped);
+            }
+        }
     }
-    liveLaunches.clear();
     return eq.now() - start;
 }
 

@@ -57,7 +57,8 @@ class Gpu : public stats::Group
     mem::Cache &l1iCache(unsigned cluster) { return *l1is[cluster]; }
 
   private:
-    void dispatchPending();
+    /** @return true if at least one workgroup was placed. */
+    bool dispatchPending();
 
     GpuConfig cfg;
     EventQueue eq;
@@ -73,6 +74,7 @@ class Gpu : public stats::Group
     std::deque<cu::WorkgroupTask> pendingWgs;
     std::vector<cu::KernelLaunch *> liveLaunches;
     unsigned dispatchRr = 0;
+    bool progressLastTick = false;
 };
 
 } // namespace last::gpu

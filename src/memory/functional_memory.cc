@@ -1,5 +1,6 @@
 #include "memory/functional_memory.hh"
 
+#include "common/bitfield.hh"
 #include "common/logging.hh"
 
 namespace last::mem
@@ -9,20 +10,45 @@ FunctionalMemory::Page &
 FunctionalMemory::pageFor(Addr addr)
 {
     Addr vpn = addr / PageBytes;
+    if (vpn == writeVpn)
+        return *writePage;
     auto &slot = pages[vpn];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
+        // A read memo may have recorded this page as absent.
+        if (readVpn == vpn)
+            readPage = slot.get();
     }
+    writeVpn = vpn;
+    writePage = slot.get();
     return *slot;
 }
 
 const FunctionalMemory::Page *
-FunctionalMemory::pageForRead(Addr addr) const
+FunctionalMemory::pageForRead(Addr addr)
 {
     Addr vpn = addr / PageBytes;
+    if (vpn == readVpn)
+        return readPage;
     auto it = pages.find(vpn);
-    return it == pages.end() ? nullptr : it->second.get();
+    readVpn = vpn;
+    readPage = it == pages.end() ? nullptr : it->second.get();
+    return readPage;
+}
+
+void
+FunctionalMemory::touchLines(Addr vpn, uint64_t mask)
+{
+    if (vpn != touchVpn) {
+        touchVpn = vpn;
+        touchMask = &touchedMasks[vpn];
+    }
+    uint64_t added = mask & ~*touchMask;
+    if (added) {
+        *touchMask |= added;
+        touchedLineCount += popCount(added);
+    }
 }
 
 void
@@ -30,8 +56,20 @@ FunctionalMemory::touch(Addr addr, size_t len)
 {
     Addr first = addr / LineBytes;
     Addr last = (addr + (len ? len - 1 : 0)) / LineBytes;
-    for (Addr line = first; line <= last; ++line)
-        touchedLines.insert(line);
+    while (true) {
+        Addr vpn = first / LinesPerPage;
+        Addr page_last = (vpn + 1) * LinesPerPage - 1;
+        Addr hi = last < page_last ? last : page_last;
+        unsigned lo_bit = unsigned(first % LinesPerPage);
+        unsigned hi_bit = unsigned(hi % LinesPerPage);
+        uint64_t mask =
+            (hi_bit == 63 ? ~0ull : ((1ull << (hi_bit + 1)) - 1)) &
+            ~((1ull << lo_bit) - 1);
+        touchLines(vpn, mask);
+        if (hi == last)
+            break;
+        first = hi + 1;
+    }
 }
 
 void

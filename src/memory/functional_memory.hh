@@ -8,6 +8,14 @@
  * cases are the private/spill segments, which the HSAIL runtime path
  * re-allocates per kernel launch while GCN3 reuses a per-process
  * arena).
+ *
+ * Hot-path notes: the common access pattern is many consecutive
+ * accesses to the same page, so both the data path and the footprint
+ * probe memoize the last page they resolved (the maps are node-based,
+ * so the cached pointers stay valid across rehashes). The footprint is
+ * kept as one 64-bit touched-line bitmap per 4096 B page (64 lines of
+ * 64 B) plus a running popcount, so footprintLines() is O(1) and
+ * touch() is a compare + OR on the memoized page.
  */
 
 #ifndef LAST_MEMORY_FUNCTIONAL_MEMORY_HH
@@ -18,7 +26,6 @@
 #include <cstring>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/types.hh"
 
@@ -30,6 +37,7 @@ class FunctionalMemory
   public:
     static constexpr unsigned PageBytes = 4096;
     static constexpr unsigned LineBytes = 64;
+    static constexpr unsigned LinesPerPage = PageBytes / LineBytes;
 
     /** Read len bytes at addr into buf. Unwritten memory reads 0. */
     void read(Addr addr, void *buf, size_t len);
@@ -54,11 +62,17 @@ class FunctionalMemory
     }
 
     /** Distinct 64 B lines touched (reads + writes). */
-    uint64_t footprintLines() const { return touchedLines.size(); }
+    uint64_t footprintLines() const { return touchedLineCount; }
     uint64_t footprintBytes() const { return footprintLines() * LineBytes; }
 
     /** Forget footprint history (not contents). */
-    void resetFootprint() { touchedLines.clear(); }
+    void resetFootprint()
+    {
+        touchedMasks.clear();
+        touchedLineCount = 0;
+        touchVpn = InvalidAddr;
+        touchMask = nullptr;
+    }
 
     /** Number of resident pages (for tests). */
     size_t numPages() const { return pages.size(); }
@@ -67,11 +81,24 @@ class FunctionalMemory
     using Page = std::array<uint8_t, PageBytes>;
 
     Page &pageFor(Addr addr);
-    const Page *pageForRead(Addr addr) const;
+    const Page *pageForRead(Addr addr);
     void touch(Addr addr, size_t len);
+    void touchLines(Addr vpn, uint64_t mask);
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages;
-    std::unordered_set<Addr> touchedLines;
+
+    /** Per-page bitmap of 64 B lines ever touched + running count. */
+    std::unordered_map<Addr, uint64_t> touchedMasks;
+    uint64_t touchedLineCount = 0;
+
+    /** @{ Last-page memos (same-page access fast path). */
+    Addr writeVpn = InvalidAddr;
+    Page *writePage = nullptr;
+    Addr readVpn = InvalidAddr;
+    const Page *readPage = nullptr;
+    Addr touchVpn = InvalidAddr;
+    uint64_t *touchMask = nullptr;
+    /** @} */
 };
 
 } // namespace last::mem

@@ -1,6 +1,7 @@
 #include "sim/experiment.hh"
 
 #include "common/logging.hh"
+#include "sim/parallel.hh"
 
 namespace last::sim
 {
@@ -87,8 +88,9 @@ std::pair<AppResult, AppResult>
 runBoth(const std::string &workload, const GpuConfig &cfg,
         const workloads::WorkloadScale &scale)
 {
-    return {runApp(workload, IsaKind::HSAIL, cfg, scale),
-            runApp(workload, IsaKind::GCN3, cfg, scale)};
+    // The two ISA-level runs are independent simulations; overlap them
+    // on the worker pool (LAST_JOBS=1 recovers the serial path).
+    return runBothParallel(workload, cfg, scale);
 }
 
 } // namespace last::sim

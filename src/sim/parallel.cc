@@ -1,0 +1,94 @@
+#include "sim/parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace last::sim
+{
+
+unsigned
+defaultJobs()
+{
+    if (const char *s = std::getenv("LAST_JOBS")) {
+        long v = std::atol(s);
+        if (v >= 1)
+            return unsigned(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+parallelInvoke(const std::vector<std::function<void()>> &tasks,
+               unsigned jobs)
+{
+    const size_t n = tasks.size();
+    if (jobs == 0)
+        jobs = defaultJobs();
+    if (jobs > n)
+        jobs = unsigned(n);
+
+    // Per-task capture slots: each index is written by exactly one
+    // worker (the one that claimed it), so no lock is needed.
+    std::vector<std::exception_ptr> errors(n);
+    auto runTask = [&](size_t i) {
+        try {
+            tasks[i]();
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    };
+
+    if (jobs <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            runTask(i);
+    } else {
+        std::atomic<size_t> cursor{0};
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back([&] {
+                while (true) {
+                    size_t i =
+                        cursor.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= n)
+                        return;
+                    runTask(i);
+                }
+            });
+        for (auto &th : pool)
+            th.join();
+    }
+
+    for (const auto &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+std::vector<AppResult>
+runMany(const std::vector<RunSpec> &specs, unsigned jobs)
+{
+    std::vector<AppResult> out(specs.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i)
+        tasks.push_back([&specs, &out, i] {
+            const RunSpec &s = specs[i];
+            out[i] = runApp(s.workload, s.isa, s.cfg, s.scale);
+        });
+    parallelInvoke(tasks, jobs);
+    return out;
+}
+
+std::pair<AppResult, AppResult>
+runBothParallel(const std::string &workload, const GpuConfig &cfg,
+                const workloads::WorkloadScale &scale, unsigned jobs)
+{
+    auto rs = runMany({{workload, IsaKind::HSAIL, cfg, scale},
+                       {workload, IsaKind::GCN3, cfg, scale}},
+                      jobs);
+    return {std::move(rs[0]), std::move(rs[1])};
+}
+
+} // namespace last::sim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Parallel experiment driver: a fixed-size worker pool for running
+ * independent simulations concurrently.
+ *
+ * Every simulation owns its Runtime, Gpu, and FunctionalMemory and
+ * shares no mutable state with its siblings (no globals, no lazy
+ * static tables, per-workload Rng instances), so a (workload x ISA x
+ * config) sweep is embarrassingly parallel. The driver preserves the
+ * serial contract exactly:
+ *  - results come back in input order, bit-identical to a serial run
+ *    regardless of worker count or scheduling;
+ *  - a worker exception is captured and rethrown to the caller (the
+ *    lowest-index one, matching what a serial loop would have thrown
+ *    first) after all workers have drained — never a hang.
+ *
+ * Worker count defaults to std::thread::hardware_concurrency() and is
+ * overridable with the LAST_JOBS environment variable (LAST_JOBS=1
+ * runs inline on the calling thread).
+ */
+
+#ifndef LAST_SIM_PARALLEL_HH
+#define LAST_SIM_PARALLEL_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace last::sim
+{
+
+/** One simulation request for the parallel driver. */
+struct RunSpec
+{
+    std::string workload;
+    IsaKind isa = IsaKind::HSAIL;
+    GpuConfig cfg{};
+    workloads::WorkloadScale scale{};
+};
+
+/** Worker-pool size: LAST_JOBS if set (clamped to >= 1), else
+ *  hardware_concurrency(), else 1. */
+unsigned defaultJobs();
+
+/**
+ * Run every task on a fixed-size worker pool (jobs == 0 means
+ * defaultJobs()). Tasks are claimed from an atomic cursor, so workers
+ * stay saturated even when task durations vary. After all workers
+ * join, the exception from the lowest-index failed task (if any) is
+ * rethrown.
+ */
+void parallelInvoke(const std::vector<std::function<void()>> &tasks,
+                    unsigned jobs = 0);
+
+/** Run every spec concurrently; results in input (spec) order. */
+std::vector<AppResult> runMany(const std::vector<RunSpec> &specs,
+                               unsigned jobs = 0);
+
+/** Both ISA levels of one workload, concurrently.
+ *  Index 0 = HSAIL, 1 = GCN3 (same contract as runBoth). */
+std::pair<AppResult, AppResult>
+runBothParallel(const std::string &workload,
+                const GpuConfig &cfg = GpuConfig{},
+                const workloads::WorkloadScale &scale = {},
+                unsigned jobs = 0);
+
+} // namespace last::sim
+
+#endif // LAST_SIM_PARALLEL_HH

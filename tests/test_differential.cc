@@ -14,6 +14,7 @@
 #include "helpers.hh"
 #include "runtime/runtime.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel.hh"
 
 using namespace last;
 
@@ -68,8 +69,12 @@ TEST_P(RandomKernelDifferential, IsasProduceIdenticalResults)
 {
     uint64_t seed = GetParam();
     uint64_t hazards = 0;
-    auto hsail = runRandom(seed, IsaKind::HSAIL);
-    auto gcn3 = runRandom(seed, IsaKind::GCN3, &hazards);
+    // The two ISA-level runs are independent; overlap them on the
+    // parallel driver's worker pool.
+    std::vector<uint32_t> hsail, gcn3;
+    sim::parallelInvoke(
+        {[&] { hsail = runRandom(seed, IsaKind::HSAIL); },
+         [&] { gcn3 = runRandom(seed, IsaKind::GCN3, &hazards); }});
     EXPECT_EQ(hsail, gcn3) << "seed " << seed;
     EXPECT_EQ(hazards, 0u)
         << "finalizer dependency management incomplete for seed "

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the parallel experiment driver and the simulation
+ * hot-path optimizations that ride with it:
+ *  - parallel sweeps must be field-for-field identical to serial ones;
+ *  - worker exceptions must surface to the caller, never hang;
+ *  - the FunctionalMemory touched-line bitmap must preserve the old
+ *    line-set footprint semantics (property test);
+ *  - the GPU's idle-cycle fast-forward must be statistic-identical to
+ *    full per-cycle ticking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/random.hh"
+#include "memory/functional_memory.hh"
+#include "sim/parallel.hh"
+
+using namespace last;
+
+namespace
+{
+
+/** Field-for-field AppResult comparison (all Figure/Table stats). */
+void
+expectResultsEqual(const sim::AppResult &a, const sim::AppResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.isa, b.isa);
+    EXPECT_EQ(a.verified, b.verified);
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.dynInsts, b.dynInsts);
+    EXPECT_EQ(a.valu, b.valu);
+    EXPECT_EQ(a.salu, b.salu);
+    EXPECT_EQ(a.vmem, b.vmem);
+    EXPECT_EQ(a.smem, b.smem);
+    EXPECT_EQ(a.lds, b.lds);
+    EXPECT_EQ(a.branch, b.branch);
+    EXPECT_EQ(a.waitcnt, b.waitcnt);
+    EXPECT_EQ(a.misc, b.misc);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.vrfBankConflicts, b.vrfBankConflicts);
+    EXPECT_DOUBLE_EQ(a.reuseMedian, b.reuseMedian);
+    EXPECT_EQ(a.instFootprint, b.instFootprint);
+    EXPECT_EQ(a.ibFlushes, b.ibFlushes);
+    EXPECT_DOUBLE_EQ(a.readUniq, b.readUniq);
+    EXPECT_DOUBLE_EQ(a.writeUniq, b.writeUniq);
+    EXPECT_DOUBLE_EQ(a.vrfUniq, b.vrfUniq);
+    EXPECT_EQ(a.dataFootprint, b.dataFootprint);
+    EXPECT_DOUBLE_EQ(a.simdUtil, b.simdUtil);
+    EXPECT_EQ(a.l1iMisses, b.l1iMisses);
+    EXPECT_EQ(a.l1iHits, b.l1iHits);
+    EXPECT_EQ(a.hazardViolations, b.hazardViolations);
+    EXPECT_EQ(a.scoreboardStalls, b.scoreboardStalls);
+    EXPECT_EQ(a.waitcntStalls, b.waitcntStalls);
+    EXPECT_EQ(a.ibEmptyStalls, b.ibEmptyStalls);
+    EXPECT_EQ(a.fuConflictStalls, b.fuConflictStalls);
+    EXPECT_EQ(a.coalescedLines, b.coalescedLines);
+    EXPECT_EQ(a.busyCycles, b.busyCycles);
+    ASSERT_EQ(a.launches.size(), b.launches.size());
+    for (size_t i = 0; i < a.launches.size(); ++i) {
+        EXPECT_EQ(a.launches[i].kernel, b.launches[i].kernel);
+        EXPECT_EQ(a.launches[i].cycles, b.launches[i].cycles);
+        EXPECT_EQ(a.launches[i].instsIssued, b.launches[i].instsIssued);
+    }
+}
+
+std::vector<sim::RunSpec>
+smallSweep()
+{
+    workloads::WorkloadScale scale{0.25};
+    std::vector<sim::RunSpec> specs;
+    for (const char *w : {"VecAdd", "ArrayBW", "BitonicSort"}) {
+        specs.push_back({w, IsaKind::HSAIL, GpuConfig{}, scale});
+        specs.push_back({w, IsaKind::GCN3, GpuConfig{}, scale});
+    }
+    return specs;
+}
+
+} // namespace
+
+TEST(ParallelDriver, MatchesSerialFieldForField)
+{
+    auto specs = smallSweep();
+    auto serial = sim::runMany(specs, 1);
+    auto parallel = sim::runMany(specs, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(specs[i].workload + "/" +
+                     std::string(isaName(specs[i].isa)));
+        expectResultsEqual(serial[i], parallel[i]);
+    }
+}
+
+TEST(ParallelDriver, WorkerExceptionPropagates)
+{
+    // An unknown workload makes runApp throw inside a worker; the
+    // driver must join all workers and rethrow, not hang or abort.
+    std::vector<sim::RunSpec> specs = {
+        {"VecAdd", IsaKind::HSAIL, GpuConfig{},
+         workloads::WorkloadScale{0.25}},
+        {"NoSuchWorkload", IsaKind::HSAIL, GpuConfig{},
+         workloads::WorkloadScale{0.25}},
+    };
+    EXPECT_THROW(sim::runMany(specs, 4), std::runtime_error);
+    EXPECT_THROW(sim::runMany(specs, 1), std::runtime_error);
+}
+
+TEST(ParallelDriver, LowestIndexExceptionWins)
+{
+    // Matches what a serial loop would have thrown first.
+    std::vector<std::function<void()>> tasks = {
+        [] { throw std::runtime_error("first"); },
+        [] { throw std::logic_error("second"); },
+    };
+    try {
+        sim::parallelInvoke(tasks, 2);
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+}
+
+TEST(ParallelDriver, JobsEnvOverride)
+{
+    ::setenv("LAST_JOBS", "3", 1);
+    EXPECT_EQ(sim::defaultJobs(), 3u);
+    ::setenv("LAST_JOBS", "0", 1); // invalid: fall back to hardware
+    EXPECT_GE(sim::defaultJobs(), 1u);
+    ::unsetenv("LAST_JOBS");
+    EXPECT_GE(sim::defaultJobs(), 1u);
+}
+
+TEST(FastForward, StatisticIdenticalToFullTicking)
+{
+    workloads::WorkloadScale scale{0.25};
+    GpuConfig ticked;
+    ticked.fastForwardIdle = false;
+    for (IsaKind isa : {IsaKind::HSAIL, IsaKind::GCN3}) {
+        SCOPED_TRACE(isaName(isa));
+        auto fast = sim::runApp("ArrayBW", isa, GpuConfig{}, scale);
+        auto slow = sim::runApp("ArrayBW", isa, ticked, scale);
+        expectResultsEqual(fast, slow);
+    }
+}
+
+TEST(FunctionalMemoryFootprint, BitmapMatchesLineSetSemantics)
+{
+    // Property test against the old global-set implementation: replay
+    // a random mix of reads and writes with odd sizes, alignments, and
+    // page/line crossings, tracking touched 64 B lines in a reference
+    // set; footprintLines() must match after every operation.
+    mem::FunctionalMemory m;
+    std::unordered_set<Addr> reference;
+    Rng rng(0xf007);
+    uint8_t buf[4096];
+    for (int op = 0; op < 4000; ++op) {
+        // Cluster addresses so pages are revisited (exercising the
+        // last-page memo) but still cross pages regularly.
+        Addr base = rng.nextBounded(8) * 0x100000;
+        Addr addr = base + rng.nextBounded(3 * 4096);
+        size_t len = rng.nextBounded(200);
+        if (rng.nextBounded(8) == 0)
+            len = rng.nextBounded(4096); // occasional big access
+        Addr first = addr / 64;
+        Addr last = (addr + (len ? len - 1 : 0)) / 64;
+        for (Addr line = first; line <= last; ++line)
+            reference.insert(line);
+        if (rng.nextBounded(2))
+            m.write(addr, buf, len);
+        else
+            m.read(addr, buf, len);
+        ASSERT_EQ(m.footprintLines(), reference.size())
+            << "op " << op << " addr " << addr << " len " << len;
+    }
+    EXPECT_EQ(m.footprintBytes(), reference.size() * 64);
+
+    m.resetFootprint();
+    EXPECT_EQ(m.footprintLines(), 0u);
+    // Contents survive a footprint reset; re-touching recounts.
+    m.write<uint32_t>(0x1234, 42);
+    EXPECT_EQ(m.read<uint32_t>(0x1234), 42u);
+    EXPECT_EQ(m.footprintLines(), 1u);
+}
+
+TEST(FunctionalMemoryFootprint, ZeroLengthTouchesOneLine)
+{
+    // The old set-based touch() recorded addr's line even for len == 0;
+    // the bitmap must preserve that quirk.
+    mem::FunctionalMemory m;
+    uint8_t b = 0;
+    m.read(0x40, &b, 0);
+    EXPECT_EQ(m.footprintLines(), 1u);
+}
+
+TEST(FunctionalMemoryFootprint, PageStraddleCountsBothPages)
+{
+    mem::FunctionalMemory m;
+    uint32_t v = 7;
+    m.write(4096 - 2, v); // straddles the page boundary
+    EXPECT_EQ(m.footprintLines(), 2u);
+    EXPECT_EQ(m.read<uint32_t>(4096 - 2), 7u);
+    EXPECT_EQ(m.numPages(), 2u);
+}
