@@ -30,6 +30,14 @@ benchScale()
 void
 writeRow(std::ostream &os, const sim::AppResult &r)
 {
+    // The cache must never hold poisoned rows: a quarantined result
+    // carries no statistics and would be served back as real data on
+    // the next run.
+    panic_if(r.quarantined,
+             "refusing to persist quarantined run %s/%s to the bench "
+             "cache (%s)",
+             r.workload.c_str(), isaName(r.isa),
+             r.errorMessage.c_str());
     os << r.workload << ',' << isaName(r.isa) << ',' << r.verified
        << ',' << r.digest << ',' << r.dynInsts << ',' << r.valu << ','
        << r.salu << ',' << r.vmem << ',' << r.smem << ',' << r.lds
@@ -127,7 +135,20 @@ computeAll()
                  "[bench] simulating %zu workloads x 2 ISAs on %u "
                  "worker(s) (override with LAST_JOBS) ...\n",
                  names.size(), sim::defaultJobs());
-    auto results = sim::runMany(specs);
+    // Graceful sweep: a poisoned run is quarantined (after one serial
+    // retry) while the rest completes, then reported here. The bench
+    // needs every row to draw its figures, so quarantine is still
+    // fatal — but only after the full casualty report is printed and
+    // with the cache left untouched.
+    auto sweep = sim::runSweep(specs);
+    if (!sweep.allOk()) {
+        std::fprintf(stderr, "[bench] sweep completed with failures:\n%s",
+                     sweep.format().c_str());
+        fatal("%zu of %zu bench runs quarantined; no cache written "
+              "(see the report above)",
+              sweep.quarantined.size(), specs.size());
+    }
+    auto &results = sweep.results;
 
     std::vector<AppPair> out;
     out.reserve(names.size());

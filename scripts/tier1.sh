@@ -1,23 +1,56 @@
 #!/bin/sh
-# Tier-1 verification: the full test suite on a regular build, then the
+# Tier-1 verification: the full test suite on a regular build, the
 # concurrency-sensitive suites again under ThreadSanitizer with a
-# multi-worker pool, so data races in the parallel experiment driver
-# fail CI instead of corrupting sweeps.
+# multi-worker pool, and the fault-injection/error-path suites under
+# AddressSanitizer+UBSan (exception unwinding through the watchdog and
+# quarantine machinery is where lifetime bugs hide).
+#
+# Every sub-suite runs even when an earlier one fails; the script exits
+# nonzero if ANY failed, so CI cannot green-light a partial pass.
 #
 # Usage: scripts/tier1.sh    (from the repo root)
-set -eu
+set -u
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+status=0
+fail() {
+    echo "tier1: FAILED: $1" >&2
+    status=1
+}
 
-# TSan pass: build only the test binary and run the parallel-driver and
-# differential suites with 4 workers forced via LAST_JOBS.
-cmake -B build-tsan -S . -DLAST_TSAN=ON
-cmake --build build-tsan -j --target last_tests
-LAST_JOBS=4 ./build-tsan/tests/last_tests \
-    --gtest_filter='ParallelDriver.*:FastForward.*:FunctionalMemoryFootprint.*'
+# Regular build + full suite. A broken build makes every later stage
+# meaningless, so only configuration/build errors abort early.
+cmake -B build -S . || exit 1
+cmake --build build -j || exit 1
+(cd build && ctest --output-on-failure -j) || fail "full suite"
 
-echo "tier1: OK"
+# TSan pass: build only the test binary and run the parallel-driver,
+# sweep-quarantine, and differential suites with 4 workers forced via
+# LAST_JOBS.
+if cmake -B build-tsan -S . -DLAST_TSAN=ON &&
+    cmake --build build-tsan -j --target last_tests; then
+    LAST_JOBS=4 ./build-tsan/tests/last_tests \
+        --gtest_filter='ParallelDriver.*:SweepQuarantine.*:FastForward.*:FunctionalMemoryFootprint.*' ||
+        fail "TSan suite"
+else
+    fail "TSan build"
+fi
+
+# ASan+UBSan pass: the fault-injection, watchdog, and logging/error
+# suites, which exercise every throw path in the simulator.
+if cmake -B build-asan -S . -DLAST_ASAN=ON &&
+    cmake --build build-asan -j --target last_tests; then
+    ./build-asan/tests/last_tests \
+        --gtest_filter='FaultPlan.*:Watchdog.*:FaultSensitivity.*:MemoryGuards.*:IsaAgreement.*:SweepQuarantine.*:Logging.*' ||
+        fail "ASan/UBSan suite"
+else
+    fail "ASan build"
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "tier1: OK"
+else
+    echo "tier1: FAILED (see above)" >&2
+fi
+exit "$status"

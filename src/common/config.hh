@@ -13,6 +13,11 @@
 namespace last
 {
 
+namespace sim
+{
+struct FaultPlan; // sim/faultinject.hh
+}
+
 /** Which instruction-set abstraction a kernel executes at. */
 enum class IsaKind
 {
@@ -101,6 +106,23 @@ struct GpuConfig
     /// whole GPU is stalled on in-flight memory). Statistic-identical
     /// to full per-cycle ticking; disable to cross-check that.
     bool fastForwardIdle = true;
+
+    /** @{ Forward-progress watchdog (see DESIGN.md §"Error model").
+     * runToCompletion() throws a DeadlockError carrying a
+     * per-wavefront state dump when either limit is exceeded. The
+     * stall limit is the deadlock detector proper ("no instruction
+     * fetched, issued, or dispatched anywhere on the GPU for N
+     * cycles" — any legitimate stall resolves within a DRAM
+     * round-trip, orders of magnitude sooner); the cycle budget is a
+     * backstop against livelock. Both are fast-forward aware: idle
+     * skips never jump past a watchdog deadline. 0 disables. */
+    uint64_t watchdogStallCycles = 1000000;
+    uint64_t watchdogMaxCycles = 2000000000ull;
+    /** @} */
+
+    /** Deterministic fault-injection plan (not owned; nullptr = no
+     *  faults). See sim/faultinject.hh. */
+    const sim::FaultPlan *faultPlan = nullptr;
 
     /** Human-readable one-line summary (printed by bench headers). */
     std::string summary() const;

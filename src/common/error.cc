@@ -1,0 +1,103 @@
+#include "common/error.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace last
+{
+
+namespace
+{
+
+ErrorMode &
+errorModeStorage()
+{
+    static ErrorMode mode = [] {
+        const char *s = std::getenv("LAST_ABORT_ON_ERROR");
+        return (s && s[0] && s[0] != '0') ? ErrorMode::Abort
+                                          : ErrorMode::Throw;
+    }();
+    return mode;
+}
+
+std::string
+formatWhat(ErrorKind kind, const std::string &msg, const char *file,
+           int line)
+{
+    std::ostringstream os;
+    os << errorKindName(kind) << ": " << msg;
+    if (file && *file)
+        os << " (" << file << ":" << line << ")";
+    return os.str();
+}
+
+} // namespace
+
+ErrorMode
+errorMode()
+{
+    return errorModeStorage();
+}
+
+void
+setErrorMode(ErrorMode mode)
+{
+    errorModeStorage() = mode;
+}
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Invariant: return "panic";
+      case ErrorKind::Config: return "fatal";
+      case ErrorKind::Memory: return "memory error";
+      case ErrorKind::Deadlock: return "deadlock";
+      case ErrorKind::Mismatch: return "isa mismatch";
+    }
+    return "error";
+}
+
+SimError::SimError(ErrorKind kind, const std::string &msg,
+                   const char *file, int line)
+    : std::runtime_error(formatWhat(kind, msg, file, line)), kind_(kind),
+      msg_(msg), file_(file ? file : ""), line_(line)
+{}
+
+std::string
+WavefrontDump::format() const
+{
+    std::ostringstream os;
+    os << cuName << " wf " << slot << " (wg " << wgId << ", kernel "
+       << kernel << "): pc=0x" << std::hex << pc << " exec=0x" << execMask
+       << std::dec << " vmcnt=" << vmCnt << " lgkmcnt=" << lgkmCnt
+       << " rsDepth=" << rsDepth << " ib=" << ibCount
+       << (fetchInFlight ? " fetchInFlight" : "");
+    if (blockedUntil)
+        os << " blockedUntil=" << blockedUntil;
+    if (atBarrier)
+        os << " AT-BARRIER(" << wgWfsAtBarrier << "/" << wgWfsTotal
+           << " arrived)";
+    if (wedged)
+        os << " WEDGED";
+    return os.str();
+}
+
+std::string
+DeadlockInfo::format() const
+{
+    std::ostringstream os;
+    os << "deadlock at cycle " << cycle << " (" << reason
+       << "; last progress at cycle " << lastProgressCycle << ", "
+       << instsIssued << " instructions issued, " << wavefronts.size()
+       << " live wavefront(s)):\n";
+    for (const auto &wf : wavefronts)
+        os << "  " << wf.format() << "\n";
+    return os.str();
+}
+
+DeadlockError::DeadlockError(DeadlockInfo info)
+    : SimError(ErrorKind::Deadlock, info.format()), info_(std::move(info))
+{}
+
+} // namespace last

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The recoverable simulation error model.
+ *
+ * Every failure the simulator can detect is represented as a value: a
+ * `SimError` subclass carrying structured context (what failed, where,
+ * and — for deadlocks — a full per-wavefront machine-state dump). The
+ * logging macros (`panic`, `fatal`) construct and throw these, so a
+ * failed simulation in a parallel sweep is an exception the driver can
+ * quarantine instead of a process death that takes the whole sweep
+ * down.
+ *
+ * Hierarchy:
+ *   SimError                 (base; kind tag + message + origin)
+ *    +- InvariantError       panic(): a simulator invariant broke
+ *    +- ConfigError          fatal(): the user asked the unsupportable
+ *    +- MemoryError          functional-memory range violations
+ *    +- DeadlockError        watchdog trip, carries a DeadlockInfo
+ *
+ * An opt-in abort mode (setErrorMode(ErrorMode::Abort), or the
+ * LAST_ABORT_ON_ERROR environment variable) restores the classic
+ * gem5-style CLI behaviour: panic() calls abort() and fatal() calls
+ * exit(1) after printing, which is what batch users pre-dating the
+ * throwable hierarchy expect from a standalone binary.
+ */
+
+#ifndef LAST_COMMON_ERROR_HH
+#define LAST_COMMON_ERROR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace last
+{
+
+/** What panic()/fatal() do after printing the message. */
+enum class ErrorMode
+{
+    Throw, ///< throw the SimError subclass (default; sweep-safe)
+    Abort, ///< abort()/exit(1) like classic gem5 CLI tools
+};
+
+/** Process-wide error disposition. Initialized from the
+ *  LAST_ABORT_ON_ERROR environment variable on first query. */
+ErrorMode errorMode();
+void setErrorMode(ErrorMode mode);
+
+/** Coarse classification, stable across what() formatting changes. */
+enum class ErrorKind
+{
+    Invariant, ///< simulator bug (panic)
+    Config,    ///< unsupportable request (fatal)
+    Memory,    ///< functional-memory range violation
+    Deadlock,  ///< forward-progress watchdog trip
+    Mismatch,  ///< cross-ISA result disagreement
+};
+
+const char *errorKindName(ErrorKind kind);
+
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorKind kind, const std::string &msg,
+             const char *file = nullptr, int line = 0);
+
+    ErrorKind kind() const { return kind_; }
+    const char *kindName() const { return errorKindName(kind_); }
+    /** The bare message, without the "kind: " prefix what() carries. */
+    const std::string &message() const { return msg_; }
+    /** Source location of the throw site ("" / 0 when unknown). */
+    const std::string &file() const { return file_; }
+    int line() const { return line_; }
+
+  private:
+    ErrorKind kind_;
+    std::string msg_;
+    std::string file_;
+    int line_;
+};
+
+/** panic(): an internal invariant was violated (simulator bug). */
+class InvariantError : public SimError
+{
+  public:
+    InvariantError(const std::string &msg, const char *file = nullptr,
+                   int line = 0)
+        : SimError(ErrorKind::Invariant, msg, file, line)
+    {}
+};
+
+/** fatal(): the user asked for something unsupportable. */
+class ConfigError : public SimError
+{
+  public:
+    ConfigError(const std::string &msg, const char *file = nullptr,
+                int line = 0)
+        : SimError(ErrorKind::Config, msg, file, line)
+    {}
+};
+
+/** An out-of-range or wrap-around functional-memory access. */
+class MemoryError : public SimError
+{
+  public:
+    MemoryError(const std::string &msg, Addr addr, uint64_t size,
+                bool isWrite, const std::string &owner)
+        : SimError(ErrorKind::Memory, msg), faultAddr(addr),
+          accessSize(size), isWrite(isWrite), owner(owner)
+    {}
+
+    Addr faultAddr;     ///< first byte of the offending access
+    uint64_t accessSize; ///< bytes requested
+    bool isWrite;
+    std::string owner;  ///< workload/context that issued the access
+};
+
+/** One wavefront's machine state at watchdog-trip time. */
+struct WavefrontDump
+{
+    unsigned cu = 0;          ///< CU index within the GPU
+    std::string cuName;       ///< e.g. "cu_3"
+    unsigned slot = 0;        ///< WF slot within the CU
+    unsigned wgId = 0;        ///< workgroup the WF belongs to
+    std::string kernel;       ///< kernel name
+    Addr pc = 0;              ///< byte offset of the next instruction
+    uint64_t execMask = 0;    ///< active-lane mask
+    unsigned vmCnt = 0;       ///< outstanding vector-memory ops (GCN3)
+    unsigned lgkmCnt = 0;     ///< outstanding scalar/LDS ops (GCN3)
+    bool atBarrier = false;
+    unsigned wgWfsAtBarrier = 0; ///< barrier membership: arrived ...
+    unsigned wgWfsTotal = 0;     ///< ... out of this many
+    size_t rsDepth = 0;       ///< reconvergence-stack depth (HSAIL)
+    unsigned ibCount = 0;     ///< decoded instructions buffered
+    bool fetchInFlight = false;
+    Cycle blockedUntil = 0;   ///< s_nop wait-state gate
+    bool wedged = false;      ///< fault-injected wedge flag
+
+    std::string format() const;
+};
+
+/** Everything the watchdog saw when it tripped. */
+struct DeadlockInfo
+{
+    Cycle cycle = 0;             ///< when the watchdog fired
+    Cycle lastProgressCycle = 0; ///< last fetch/issue/dispatch
+    uint64_t instsIssued = 0;    ///< GPU-wide dynamic instructions
+    std::string reason;          ///< "no progress in N cycles" / budget
+    std::vector<WavefrontDump> wavefronts; ///< every live wavefront
+
+    /** Multi-line human-readable dump (one line per wavefront). */
+    std::string format() const;
+};
+
+/** The forward-progress watchdog tripped. */
+class DeadlockError : public SimError
+{
+  public:
+    explicit DeadlockError(DeadlockInfo info);
+
+    const DeadlockInfo &info() const { return info_; }
+    /** The formatted per-wavefront dump (also embedded in what()). */
+    std::string dump() const { return info_.format(); }
+
+  private:
+    DeadlockInfo info_;
+};
+
+} // namespace last
+
+#endif // LAST_COMMON_ERROR_HH

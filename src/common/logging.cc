@@ -2,7 +2,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
 #include <vector>
 
 namespace last
@@ -25,18 +24,30 @@ vformat(const char *fmt, va_list ap)
 namespace
 {
 
-[[noreturn]] void
-throwOrDie(const char *kind, const char *file, int line,
-           const std::string &msg)
+LogHook &
+logHookStorage()
 {
-    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file, line);
-    std::fflush(stderr);
-    // Throwing (rather than abort/exit) keeps death-path behaviour
-    // testable from gtest and lets library users recover from fatal().
-    throw std::runtime_error(std::string(kind) + ": " + msg);
+    static LogHook hook;
+    return hook;
+}
+
+void
+emit(const char *level, std::FILE *stream, const std::string &msg)
+{
+    if (LogHook &hook = logHookStorage()) {
+        hook(level, msg);
+        return;
+    }
+    std::fprintf(stream, "%s: %s\n", level, msg.c_str());
 }
 
 } // namespace
+
+void
+setLogHook(LogHook hook)
+{
+    logHookStorage() = std::move(hook);
+}
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
@@ -45,7 +56,14 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    throwOrDie("panic", file, line, msg);
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    if (errorMode() == ErrorMode::Abort)
+        std::abort();
+    // Throwing (rather than abort) keeps death-path behaviour testable
+    // from gtest, lets library users recover from broken invariants,
+    // and lets a parallel sweep quarantine the failed run.
+    throw InvariantError(msg, file, line);
 }
 
 void
@@ -55,7 +73,11 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    throwOrDie("fatal", file, line, msg);
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    if (errorMode() == ErrorMode::Abort)
+        std::exit(1);
+    throw ConfigError(msg, file, line);
 }
 
 void
@@ -65,7 +87,7 @@ warnImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit("warn", stderr, msg);
 }
 
 void
@@ -75,7 +97,7 @@ informImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    emit("info", stdout, msg);
 }
 
 } // namespace last

@@ -2,17 +2,26 @@
  * @file
  * gem5-style status and error reporting.
  *
- * panic()  - an internal invariant was violated (simulator bug); aborts.
- * fatal()  - the user asked for something unsupportable; exits cleanly.
+ * panic()  - an internal invariant was violated (simulator bug);
+ *            throws InvariantError (aborts in ErrorMode::Abort).
+ * fatal()  - the user asked for something unsupportable; throws
+ *            ConfigError (exits in ErrorMode::Abort).
  * warn()   - functionality approximated; simulation continues.
  * inform() - plain status output.
+ *
+ * See common/error.hh for the SimError hierarchy and the throw-vs-abort
+ * mode selection. warn()/inform() route through an optional hook so
+ * tests (and embedding applications) can capture formatted output.
  */
 
 #ifndef LAST_COMMON_LOGGING_HH
 #define LAST_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <functional>
 #include <string>
+
+#include "common/error.hh"
 
 namespace last
 {
@@ -30,6 +39,16 @@ void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Format a printf-style message into a std::string. */
 std::string vformat(const char *fmt, va_list ap);
 
+/**
+ * Capture hook for warn()/inform(): receives the level ("warn" or
+ * "info") and the formatted message. While installed, messages go to
+ * the hook instead of stderr/stdout. Install nullptr to restore the
+ * default streams.
+ */
+using LogHook = std::function<void(const char *level,
+                                   const std::string &msg)>;
+void setLogHook(LogHook hook);
+
 } // namespace last
 
 #define panic(...) ::last::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
@@ -37,7 +56,8 @@ std::string vformat(const char *fmt, va_list ap);
 #define warn(...) ::last::warnImpl(__VA_ARGS__)
 #define inform(...) ::last::informImpl(__VA_ARGS__)
 
-/** Like assert, but active in all build types and panics with context. */
+/** Like assert, but active in all build types and panics with context.
+ *  The condition is evaluated exactly once. */
 #define panic_if(cond, ...)                                                  \
     do {                                                                     \
         if (cond)                                                            \

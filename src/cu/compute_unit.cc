@@ -288,6 +288,65 @@ ComputeUnit::chargeSkippedCycles(Cycle now, Cycle k)
     }
 }
 
+int
+ComputeUnit::wedgeWavefront(unsigned slot)
+{
+    Wavefront *victim = nullptr;
+    if (slot < slots.size() && slots[slot]->active &&
+        !slots[slot]->st.done) {
+        victim = slots[slot].get();
+    } else {
+        // The preferred slot is empty (e.g. the fault struck before
+        // dispatch reached it): wedge the oldest live wavefront so a
+        // planned fault always lands somewhere deterministic.
+        for (auto &wf : slots) {
+            if (!wf->active || wf->st.done)
+                continue;
+            if (!victim || wf->dispatchSeq < victim->dispatchSeq)
+                victim = wf.get();
+        }
+    }
+    if (!victim)
+        return -1;
+    victim->wedged = true;
+    return int(victim->slot);
+}
+
+void
+ComputeUnit::dumpWavefronts(unsigned cuIndex,
+                            std::vector<WavefrontDump> &out) const
+{
+    for (const auto &wfp : slots) {
+        const Wavefront &wf = *wfp;
+        if (!wf.active)
+            continue;
+        const arch::WfState &st = wf.st;
+        WavefrontDump d;
+        d.cu = cuIndex;
+        d.cuName = name();
+        d.slot = wf.slot;
+        d.wgId = st.wgId;
+        d.kernel = st.code ? st.code->name() : "<none>";
+        d.pc = st.code && wf.pcIdx < st.code->numInsts()
+                   ? st.code->offsetOf(wf.pcIdx)
+                   : st.pc;
+        d.execMask = st.activeMask();
+        d.vmCnt = st.vmCnt;
+        d.lgkmCnt = st.lgkmCnt;
+        d.atBarrier = st.atBarrier;
+        if (wf.wg) {
+            d.wgWfsAtBarrier = wf.wg->wfAtBarrier;
+            d.wgWfsTotal = wf.wg->wfTotal;
+        }
+        d.rsDepth = st.rs.size();
+        d.ibCount = wf.ibCount;
+        d.fetchInFlight = wf.fetchInFlight;
+        d.blockedUntil = wf.blockedUntil;
+        d.wedged = wf.wedged;
+        out.push_back(std::move(d));
+    }
+}
+
 void
 ComputeUnit::fetchStage(Cycle now)
 {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/error.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
 #include "cu/launch.hh"
@@ -91,6 +92,18 @@ class ComputeUnit : public stats::Group
      * fully ticked ones.
      */
     void chargeSkippedCycles(Cycle now, Cycle k);
+
+    /**
+     * Fault injection: wedge a wavefront so it never issues again
+     * (slot `slot` if it holds a live wavefront, else the oldest live
+     * one). @return the slot wedged, or -1 if no wavefront is live.
+     */
+    int wedgeWavefront(unsigned slot);
+
+    /** Append a WavefrontDump for every live wavefront (the watchdog
+     *  calls this to build a DeadlockError). */
+    void dumpWavefronts(unsigned cuIndex,
+                        std::vector<WavefrontDump> &out) const;
 
     /** @{ Dynamic instruction counters (Figure 5 classification). */
     stats::Scalar dynInsts;

@@ -65,10 +65,15 @@ class Wavefront
 
     bool active = false; ///< slot occupied
 
+    /** Fault injection: a wedged wavefront never issues again (models
+     *  a barrier mismatch or a lost waitcnt release); the GPU's
+     *  forward-progress watchdog must detect and report it. */
+    bool wedged = false;
+
     bool
     runnable() const
     {
-        return active && !st.done && !st.atBarrier;
+        return active && !st.done && !st.atBarrier && !wedged;
     }
 
     void
@@ -86,6 +91,7 @@ class Wavefront
         ibNextFetch = 0;
         fetchInFlight = false;
         blockedUntil = 0;
+        wedged = false;
         ++gen;
         active = true;
     }

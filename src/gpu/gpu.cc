@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/faultinject.hh"
 
 namespace last::gpu
 {
@@ -36,6 +37,61 @@ Gpu::Gpu(const GpuConfig &cfg, mem::FunctionalMemory &memory,
             "cu_" + std::to_string(i), cfg, eq, l1ds[i].get(),
             l1is[c].get(), scalarDs[c].get(), &memory, this));
     }
+
+    armFaults();
+}
+
+void
+Gpu::armFaults()
+{
+    if (!cfg.faultPlan)
+        return;
+    const auto &faults = cfg.faultPlan->faults;
+    for (size_t i = 0; i < faults.size(); ++i) {
+        const sim::Fault &f = faults[i];
+        switch (f.kind) {
+          case sim::FaultKind::CacheDelay:
+            l1ds[f.cu % cus.size()]->injectResponseFault(
+                f.cycle, f.extraLatency, f.count);
+            break;
+          case sim::FaultKind::CacheDrop:
+            l1ds[f.cu % cus.size()]->injectResponseFault(
+                f.cycle, sim::DroppedResponseLatency, f.count);
+            break;
+          case sim::FaultKind::MemBitFlip:
+          case sim::FaultKind::WedgeWavefront:
+            // Cycle-triggered: applied from the tick loop.
+            pendingFaults.push_back(i);
+            nextFaultCycle = std::min(nextFaultCycle, f.cycle);
+            break;
+        }
+    }
+}
+
+void
+Gpu::applyDueFaults(Cycle now)
+{
+    nextFaultCycle = InvalidCycle;
+    std::erase_if(pendingFaults, [&](size_t i) {
+        const sim::Fault &f = cfg.faultPlan->faults[i];
+        if (f.cycle > now) {
+            nextFaultCycle = std::min(nextFaultCycle, f.cycle);
+            return false;
+        }
+        if (f.kind == sim::FaultKind::MemBitFlip) {
+            uint8_t byte = memory.read<uint8_t>(f.addr);
+            byte ^= uint8_t(1u << (f.bit % 8));
+            memory.write<uint8_t>(f.addr, byte);
+            return true;
+        }
+        // WedgeWavefront: if no wavefront is live yet (the fault
+        // struck before dispatch), stay armed and strike as soon as
+        // one is.
+        if (cus[f.cu % cus.size()]->wedgeWavefront(f.wfSlot) >= 0)
+            return true;
+        nextFaultCycle = std::min(nextFaultCycle, now + 1);
+        return false;
+    });
 }
 
 void
@@ -107,6 +163,8 @@ Gpu::idle() const
 void
 Gpu::tick()
 {
+    if (nextFaultCycle != InvalidCycle && eq.now() >= nextFaultCycle)
+        applyDueFaults(eq.now());
     bool progress = dispatchPending();
     for (auto &c : cus) {
         c->tick();
@@ -123,25 +181,60 @@ Gpu::tick()
     progressLastTick = progress;
 }
 
+void
+Gpu::throwDeadlock(const std::string &reason, Cycle lastProgress)
+{
+    DeadlockInfo info;
+    info.cycle = eq.now();
+    info.lastProgressCycle = lastProgress;
+    info.instsIssued = uint64_t(sumCuStat("dynInsts"));
+    info.reason = reason;
+    for (unsigned i = 0; i < cus.size(); ++i)
+        cus[i]->dumpWavefronts(i, info.wavefronts);
+    throw DeadlockError(std::move(info));
+}
+
 Cycle
 Gpu::runToCompletion()
 {
     Cycle start = eq.now();
-    uint64_t guard = 0;
+    Cycle lastProgress = start;
+    const uint64_t stallLimit = cfg.watchdogStallCycles;
+    const uint64_t budget = cfg.watchdogMaxCycles;
     while (!idle()) {
         tick();
-        panic_if(++guard > 2000000000ull,
-                 "GPU appears wedged after 2e9 cycles");
+        Cycle now = eq.now();
+        if (progressLastTick) {
+            lastProgress = now;
+        } else if (stallLimit && now - lastProgress > stallLimit) {
+            throwDeadlock("no instruction fetched, issued, or "
+                          "dispatched in " +
+                              std::to_string(now - lastProgress) +
+                              " cycles",
+                          lastProgress);
+        }
+        if (budget && now - start > budget)
+            throwDeadlock("cycle budget of " + std::to_string(budget) +
+                              " cycles exceeded",
+                          lastProgress);
         if (!progressLastTick && cfg.fastForwardIdle) {
             // Nothing fetched, issued, or dispatched this cycle: jump
             // the clock to the next event-queue callback or time-gated
             // wakeup, whichever comes first, charging the skipped
             // cycles to the same counters the per-cycle loop would
             // have bumped (the run stays statistic-identical).
-            Cycle now = eq.now();
             Cycle target = InvalidCycle;
             for (const auto &c : cus)
                 target = std::min(target, c->nextProgressCycle(now));
+            // Never jump past a pending injected fault or a watchdog
+            // deadline: a wedged GPU's wakeup cycle can be absurdly
+            // far away (or nonexistent), and the watchdog must fire at
+            // its configured threshold, not after the jump.
+            target = std::min(target, nextFaultCycle);
+            if (stallLimit)
+                target = std::min(target, lastProgress + stallLimit + 1);
+            if (budget)
+                target = std::min(target, start + budget + 1);
             Cycle skipped = eq.fastForwardTo(target);
             if (skipped) {
                 totalCycles += double(skipped);

@@ -34,8 +34,17 @@ class Gpu : public stats::Group
     /** Advance one cycle (dispatch + all CUs + event queue). */
     void tick();
 
-    /** Run until all enqueued launches complete; returns cycles
-     *  elapsed. */
+    /**
+     * Run until all enqueued launches complete; returns cycles
+     * elapsed. Guarded by the forward-progress watchdog: if no
+     * instruction is fetched, issued, or dispatched anywhere on the
+     * GPU for cfg.watchdogStallCycles (or the run exceeds
+     * cfg.watchdogMaxCycles), throws a DeadlockError carrying a
+     * per-wavefront state dump — PC, exec mask, waitcnt counters,
+     * barrier membership, reconvergence-stack depth — instead of
+     * spinning forever. The idle-cycle fast-forward never jumps past
+     * a watchdog deadline or a pending injected fault.
+     */
     Cycle runToCompletion();
 
     bool idle() const;
@@ -60,6 +69,13 @@ class Gpu : public stats::Group
     /** @return true if at least one workgroup was placed. */
     bool dispatchPending();
 
+    /** @{ Fault injection (cfg.faultPlan) and watchdog support. */
+    void armFaults();
+    void applyDueFaults(Cycle now);
+    [[noreturn]] void throwDeadlock(const std::string &reason,
+                                    Cycle lastProgress);
+    /** @} */
+
     GpuConfig cfg;
     EventQueue eq;
     mem::FunctionalMemory &memory;
@@ -75,6 +91,13 @@ class Gpu : public stats::Group
     std::vector<cu::KernelLaunch *> liveLaunches;
     unsigned dispatchRr = 0;
     bool progressLastTick = false;
+
+    /** Cycle-triggered faults (bit flips, wedges) from cfg.faultPlan
+     *  not yet applied, as indices into faultPlan->faults. */
+    std::vector<size_t> pendingFaults;
+    /** Earliest pending fault cycle (InvalidCycle when none): bounds
+     *  the idle fast-forward so faults strike on schedule. */
+    Cycle nextFaultCycle = InvalidCycle;
 };
 
 } // namespace last::gpu

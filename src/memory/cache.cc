@@ -137,8 +137,23 @@ Cache::access(Addr addr, bool is_write, Cycle now)
         done = fill;
     }
 
+    if (faultArmed && now >= faultFrom) {
+        done += faultExtra;
+        if (faultRemaining && --faultRemaining == 0)
+            faultArmed = false;
+    }
+
     accessLatencyTotal += double(done - now);
     return done;
+}
+
+void
+Cache::injectResponseFault(Cycle from, Cycle extra, unsigned count)
+{
+    faultArmed = true;
+    faultFrom = from;
+    faultExtra = extra;
+    faultRemaining = count;
 }
 
 void

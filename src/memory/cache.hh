@@ -61,6 +61,17 @@ class Cache : public MemLevel, public stats::Group
     /** True if the line holding addr is present (for tests). */
     bool isCached(Addr addr) const;
 
+    /**
+     * Fault injection: perturb the completion time of demand accesses.
+     * Starting with the first access at or after cycle `from`, the
+     * next `count` accesses (0 = all of them) complete `extra` cycles
+     * late. An `extra` beyond any watchdog budget models a response
+     * that never arrives (sim::DroppedResponseLatency). Tags, MSHRs,
+     * and hit/miss statistics are untouched — only the returned
+     * completion cycle moves, exactly like a flaky interconnect.
+     */
+    void injectResponseFault(Cycle from, Cycle extra, unsigned count);
+
     stats::Scalar hits;
     stats::Scalar misses;
     stats::Scalar mshrMerges;
@@ -90,6 +101,13 @@ class Cache : public MemLevel, public stats::Group
 
     /** line addr -> cycle the fill completes. */
     std::unordered_map<Addr, Cycle> mshrs;
+
+    /** @{ Injected response fault (see injectResponseFault). */
+    bool faultArmed = false;
+    Cycle faultFrom = 0;
+    Cycle faultExtra = 0;
+    unsigned faultRemaining = 0; ///< 0 while armed = unlimited
+    /** @} */
 };
 
 } // namespace last::mem

@@ -73,8 +73,28 @@ FunctionalMemory::touch(Addr addr, size_t len)
 }
 
 void
+FunctionalMemory::checkRange(Addr addr, size_t len, bool is_write) const
+{
+    // Wrap-around first: addr + len overflowing 64 bits is the
+    // signature of a negative offset folded into an unsigned address.
+    if (len && addr + (len - 1) < addr) {
+        throw MemoryError(
+            "address range wraps the 64-bit address space" +
+                (ownerLabel.empty() ? "" : " (workload " + ownerLabel + ")"),
+            addr, len, is_write, ownerLabel);
+    }
+    if (addr >= AddrSpaceBytes || (len && addr + (len - 1) >= AddrSpaceBytes)) {
+        throw MemoryError(
+            "access beyond the 48-bit simulated address space" +
+                (ownerLabel.empty() ? "" : " (workload " + ownerLabel + ")"),
+            addr, len, is_write, ownerLabel);
+    }
+}
+
+void
 FunctionalMemory::read(Addr addr, void *buf, size_t len)
 {
+    checkRange(addr, len, false);
     touch(addr, len);
     auto *out = static_cast<uint8_t *>(buf);
     while (len > 0) {
@@ -94,6 +114,7 @@ FunctionalMemory::read(Addr addr, void *buf, size_t len)
 void
 FunctionalMemory::write(Addr addr, const void *buf, size_t len)
 {
+    checkRange(addr, len, true);
     touch(addr, len);
     const auto *in = static_cast<const uint8_t *>(buf);
     while (len > 0) {

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "common/types.hh"
@@ -39,11 +40,26 @@ class FunctionalMemory
     static constexpr unsigned LineBytes = 64;
     static constexpr unsigned LinesPerPage = PageBytes / LineBytes;
 
-    /** Read len bytes at addr into buf. Unwritten memory reads 0. */
+    /** Size of the simulated virtual address space (48-bit, like the
+     *  canonical user half of x86-64/GCN). Accesses beyond it — or
+     *  ones whose [addr, addr+len) range wraps the 64-bit space, the
+     *  classic symptom of a negative-offset address-calculation bug —
+     *  raise a MemoryError naming the address, size, and owner
+     *  instead of silently growing the page map. */
+    static constexpr Addr AddrSpaceBytes = Addr(1) << 48;
+
+    /** Read len bytes at addr into buf. Unwritten memory reads 0.
+     *  @throws MemoryError on out-of-range or wrap-around ranges. */
     void read(Addr addr, void *buf, size_t len);
 
-    /** Write len bytes from buf at addr. */
+    /** Write len bytes from buf at addr.
+     *  @throws MemoryError on out-of-range or wrap-around ranges. */
     void write(Addr addr, const void *buf, size_t len);
+
+    /** Label attached to MemoryErrors (the workload or test driving
+     *  this memory); helps attribute faults inside a parallel sweep. */
+    void setOwner(std::string who) { ownerLabel = std::move(who); }
+    const std::string &owner() const { return ownerLabel; }
 
     template <typename T>
     T
@@ -82,6 +98,7 @@ class FunctionalMemory
 
     Page &pageFor(Addr addr);
     const Page *pageForRead(Addr addr);
+    void checkRange(Addr addr, size_t len, bool is_write) const;
     void touch(Addr addr, size_t len);
     void touchLines(Addr vpn, uint64_t mask);
 
@@ -99,6 +116,8 @@ class FunctionalMemory
     Addr touchVpn = InvalidAddr;
     uint64_t *touchMask = nullptr;
     /** @} */
+
+    std::string ownerLabel;
 };
 
 } // namespace last::mem

@@ -1,5 +1,7 @@
 #include "sim/experiment.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 #include "sim/parallel.hh"
 
@@ -11,6 +13,9 @@ runApp(const std::string &workload, IsaKind isa, const GpuConfig &cfg,
        const workloads::WorkloadScale &scale)
 {
     runtime::Runtime rt(cfg);
+    // Label the simulated process so MemoryErrors escaping a parallel
+    // sweep name the run that faulted, not just an address.
+    rt.mem().setOwner(workload + "/" + isaName(isa));
     auto wl = workloads::makeWorkload(workload, scale);
 
     AppResult r;
@@ -91,6 +96,55 @@ runBoth(const std::string &workload, const GpuConfig &cfg,
     // The two ISA-level runs are independent simulations; overlap them
     // on the worker pool (LAST_JOBS=1 recovers the serial path).
     return runBothParallel(workload, cfg, scale);
+}
+
+std::string
+MismatchReport::format() const
+{
+    std::ostringstream os;
+    os << "cross-ISA mismatch in " << workload << ": " << field;
+    if (launchIndex >= 0)
+        os << " (launch " << launchIndex << ")";
+    os << " diverges: HSAIL=" << hsailValue << " GCN3=" << gcn3Value;
+    return os.str();
+}
+
+IsaMismatchError::IsaMismatchError(MismatchReport report)
+    : SimError(ErrorKind::Mismatch, report.format()),
+      report_(std::move(report))
+{}
+
+void
+checkIsaAgreement(const AppResult &hsail, const AppResult &gcn3)
+{
+    auto mismatch = [&](const std::string &field, int launch,
+                        const std::string &h, const std::string &g) {
+        MismatchReport r;
+        r.workload = hsail.workload;
+        r.field = field;
+        r.launchIndex = launch;
+        r.hsailValue = h;
+        r.gcn3Value = g;
+        throw IsaMismatchError(std::move(r));
+    };
+
+    if (hsail.workload != gcn3.workload)
+        mismatch("workload", -1, hsail.workload, gcn3.workload);
+    if (hsail.verified != gcn3.verified)
+        mismatch("verified", -1, hsail.verified ? "true" : "false",
+                 gcn3.verified ? "true" : "false");
+    if (hsail.digest != gcn3.digest)
+        mismatch("digest", -1, std::to_string(hsail.digest),
+                 std::to_string(gcn3.digest));
+    if (hsail.launches.size() != gcn3.launches.size())
+        mismatch("launches.size", -1,
+                 std::to_string(hsail.launches.size()),
+                 std::to_string(gcn3.launches.size()));
+    for (size_t i = 0; i < hsail.launches.size(); ++i) {
+        if (hsail.launches[i].kernel != gcn3.launches[i].kernel)
+            mismatch("launch.kernel", int(i), hsail.launches[i].kernel,
+                     gcn3.launches[i].kernel);
+    }
 }
 
 } // namespace last::sim

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/error.hh"
 #include "runtime/runtime.hh"
 #include "workloads/workload.hh"
 
@@ -23,6 +24,16 @@ struct AppResult
     IsaKind isa = IsaKind::HSAIL;
     bool verified = false;
     uint64_t digest = 0;
+
+    /** @{ Quarantine marker: set by runSweep when this spec's
+     *  simulation threw (and the serial retry also failed). A
+     *  quarantined result carries no statistics — only the spec
+     *  identity and the error that killed it — and must never be
+     *  persisted to a results cache. */
+    bool quarantined = false;
+    std::string errorKind;    ///< SimError kindName(), or "exception"
+    std::string errorMessage; ///< what() of the captured error
+    /** @} */
 
     /** @{ Figure 5: dynamic instruction counts by class. */
     uint64_t dynInsts = 0;
@@ -68,11 +79,54 @@ AppResult runApp(const std::string &workload, IsaKind isa,
                  const GpuConfig &cfg = GpuConfig{},
                  const workloads::WorkloadScale &scale = {});
 
-/** Convenience: both ISAs, same workload. Index 0 = HSAIL, 1 = GCN3. */
+/** Convenience: both ISAs, same workload. Index 0 = HSAIL, 1 = GCN3.
+ *  Verifies cross-ISA result agreement; throws IsaMismatchError with a
+ *  structured MismatchReport when the two levels disagree. */
 std::pair<AppResult, AppResult>
 runBoth(const std::string &workload,
         const GpuConfig &cfg = GpuConfig{},
         const workloads::WorkloadScale &scale = {});
+
+/**
+ * Structured record of the first cross-ISA disagreement between an
+ * HSAIL and a GCN3 run of the same workload. The simulator's core
+ * differential invariant is that functional results are
+ * abstraction-invariant: both levels must verify and must produce
+ * byte-identical output digests (only timing/microarchitecture stats
+ * may differ). This pinpoints the first field that broke that
+ * invariant rather than leaving the user to diff 30 stats by hand.
+ */
+struct MismatchReport
+{
+    std::string workload;
+    std::string field;     ///< first diverging field, e.g. "digest"
+    int launchIndex = -1;  ///< launch-level divergence (-1 = app-level)
+    std::string hsailValue;
+    std::string gcn3Value;
+
+    std::string format() const;
+};
+
+/** Cross-ISA result disagreement (the differential invariant broke). */
+class IsaMismatchError : public SimError
+{
+  public:
+    explicit IsaMismatchError(MismatchReport report);
+
+    const MismatchReport &report() const { return report_; }
+
+  private:
+    MismatchReport report_;
+};
+
+/**
+ * Compare the functional-result fields of an HSAIL/GCN3 pair: both
+ * verified, equal digests, same launch count, same per-launch kernel
+ * sequence. @throws IsaMismatchError naming the first divergence.
+ * Timing fields are deliberately not compared — they legitimately
+ * differ between abstraction levels (that is the paper's point).
+ */
+void checkIsaAgreement(const AppResult &hsail, const AppResult &gcn3);
 
 } // namespace last::sim
 

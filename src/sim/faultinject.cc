@@ -1,0 +1,135 @@
+#include "sim/faultinject.hh"
+
+#include <sstream>
+
+#include "common/random.hh"
+
+namespace last::sim
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::MemBitFlip: return "mem-bit-flip";
+      case FaultKind::CacheDelay: return "cache-delay";
+      case FaultKind::CacheDrop: return "cache-drop";
+      case FaultKind::WedgeWavefront: return "wedge-wavefront";
+    }
+    return "unknown";
+}
+
+std::string
+Fault::describe() const
+{
+    std::ostringstream os;
+    os << faultKindName(kind) << "@" << cycle;
+    switch (kind) {
+      case FaultKind::MemBitFlip:
+        os << " addr=0x" << std::hex << addr << std::dec << " bit="
+           << bit;
+        break;
+      case FaultKind::CacheDelay:
+        os << " cu=" << cu << " extra=" << extraLatency << " count="
+           << count;
+        break;
+      case FaultKind::CacheDrop:
+        os << " cu=" << cu << " count=" << count;
+        break;
+      case FaultKind::WedgeWavefront:
+        os << " cu=" << cu << " wf=" << wfSlot;
+        break;
+    }
+    return os.str();
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < faults.size(); ++i)
+        os << (i ? "; " : "") << faults[i].describe();
+    return os.str();
+}
+
+FaultPlan
+FaultPlan::wedge(unsigned cu, unsigned wfSlot, Cycle cycle)
+{
+    Fault f;
+    f.kind = FaultKind::WedgeWavefront;
+    f.cu = cu;
+    f.wfSlot = wfSlot;
+    f.cycle = cycle;
+    return FaultPlan{}.add(f);
+}
+
+FaultPlan
+FaultPlan::bitFlip(Addr addr, unsigned bit, Cycle cycle)
+{
+    Fault f;
+    f.kind = FaultKind::MemBitFlip;
+    f.addr = addr;
+    f.bit = bit % 8;
+    f.cycle = cycle;
+    return FaultPlan{}.add(f);
+}
+
+FaultPlan
+FaultPlan::cacheDelay(unsigned cu, Cycle cycle, Cycle extra,
+                      unsigned count)
+{
+    Fault f;
+    f.kind = FaultKind::CacheDelay;
+    f.cu = cu;
+    f.cycle = cycle;
+    f.extraLatency = extra;
+    f.count = count;
+    return FaultPlan{}.add(f);
+}
+
+FaultPlan
+FaultPlan::cacheDrop(unsigned cu, Cycle cycle, unsigned count)
+{
+    Fault f;
+    f.kind = FaultKind::CacheDrop;
+    f.cu = cu;
+    f.cycle = cycle;
+    f.count = count;
+    return FaultPlan{}.add(f);
+}
+
+FaultPlan
+FaultPlan::random(uint64_t seed, unsigned n, Cycle maxCycle,
+                  Addr addrLo, Addr addrHi, unsigned numCus,
+                  unsigned wfSlots)
+{
+    Rng rng(seed);
+    FaultPlan plan;
+    for (unsigned i = 0; i < n; ++i) {
+        Fault f;
+        f.kind = FaultKind(rng.nextBounded(4));
+        f.cycle = rng.nextBounded(maxCycle ? maxCycle : 1);
+        f.cu = numCus ? unsigned(rng.nextBounded(numCus)) : 0;
+        switch (f.kind) {
+          case FaultKind::MemBitFlip:
+            f.addr = addrLo + rng.nextBounded(
+                                  addrHi > addrLo ? addrHi - addrLo : 1);
+            f.bit = unsigned(rng.nextBounded(8));
+            break;
+          case FaultKind::CacheDelay:
+            f.extraLatency = 1 + rng.nextBounded(512);
+            f.count = 1 + unsigned(rng.nextBounded(16));
+            break;
+          case FaultKind::CacheDrop:
+            f.count = 1 + unsigned(rng.nextBounded(4));
+            break;
+          case FaultKind::WedgeWavefront:
+            f.wfSlot = wfSlots ? unsigned(rng.nextBounded(wfSlots)) : 0;
+            break;
+        }
+        plan.add(f);
+    }
+    return plan;
+}
+
+} // namespace last::sim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection.
+ *
+ * A FaultPlan is an inert description of faults to strike a single
+ * simulation: memory bit flips at a chosen cycle, delayed or dropped
+ * cache responses, and wavefronts wedged at a chosen cycle (modelling
+ * barrier mismatches / lost waitcnt releases — the failure classes
+ * that otherwise hang a simulator silently). The plan is attached to a
+ * run through GpuConfig::faultPlan; the GPU applies wedges and bit
+ * flips on the cycle loop and forwards cache-response faults to the
+ * targeted CU's L1D at construction. Plans are plain data: the same
+ * plan against the same spec produces bit-identical outcomes, on any
+ * worker count.
+ *
+ * Purpose: prove the robustness layer end to end. A wedged wavefront
+ * must trip the forward-progress watchdog and produce a DeadlockError
+ * whose dump names the culprit; a dropped cache response must deadlock
+ * at the dependency model (scoreboard stall on HSAIL, s_waitcnt on
+ * GCN3); a data bit flip must fail verification identically at both
+ * ISA levels (functional results are abstraction-invariant); a timing
+ * fault must leave digests untouched while shifting cycle counts by
+ * ISA-dependent amounts — exactly the similar/dissimilar statistic
+ * split the paper predicts.
+ */
+
+#ifndef LAST_SIM_FAULTINJECT_HH
+#define LAST_SIM_FAULTINJECT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace last::sim
+{
+
+/** Response latency standing in for a response that never arrives:
+ *  far beyond any watchdog budget, so the dependency model wedges and
+ *  the watchdog - not the event - resolves the run. */
+constexpr Cycle DroppedResponseLatency = Cycle(1) << 50;
+
+enum class FaultKind
+{
+    MemBitFlip,     ///< flip one bit of functional memory at a cycle
+    CacheDelay,     ///< add latency to L1D responses of one CU
+    CacheDrop,      ///< L1D responses of one CU never arrive
+    WedgeWavefront, ///< a wavefront stops issuing forever at a cycle
+};
+
+const char *faultKindName(FaultKind kind);
+
+struct Fault
+{
+    FaultKind kind = FaultKind::MemBitFlip;
+    Cycle cycle = 0; ///< when the fault strikes (window start for
+                     ///< cache faults)
+
+    /** @{ MemBitFlip. */
+    Addr addr = 0;
+    unsigned bit = 0; ///< bit index within the byte at addr (0-7)
+    /** @} */
+
+    /** @{ CacheDelay / CacheDrop / WedgeWavefront target. */
+    unsigned cu = 0;
+    /** @} */
+
+    /** @{ CacheDelay/CacheDrop: number of affected accesses at or
+     *  after `cycle` (0 = every access), and the added latency. */
+    unsigned count = 0;
+    Cycle extraLatency = 0;
+    /** @} */
+
+    /** WedgeWavefront: preferred WF slot (falls back to the first
+     *  active slot if this one is empty when the fault strikes). */
+    unsigned wfSlot = 0;
+
+    std::string describe() const;
+};
+
+struct FaultPlan
+{
+    std::vector<Fault> faults;
+
+    bool empty() const { return faults.empty(); }
+    FaultPlan &add(const Fault &f)
+    {
+        faults.push_back(f);
+        return *this;
+    }
+
+    /** One-line description of every fault in the plan. */
+    std::string describe() const;
+
+    /** @{ Single-fault plan builders. */
+    static FaultPlan wedge(unsigned cu, unsigned wfSlot, Cycle cycle);
+    static FaultPlan bitFlip(Addr addr, unsigned bit, Cycle cycle);
+    static FaultPlan cacheDelay(unsigned cu, Cycle cycle, Cycle extra,
+                                unsigned count = 0);
+    static FaultPlan cacheDrop(unsigned cu, Cycle cycle,
+                               unsigned count = 1);
+    /** @} */
+
+    /**
+     * Seed-driven plan generation: n faults of mixed kinds with
+     * cycles in [0, maxCycle), bit-flip addresses in [addrLo, addrHi),
+     * CU indices in [0, numCus). Identical seeds produce identical
+     * plans (the generator is a private xorshift64* stream), so a
+     * fault campaign is reproducible from its seed list alone.
+     */
+    static FaultPlan random(uint64_t seed, unsigned n, Cycle maxCycle,
+                            Addr addrLo, Addr addrHi, unsigned numCus,
+                            unsigned wfSlots);
+};
+
+} // namespace last::sim
+
+#endif // LAST_SIM_FAULTINJECT_HH

@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <sstream>
 #include <thread>
+
+#include "common/error.hh"
 
 namespace last::sim
 {
@@ -19,9 +22,9 @@ defaultJobs()
     return hw ? hw : 1;
 }
 
-void
-parallelInvoke(const std::vector<std::function<void()>> &tasks,
-               unsigned jobs)
+std::vector<std::exception_ptr>
+parallelInvokeCollect(const std::vector<std::function<void()>> &tasks,
+                      unsigned jobs)
 {
     const size_t n = tasks.size();
     if (jobs == 0)
@@ -61,7 +64,14 @@ parallelInvoke(const std::vector<std::function<void()>> &tasks,
             th.join();
     }
 
-    for (const auto &e : errors)
+    return errors;
+}
+
+void
+parallelInvoke(const std::vector<std::function<void()>> &tasks,
+               unsigned jobs)
+{
+    for (const auto &e : parallelInvokeCollect(tasks, jobs))
         if (e)
             std::rethrow_exception(e);
 }
@@ -88,7 +98,125 @@ runBothParallel(const std::string &workload, const GpuConfig &cfg,
     auto rs = runMany({{workload, IsaKind::HSAIL, cfg, scale},
                        {workload, IsaKind::GCN3, cfg, scale}},
                       jobs);
+    // The differential invariant: functional results must be identical
+    // across abstraction levels. Catch divergence at the source with a
+    // structured report rather than letting it surface as a confusing
+    // figure 20 tables later.
+    checkIsaAgreement(rs[0], rs[1]);
     return {std::move(rs[0]), std::move(rs[1])};
+}
+
+namespace
+{
+
+/** Classify a captured exception for the quarantine record. */
+void
+describeError(const std::exception_ptr &e, std::string &kind,
+              std::string &message, std::string &detail)
+{
+    try {
+        std::rethrow_exception(e);
+    } catch (const DeadlockError &d) {
+        kind = d.kindName();
+        message = d.message();
+        detail = d.dump();
+    } catch (const SimError &s) {
+        kind = s.kindName();
+        message = s.message();
+    } catch (const std::exception &x) {
+        kind = "exception";
+        message = x.what();
+    } catch (...) {
+        kind = "unknown";
+        message = "non-standard exception";
+    }
+}
+
+} // namespace
+
+std::string
+QuarantinedRun::format() const
+{
+    std::ostringstream os;
+    os << "  [" << index << "] " << spec.workload << "/"
+       << isaName(spec.isa) << ": " << errorKind << ": " << errorMessage;
+    if (retried)
+        os << "\n      (failed again on the serial retry)";
+    return os.str();
+}
+
+std::string
+SweepReport::format() const
+{
+    if (allOk())
+        return "";
+    std::ostringstream os;
+    os << quarantined.size() << " of " << results.size()
+       << " sweep entries quarantined";
+    if (recoveredOnRetry)
+        os << " (" << recoveredOnRetry
+           << " more failed in parallel but passed the serial retry)";
+    os << ":\n";
+    for (const auto &q : quarantined)
+        os << q.format() << "\n";
+    return os.str();
+}
+
+SweepReport
+runSweep(const std::vector<RunSpec> &specs, const SweepOptions &opts)
+{
+    SweepReport report;
+    report.results.resize(specs.size());
+
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i)
+        tasks.push_back([&specs, &report, i] {
+            const RunSpec &s = specs[i];
+            report.results[i] = runApp(s.workload, s.isa, s.cfg, s.scale);
+        });
+
+    auto errors = parallelInvokeCollect(tasks, opts.jobs);
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+        if (!errors[i])
+            continue;
+        bool retried = false;
+        if (opts.retryFailed) {
+            // One clean serial retry: scheduling-dependent or
+            // load-dependent failures (the machine ran out of memory
+            // under N concurrent GPUs) may pass on a quiet retry.
+            retried = true;
+            try {
+                const RunSpec &s = specs[i];
+                report.results[i] =
+                    runApp(s.workload, s.isa, s.cfg, s.scale);
+                errors[i] = nullptr;
+                ++report.recoveredOnRetry;
+                continue;
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+        QuarantinedRun q;
+        q.index = i;
+        q.spec = specs[i];
+        q.retried = retried;
+        describeError(errors[i], q.errorKind, q.errorMessage, q.detail);
+
+        // The quarantined slot keeps its spec identity so downstream
+        // consumers can tell *what* is missing, but no statistics.
+        AppResult &r = report.results[i];
+        r = AppResult{};
+        r.workload = specs[i].workload;
+        r.isa = specs[i].isa;
+        r.quarantined = true;
+        r.errorKind = q.errorKind;
+        r.errorMessage = q.errorMessage;
+
+        report.quarantined.push_back(std::move(q));
+    }
+    return report;
 }
 
 } // namespace last::sim

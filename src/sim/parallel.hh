@@ -22,6 +22,7 @@
 #ifndef LAST_SIM_PARALLEL_HH
 #define LAST_SIM_PARALLEL_HH
 
+#include <exception>
 #include <functional>
 #include <string>
 #include <utility>
@@ -55,17 +56,78 @@ unsigned defaultJobs();
 void parallelInvoke(const std::vector<std::function<void()>> &tasks,
                     unsigned jobs = 0);
 
-/** Run every spec concurrently; results in input (spec) order. */
+/**
+ * Like parallelInvoke, but graceful: instead of rethrowing, return a
+ * vector with slot i holding the exception task i threw (null when it
+ * succeeded). Never throws itself — one poisoned task cannot take the
+ * rest of the batch down. runSweep builds its quarantine on this.
+ */
+std::vector<std::exception_ptr>
+parallelInvokeCollect(const std::vector<std::function<void()>> &tasks,
+                      unsigned jobs = 0);
+
+/** Run every spec concurrently; results in input (spec) order.
+ *  Fail-fast contract: the first (lowest-index) worker exception is
+ *  rethrown after all workers drain. Use runSweep for the graceful,
+ *  quarantining variant. */
 std::vector<AppResult> runMany(const std::vector<RunSpec> &specs,
                                unsigned jobs = 0);
 
 /** Both ISA levels of one workload, concurrently.
- *  Index 0 = HSAIL, 1 = GCN3 (same contract as runBoth). */
+ *  Index 0 = HSAIL, 1 = GCN3 (same contract as runBoth): verifies
+ *  cross-ISA agreement, throwing IsaMismatchError on divergence. */
 std::pair<AppResult, AppResult>
 runBothParallel(const std::string &workload,
                 const GpuConfig &cfg = GpuConfig{},
                 const workloads::WorkloadScale &scale = {},
                 unsigned jobs = 0);
+
+/** A sweep entry whose simulation threw — in the parallel pass and
+ *  again (when retry is enabled) in a clean serial retry. */
+struct QuarantinedRun
+{
+    size_t index = 0; ///< position in the input spec vector
+    RunSpec spec;
+    std::string errorKind;    ///< SimError kindName(), or "exception"
+    std::string errorMessage; ///< what() of the final failure
+    std::string detail;       ///< DeadlockError wavefront dump, if any
+    bool retried = false;     ///< a serial retry ran (and also failed)
+
+    /** One-paragraph human-readable record (detail included). */
+    std::string format() const;
+};
+
+struct SweepOptions
+{
+    unsigned jobs = 0;       ///< 0 = defaultJobs()
+    bool retryFailed = true; ///< retry each failure once, serially
+};
+
+/** What runSweep hands back: full results plus the casualty list. */
+struct SweepReport
+{
+    /** One entry per input spec, input order. Quarantined entries have
+     *  r.quarantined set and carry no statistics. */
+    std::vector<AppResult> results;
+    std::vector<QuarantinedRun> quarantined; ///< ascending index order
+    unsigned recoveredOnRetry = 0; ///< failed parallel, passed serial
+
+    bool allOk() const { return quarantined.empty(); }
+    /** Multi-line end-of-sweep summary (empty string when allOk()). */
+    std::string format() const;
+};
+
+/**
+ * Graceful-degradation sweep: run every spec like runMany, but capture
+ * per-spec failures instead of failing the sweep. Each failed spec is
+ * retried once serially (a transient — OOM under parallel load, a
+ * scheduling-dependent bug — may pass on a quiet machine); specs that
+ * fail the retry too come back as quarantined AppResults with the
+ * error attached, while every healthy spec's results are identical to
+ * what a fault-free serial run would have produced.
+ */
+SweepReport runSweep(const std::vector<RunSpec> &specs,
+                     const SweepOptions &opts = {});
 
 } // namespace last::sim
 

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/bitfield.hh"
 #include "common/config.hh"
@@ -189,6 +192,98 @@ TEST(Logging, PanicAndFatalThrow)
 {
     EXPECT_THROW(panic("boom %d", 42), std::runtime_error);
     EXPECT_THROW(fatal("user error"), std::runtime_error);
+}
+
+TEST(Logging, PanicThrowsInvariantErrorWithContext)
+{
+    try {
+        panic("invariant %s broke at %d", "xyz", 7);
+        FAIL() << "expected InvariantError";
+    } catch (const InvariantError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Invariant);
+        EXPECT_STREQ(e.kindName(), "panic");
+        EXPECT_EQ(e.message(), "invariant xyz broke at 7");
+        EXPECT_NE(e.file().find("test_common.cc"), std::string::npos);
+        EXPECT_GT(e.line(), 0);
+        EXPECT_NE(std::string(e.what()).find("invariant xyz broke"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, FatalThrowsConfigError)
+{
+    try {
+        fatal("bad knob %u", 99u);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+        EXPECT_STREQ(e.kindName(), "fatal");
+        EXPECT_EQ(e.message(), "bad knob 99");
+    }
+}
+
+TEST(Logging, ConditionMacrosEvaluateOnceAndOnlyFireWhenTrue)
+{
+    int evals = 0;
+    panic_if(++evals > 100, "must not fire");
+    EXPECT_EQ(evals, 1); // condition evaluated exactly once
+    fatal_if(++evals > 100, "must not fire");
+    EXPECT_EQ(evals, 2);
+    EXPECT_THROW(panic_if(++evals == 3, "fires"), InvariantError);
+    EXPECT_EQ(evals, 3);
+    EXPECT_THROW(fatal_if(++evals == 4, "fires"), ConfigError);
+    EXPECT_EQ(evals, 4);
+}
+
+TEST(Logging, WarnAndInformFormatThroughHook)
+{
+    std::vector<std::pair<std::string, std::string>> captured;
+    setLogHook([&](const char *level, const std::string &msg) {
+        captured.emplace_back(level, msg);
+    });
+    warn("approximated %s by %d%%", "latency", 5);
+    inform("loaded %u kernels", 3u);
+    setLogHook(nullptr);
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0].first, "warn");
+    EXPECT_EQ(captured[0].second, "approximated latency by 5%");
+    EXPECT_EQ(captured[1].first, "info");
+    EXPECT_EQ(captured[1].second, "loaded 3 kernels");
+    // Hook uninstalled: messages go back to the streams, not `captured`.
+    warn("to stderr");
+    EXPECT_EQ(captured.size(), 2u);
+}
+
+TEST(Logging, ErrorKindNamesAreStable)
+{
+    EXPECT_STREQ(errorKindName(ErrorKind::Invariant), "panic");
+    EXPECT_STREQ(errorKindName(ErrorKind::Config), "fatal");
+    EXPECT_STREQ(errorKindName(ErrorKind::Memory), "memory error");
+    EXPECT_STREQ(errorKindName(ErrorKind::Deadlock), "deadlock");
+    EXPECT_STREQ(errorKindName(ErrorKind::Mismatch), "isa mismatch");
+}
+
+TEST(Logging, ErrorModeDefaultsToThrow)
+{
+    EXPECT_EQ(errorMode(), ErrorMode::Throw);
+}
+
+TEST(LoggingDeathTest, AbortModeRestoresClassicCliBehaviour)
+{
+    // Death tests fork, so flipping the mode inside the statement
+    // never affects this process.
+    EXPECT_DEATH(
+        {
+            setErrorMode(ErrorMode::Abort);
+            panic("hard stop");
+        },
+        "hard stop");
+    EXPECT_EXIT(
+        {
+            setErrorMode(ErrorMode::Abort);
+            fatal("unsupportable");
+        },
+        ::testing::ExitedWithCode(1), "unsupportable");
 }
 
 TEST(Random, Deterministic)
