@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/event_queue.hh"
+#include "cu/probes.hh"
 #include "finalizer/finalizer.hh"
 #include "finalizer/regalloc.hh"
 #include "hsail/builder.hh"
@@ -96,6 +97,53 @@ BM_CacheAccess(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheAccess);
+
+void
+BM_LaneUniqProbe(benchmark::State &state)
+{
+    // The per-operand uniqueness probe: every dynamic vector
+    // instruction pays this once per operand register.
+    cu::LaneUniqCounter counter;
+    uint32_t lanes[64];
+    for (unsigned i = 0; i < 64; ++i)
+        lanes[i] = i / 4; // duplicate-heavy, like real stride patterns
+    uint64_t mask = ~0ull;
+    unsigned total = 0;
+    for (auto _ : state) {
+        total += counter.count(lanes, mask);
+        lanes[total & 63] ^= total; // defeat value caching
+    }
+    benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_LaneUniqProbe);
+
+void
+BM_CoalesceLines(benchmark::State &state)
+{
+    // The vmem coalescing dedup: unit-stride 4-byte accesses over a
+    // full wavefront (the common case: 4 distinct lines from 64 lanes).
+    Addr laneAddrs[64];
+    Addr base = 0x1000;
+    uint64_t total = 0;
+    for (auto _ : state) {
+        for (unsigned i = 0; i < 64; ++i)
+            laneAddrs[i] = base + i * 4;
+        Addr lines[2 * 64];
+        unsigned n = 0;
+        for (uint64_t m = ~0ull; m; m &= m - 1) {
+            unsigned lane = unsigned(findLsb(m));
+            Addr first = laneAddrs[lane] / 64;
+            Addr last = (laneAddrs[lane] + 3) / 64;
+            n = cu::insertLineSorted(lines, n, first);
+            if (last != first)
+                n = cu::insertLineSorted(lines, n, last);
+        }
+        total += n;
+        base += 256;
+    }
+    benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_CoalesceLines);
 
 IlKernel
 computeKernel()

@@ -1,0 +1,134 @@
+#!/bin/sh
+# Perf-regression baseline for the statistic-identical fast paths.
+#
+# Measures two things on a Release build and writes them to a JSON
+# baseline (BENCH_<n>.json at the repo root, committed per PR):
+#
+#  1. The tier-1 figure sweep: wall-clock of fig01_summary populating a
+#     FRESH result cache in a scratch directory (every workload, both
+#     ISAs — the hot path every figure binary shares). Best-of-N, since
+#     wall-clock minima are the stable statistic on a noisy machine.
+#  2. Component microbenchmarks (bench/micro_components) covering the
+#     rewritten paths: probe uniqueness counting, vmem coalescing,
+#     cache access, whole-kernel simulation rate.
+#
+# It also proves statistic identity: the freshly generated cache file
+# must be byte-identical to the committed last_bench_cache.csv. A perf
+# "win" that changes a statistic is a bug, and this script fails on it.
+#
+# Usage: scripts/bench_perf.sh [--quick] [--check BASELINE.json] [OUT.json]
+#   --quick   1 sweep rep + short microbench time (CI smoke)
+#   --check   compare the measured sweep against BASELINE.json and fail
+#             if it regressed by more than 25%
+#   OUT.json  where to write results (default: stdout)
+set -u
+
+cd "$(dirname "$0")/.."
+repo=$(pwd)
+
+reps=3
+min_time=0.2
+check_file=""
+out=""
+quick=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --quick) quick=1; reps=1; min_time=0.05 ;;
+      --check) shift; check_file="$1" ;;
+      -h|--help) sed -n '2,24p' "$0"; exit 0 ;;
+      *) out="$1" ;;
+    esac
+    shift
+done
+
+fail() {
+    echo "bench_perf: FAILED: $1" >&2
+    exit 1
+}
+
+# Release build (the RelWithDebInfo tree used for tests understates
+# the simulator's real throughput).
+cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null ||
+    fail "configure"
+cmake --build build-perf -j --target fig01_summary micro_components \
+    >/dev/null || fail "build"
+
+# --- 1. Figure sweep: fresh cache in a scratch dir, best of N. ------
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+best_ms=""
+i=0
+while [ "$i" -lt "$reps" ]; do
+    rm -f "$scratch/last_bench_cache.csv"
+    t0=$(date +%s%N)
+    (cd "$scratch" &&
+        "$repo/build-perf/bench/fig01_summary" >/dev/null) ||
+        fail "sweep run"
+    t1=$(date +%s%N)
+    ms=$(( (t1 - t0) / 1000000 ))
+    [ -z "$best_ms" ] || [ "$ms" -lt "$best_ms" ] && best_ms=$ms
+    i=$((i + 1))
+done
+
+# --- 2. Statistic identity against the committed cache. -------------
+cache_identical=false
+if [ -f "$repo/last_bench_cache.csv" ]; then
+    if cmp -s "$repo/last_bench_cache.csv" \
+        "$scratch/last_bench_cache.csv"; then
+        cache_identical=true
+    else
+        fail "regenerated cache differs from committed last_bench_cache.csv — a fast path changed a statistic"
+    fi
+else
+    echo "bench_perf: no committed last_bench_cache.csv; skipping identity check" >&2
+fi
+
+# --- 3. Component microbenchmarks (google-benchmark JSON). ----------
+micro_json="$scratch/micro.json"
+"$repo/build-perf/bench/micro_components" \
+    --benchmark_min_time="$min_time" \
+    --benchmark_out="$micro_json" --benchmark_out_format=json \
+    >/dev/null 2>&1 || fail "micro_components"
+
+# --- 4. Emit the baseline JSON. -------------------------------------
+result=$(jq -n \
+    --argjson sweep_ms "$best_ms" \
+    --argjson reps "$reps" \
+    --argjson quick "$([ "$quick" -eq 1 ] && echo true || echo false)" \
+    --argjson cache_identical "$cache_identical" \
+    --slurpfile micro "$micro_json" \
+    '{
+        schema: "last-bench-perf v1",
+        sweep: {
+            description: "fig01_summary populating a fresh result cache (all workloads, both ISAs)",
+            wall_ms_best: $sweep_ms,
+            reps: $reps,
+            quick: $quick
+        },
+        cache_identical: $cache_identical,
+        micro: ($micro[0].benchmarks | map({
+            name, real_time, cpu_time, time_unit
+        }))
+    }')
+
+if [ -n "$out" ]; then
+    printf '%s\n' "$result" > "$out"
+    echo "bench_perf: wrote $out (sweep best ${best_ms} ms)"
+else
+    printf '%s\n' "$result"
+fi
+
+# --- 5. Optional regression gate. -----------------------------------
+if [ -n "$check_file" ]; then
+    [ -f "$check_file" ] || fail "baseline $check_file not found"
+    base_ms=$(jq -r '.sweep.wall_ms_best' "$check_file")
+    # >25% slower than the committed baseline fails the gate. Absolute
+    # wall-clock varies across machines; the gate is meant to catch
+    # order-of-magnitude slips (an accidental O(n^2) path), not noise.
+    limit=$((base_ms + base_ms / 4))
+    if [ "$best_ms" -gt "$limit" ]; then
+        fail "sweep ${best_ms} ms exceeds baseline ${base_ms} ms by >25% (limit ${limit} ms)"
+    fi
+    echo "bench_perf: regression gate OK (${best_ms} ms <= ${limit} ms)"
+fi

@@ -9,6 +9,11 @@
 # nonzero if ANY failed, so CI cannot green-light a partial pass.
 #
 # Usage: scripts/tier1.sh    (from the repo root)
+#        LAST_TIER1_PERF=1 scripts/tier1.sh
+#            additionally runs the perf-regression smoke
+#            (scripts/bench_perf.sh --quick, gated against the newest
+#            committed BENCH_*.json) — opt-in because wall-clock gating
+#            only means something on a quiet machine.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -46,6 +51,18 @@ if cmake -B build-asan -S . -DLAST_ASAN=ON &&
         fail "ASan/UBSan suite"
 else
     fail "ASan build"
+fi
+
+# Opt-in perf smoke: Release sweep + microbenches, byte-identity of
+# the regenerated result cache, and the >25% regression gate.
+if [ "${LAST_TIER1_PERF:-0}" = "1" ]; then
+    baseline=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1)
+    if [ -n "$baseline" ]; then
+        scripts/bench_perf.sh --quick --check "$baseline" \
+            /tmp/tier1_bench_perf.json || fail "perf smoke"
+    else
+        fail "perf smoke: no committed BENCH_*.json baseline"
+    fi
 fi
 
 if [ "$status" -eq 0 ]; then

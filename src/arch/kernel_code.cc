@@ -49,6 +49,20 @@ KernelCode::seal()
     isSealed = true;
 }
 
+void
+KernelCode::setCodeBase(Addr b) const
+{
+    Addr expected = 0;
+    if (base.compare_exchange_strong(expected, b,
+                                     std::memory_order_relaxed))
+        return;
+    panic_if(expected != b,
+             "kernel %s re-based from %llx to %llx: shared artifacts "
+             "must load at one deterministic address",
+             kernelName.c_str(), (unsigned long long)expected,
+             (unsigned long long)b);
+}
+
 size_t
 KernelCode::indexAt(Addr offset) const
 {

@@ -8,6 +8,7 @@
 #ifndef LAST_ARCH_KERNEL_CODE_HH
 #define LAST_ARCH_KERNEL_CODE_HH
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,8 +57,21 @@ class KernelCode
     Addr codeBytes() const { return totalBytes; }
 
     /** Where the loader placed the code object in simulated memory. */
-    Addr codeBase() const { return base; }
-    void setCodeBase(Addr b) { base = b; }
+    Addr codeBase() const
+    {
+        return base.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Publish the load address. Write-once: kernel artifacts can be
+     * shared (const) across concurrent runs, so the base is the one
+     * piece of post-seal state — every loader must compute the same
+     * address (load order is deterministic per (workload, isa, scale)),
+     * and a mismatch means the artifact-cache key is unsound, which
+     * must be loud, not a silent data race. Re-publishing the same
+     * value is a no-op.
+     */
+    void setCodeBase(Addr b) const;
 
     std::string disassemble() const;
 
@@ -76,7 +90,9 @@ class KernelCode
     std::vector<std::unique_ptr<Instruction>> insts;
     std::vector<Addr> offsets;
     Addr totalBytes = 0;
-    Addr base = 0;
+    /** Logically part of construction (see setCodeBase), hence
+     *  mutable on an otherwise-immutable shared artifact. */
+    mutable std::atomic<Addr> base{0};
     bool isSealed = false;
 };
 

@@ -1,6 +1,7 @@
 #include "cu/compute_unit.hh"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/bitfield.hh"
 #include "common/logging.hh"
@@ -58,8 +59,39 @@ ComputeUnit::ComputeUnit(const std::string &name, const GpuConfig &cfg,
     for (unsigned s = 0; s < cfg.wfSlotsPerCu; ++s)
         slots.push_back(
             std::make_unique<Wavefront>(s, s % cfg.simdPerCu));
+    issueOrder.reserve(slots.size());
     vrfBankUse.assign(cfg.simdPerCu, {});
     vrfBankUseCycle.assign(cfg.simdPerCu, InvalidCycle);
+}
+
+void
+ComputeUnit::ageListLink(Wavefront &wf)
+{
+    // dispatchSeq is assigned monotonically, so the new wavefront is
+    // always the youngest: append at the tail and the list stays
+    // sorted by Wavefront::olderThan without any search.
+    assert(!ageTail || Wavefront::olderThan(*ageTail, wf));
+    wf.agePrev = ageTail;
+    wf.ageNext = nullptr;
+    if (ageTail)
+        ageTail->ageNext = &wf;
+    else
+        ageHead = &wf;
+    ageTail = &wf;
+}
+
+void
+ComputeUnit::ageListUnlink(Wavefront &wf)
+{
+    if (wf.agePrev)
+        wf.agePrev->ageNext = wf.ageNext;
+    else
+        ageHead = wf.ageNext;
+    if (wf.ageNext)
+        wf.ageNext->agePrev = wf.agePrev;
+    else
+        ageTail = wf.agePrev;
+    wf.agePrev = wf.ageNext = nullptr;
 }
 
 unsigned
@@ -190,6 +222,7 @@ ComputeUnit::accept(const WorkgroupTask &task)
 
         wf->wg = wg.get();
         wf->dispatchSeq = nextDispatchSeq++;
+        ageListLink(*wf);
         ++activeWfs;
     }
 
@@ -446,9 +479,8 @@ ComputeUnit::depsReady(Wavefront &wf, const arch::Instruction &inst,
 void
 ComputeUnit::probeVectorOperands(Wavefront &wf,
                                  const arch::Instruction &inst,
-                                 bool defs, Cycle now)
+                                 bool defs)
 {
-    (void)now;
     arch::WfState &st = wf.st;
     uint64_t mask = st.activeMask();
     unsigned lanes = popCount(mask);
@@ -456,6 +488,9 @@ ComputeUnit::probeVectorOperands(Wavefront &wf,
     for (const auto &op : inst.regOps()) {
         if (op.cls != arch::RegClass::Vector || op.isDef != defs)
             continue;
+        // A wide operand must fit inside the allocated register file;
+        // the builder/finalizer guarantee this, the probe relies on it.
+        assert(size_t(op.idx) + op.width <= wf.lastVregTouch.size());
         for (unsigned w = 0; w < op.width; ++w) {
             unsigned reg = op.idx + w;
 
@@ -466,18 +501,13 @@ ComputeUnit::probeVectorOperands(Wavefront &wf,
                 vregReuseDist.sample(wf.dynInstCount - last);
             last = wf.dynInstCount;
 
-            // Lane-value uniqueness.
+            // Lane-value uniqueness: exact distinct-value count over
+            // the active lanes via the scratch hash (identical to
+            // sort+unique, without the copy or the ordering work).
             if (lanes == 0)
                 continue;
-            uint32_t vals[WavefrontSize];
-            unsigned n = 0;
-            for (unsigned lane = 0; lane < WavefrontSize; ++lane)
-                if (mask & (1ull << lane))
-                    vals[n++] = st.vregs[reg][lane];
-            std::sort(vals, vals + n);
-            unsigned uniq = unsigned(std::unique(vals, vals + n) -
-                                     vals);
-            double ratio = double(uniq) / double(n);
+            unsigned uniq = laneUniq.count(st.vregs[reg].data(), mask);
+            double ratio = double(uniq) / double(lanes);
             if (defs)
                 vrfWriteUniq.sample(ratio);
             else
@@ -508,21 +538,22 @@ ComputeUnit::memAccessLatency(Wavefront &wf, const arch::MemAccess &acc,
       case Kind::VectorLoad:
       case Kind::VectorStore: {
         ++vmemWfAccesses;
-        // Coalesce lane addresses into 64 B line requests.
+        // Coalesce lane addresses into 64 B line requests. Masked
+        // lanes are visited via count-trailing-zeros; each candidate
+        // line goes through a bounded sorted-insertion dedup, so the
+        // final array is exactly what sort+unique produced (ascending,
+        // duplicate-free) and the line requests keep their timing.
         Addr lines[2 * WavefrontSize];
         unsigned n = 0;
-        for (unsigned lane = 0; lane < WavefrontSize; ++lane) {
-            if (!(acc.mask & (1ull << lane)))
-                continue;
+        for (uint64_t m = acc.mask; m; m &= m - 1) {
+            unsigned lane = findLsb(m);
             Addr first = acc.laneAddrs[lane] / 64;
             Addr last =
                 (acc.laneAddrs[lane] + acc.bytesPerLane - 1) / 64;
-            lines[n++] = first;
+            n = insertLineSorted(lines, n, first);
             if (last != first)
-                lines[n++] = last;
+                n = insertLineSorted(lines, n, last);
         }
-        std::sort(lines, lines + n);
-        n = unsigned(std::unique(lines, lines + n) - lines);
         coalescedLines += n;
 
         bool is_write = acc.kind == Kind::VectorStore;
@@ -542,19 +573,18 @@ ComputeUnit::memAccessLatency(Wavefront &wf, const arch::MemAccess &acc,
 void
 ComputeUnit::issueStage(Cycle now)
 {
-    // Oldest-first arbitration over runnable wavefronts.
-    std::vector<Wavefront *> order;
-    order.reserve(slots.size());
-    for (auto &wf : slots)
+    // Oldest-first arbitration over runnable wavefronts. The age list
+    // is already sorted (oldest first, Wavefront::olderThan); snapshot
+    // the runnable set before issuing because issuing can change
+    // runnability mid-tick (a barrier release makes siblings runnable;
+    // they must wait for the next tick, exactly as before).
+    issueOrder.clear();
+    for (Wavefront *wf = ageHead; wf; wf = wf->ageNext)
         if (wf->runnable())
-            order.push_back(wf.get());
-    std::sort(order.begin(), order.end(),
-              [](const Wavefront *x, const Wavefront *y) {
-                  return x->dispatchSeq < y->dispatchSeq;
-              });
+            issueOrder.push_back(wf);
 
     bool fuIssued[NumFu] = {};
-    for (Wavefront *wf : order) {
+    for (Wavefront *wf : issueOrder) {
         if (wf->blockedUntil > now)
             continue;
         if (wf->ibCount == 0) {
@@ -630,7 +660,7 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
         if (inst.fuType() == arch::FuType::VAlu)
             valuUtilization.sample(popCount(st.activeMask()) / 64.0);
         conflict_cycles = chargeBankConflicts(wf, inst, now);
-        probeVectorOperands(wf, inst, false, now);
+        probeVectorOperands(wf, inst, false);
     }
 
     // --- execute ---
@@ -640,7 +670,7 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
     ++wf.dynInstCount;
 
     if (vector_op)
-        probeVectorOperands(wf, inst, true, now);
+        probeVectorOperands(wf, inst, true);
 
     // --- functional unit occupancy (bank conflicts add gather
     // cycles) ---
@@ -769,6 +799,7 @@ void
 ComputeUnit::finishWavefront(Wavefront &wf)
 {
     WgInstance &wg = *wf.wg;
+    ageListUnlink(wf);
     wf.active = false;
     ++wf.gen;
     --activeWfs;

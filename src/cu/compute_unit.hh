@@ -31,6 +31,7 @@
 #include "common/event_queue.hh"
 #include "common/stats.hh"
 #include "cu/launch.hh"
+#include "cu/probes.hh"
 #include "cu/wavefront.hh"
 #include "memory/cache.hh"
 #include "memory/functional_memory.hh"
@@ -152,12 +153,16 @@ class ComputeUnit : public stats::Group
     void issueInst(Wavefront &wf, const arch::Instruction &inst,
                    Cycle now);
     void probeVectorOperands(Wavefront &wf,
-                             const arch::Instruction &inst, bool defs,
-                             Cycle now);
+                             const arch::Instruction &inst, bool defs);
     Cycle memAccessLatency(Wavefront &wf, const arch::MemAccess &acc,
                            Cycle now);
     void finishWavefront(Wavefront &wf);
     void releaseBarrier(WgInstance &wg);
+
+    /** @{ Intrusive age-ordered wavefront list maintenance. */
+    void ageListLink(Wavefront &wf);
+    void ageListUnlink(Wavefront &wf);
+    /** @} */
 
     GpuConfig cfg;
     EventQueue &eq;
@@ -168,6 +173,22 @@ class ComputeUnit : public stats::Group
 
     std::vector<std::unique_ptr<Wavefront>> slots;
     std::vector<std::unique_ptr<WgInstance>> workgroups;
+
+    /** Live wavefronts, oldest first (Wavefront::olderThan). Kept
+     *  sorted incrementally: dispatch appends (dispatchSeq is
+     *  monotonic, so the tail is always the youngest), retirement
+     *  unlinks in O(1). Replaces the per-tick vector allocation and
+     *  full std::sort the issue stage used to pay. */
+    Wavefront *ageHead = nullptr;
+    Wavefront *ageTail = nullptr;
+
+    /** Reused issue-order scratch: the runnable snapshot the issue
+     *  stage arbitrates over (capacity reserved once; no per-tick
+     *  allocation). */
+    std::vector<Wavefront *> issueOrder;
+
+    /** Scratch hash for the Figure 10 lane-value uniqueness probe. */
+    LaneUniqCounter laneUniq;
 
     unsigned activeWfs = 0;
     bool progressLastTick = false;

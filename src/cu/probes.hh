@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Execute-path probe fast paths.
+ *
+ * Every dynamic vector instruction pays for the paper's statistic
+ * probes (lane-value uniqueness, reuse distance, coalescing), so these
+ * helpers are written for speed — but they are *exact*: each one
+ * produces bit-identical statistics to the obvious sort-based
+ * reference implementation (tests/test_properties.cc asserts this over
+ * randomized masks, widths, and lane values).
+ */
+
+#ifndef LAST_CU_PROBES_HH
+#define LAST_CU_PROBES_HH
+
+#include <cstdint>
+
+#include "common/bitfield.hh"
+#include "common/types.hh"
+
+namespace last::cu
+{
+
+/**
+ * Exact lane-value uniqueness counter: an open-addressed scratch hash
+ * sized for one wavefront (64 lanes in 128 slots, load factor <= 1/2).
+ *
+ * Counting distinct values needs no ordering, so the old per-operand
+ * 64-lane copy + std::sort + std::unique is replaced by one linear
+ * insert pass. Slots are invalidated by generation stamp instead of
+ * clearing, so a probe costs only the lanes it actually visits; lanes
+ * are visited via count-trailing-zeros over the exec mask, never by
+ * testing all 64 bits.
+ */
+class LaneUniqCounter
+{
+  public:
+    /** Distinct 32-bit values among the masked lanes of `lanes`
+     *  (exactly what sort+unique over the masked values returns).
+     *  mask == 0 returns 0. */
+    unsigned
+    count(const uint32_t *lanes, uint64_t mask)
+    {
+        ++gen;
+        unsigned uniq = 0;
+        for (uint64_t m = mask; m; m &= m - 1) {
+            uint32_t v = lanes[findLsb(m)];
+            // Fibonacci hashing spreads the common small-integer and
+            // stride patterns; linear probing resolves collisions.
+            unsigned h = (v * 0x9e3779b9u) >> (32 - SlotBits);
+            while (true) {
+                if (stamp[h] != gen) {
+                    stamp[h] = gen;
+                    val[h] = v;
+                    ++uniq;
+                    break;
+                }
+                if (val[h] == v)
+                    break;
+                h = (h + 1) & (Slots - 1);
+            }
+        }
+        return uniq;
+    }
+
+  private:
+    static constexpr unsigned SlotBits = 7;
+    static constexpr unsigned Slots = 1u << SlotBits; // 2x wavefront
+    uint32_t val[Slots] = {};
+    uint64_t stamp[Slots] = {}; // 0 = never used (gen starts at 1)
+    uint64_t gen = 0;
+};
+
+/**
+ * Insert `line` into the ascending-sorted, duplicate-free prefix
+ * [lines, lines + n) and return the new element count (n when the line
+ * was already present).
+ *
+ * One bounded insertion pass per lane replaces the
+ * std::sort + std::unique over the full candidate array; the resulting
+ * array is identical (sorted ascending, deduplicated), so the line
+ * requests issue in the same order with the same timing. Coalesced
+ * lane addresses are almost always already ascending, making the
+ * backward scan O(1) per insert in practice.
+ */
+inline unsigned
+insertLineSorted(Addr *lines, unsigned n, Addr line)
+{
+    unsigned i = n;
+    while (i > 0 && lines[i - 1] > line)
+        --i;
+    if (i > 0 && lines[i - 1] == line)
+        return n;
+    for (unsigned j = n; j > i; --j)
+        lines[j] = lines[j - 1];
+    lines[i] = line;
+    return n + 1;
+}
+
+} // namespace last::cu
+
+#endif // LAST_CU_PROBES_HH

@@ -26,6 +26,22 @@ class Wavefront
   public:
     Wavefront(unsigned slot, unsigned simd) : slot(slot), simd(simd) {}
 
+    /**
+     * Oldest-first issue order with an explicit deterministic
+     * tie-break: primary key dispatchSeq, secondary key slot index.
+     * dispatchSeq is unique per CU today, but spelling the tie-break
+     * out keeps the arbitration bit-stable across standard-library
+     * sort implementations if that ever changes — libstdc++ and
+     * libc++ order equal keys differently under std::sort.
+     */
+    static bool
+    olderThan(const Wavefront &a, const Wavefront &b)
+    {
+        if (a.dispatchSeq != b.dispatchSeq)
+            return a.dispatchSeq < b.dispatchSeq;
+        return a.slot < b.slot;
+    }
+
     /** Architectural state (registers, pc, RS, waitcnt counters). */
     arch::WfState st;
 
@@ -33,6 +49,14 @@ class Wavefront
     unsigned simd;          ///< SIMD engine this WF issues to
     uint64_t dispatchSeq = 0; ///< for oldest-first arbitration
     WgInstance *wg = nullptr;
+
+    /** @{ Intrusive age-ordered list linkage (owned by the CU): live
+     * wavefronts, oldest first by olderThan(). Linked on dispatch,
+     * unlinked on retirement — the issue stage walks this instead of
+     * allocating and sorting a fresh vector every tick. */
+    Wavefront *agePrev = nullptr;
+    Wavefront *ageNext = nullptr;
+    /** @} */
 
     /** @{ Instruction buffer model. The IB holds decoded instructions
      * fetched sequentially; a discontinuous PC costs a flush and a

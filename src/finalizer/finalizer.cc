@@ -1463,4 +1463,18 @@ finalize(const hsail::IlKernel &il, const GpuConfig &cfg,
     return t.run();
 }
 
+uint64_t
+finalizeConfigDigest(const GpuConfig &cfg)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (uint64_t v : {uint64_t(cfg.maxVgprsPerWfGcn3),
+                       uint64_t(cfg.maxSgprsPerWfGcn3)}) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
 } // namespace last::finalizer

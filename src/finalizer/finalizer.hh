@@ -47,6 +47,15 @@ std::unique_ptr<arch::KernelCode>
 finalize(const hsail::IlKernel &il, const GpuConfig &cfg,
          FinalizeStats *out_stats = nullptr);
 
+/**
+ * Digest of the GpuConfig fields the finalizer's output depends on
+ * (the register-file budgets driving allocation and spilling). The
+ * artifact cache folds this into its content digest so a GCN3 kernel
+ * finalized under one budget can never be served to a run configured
+ * with another. Must be kept in sync with what finalize() reads.
+ */
+uint64_t finalizeConfigDigest(const GpuConfig &cfg);
+
 } // namespace last::finalizer
 
 #endif // LAST_FINALIZER_FINALIZER_HH

@@ -257,4 +257,27 @@ Gpu::sumCuStat(const std::string &name) const
     return total;
 }
 
+int
+Gpu::cuStatIndex(const std::string &name) const
+{
+    if (cus.empty())
+        return -1;
+    const auto &stats = cus[0]->localStats();
+    for (size_t i = 0; i < stats.size(); ++i)
+        if (stats[i]->name() == name)
+            return int(i);
+    return -1;
+}
+
+double
+Gpu::sumCuStat(int statIdx) const
+{
+    if (statIdx < 0)
+        return 0;
+    double total = 0;
+    for (const auto &c : cus)
+        total += c->localStats()[statIdx]->value();
+    return total;
+}
+
 } // namespace last::gpu

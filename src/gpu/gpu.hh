@@ -55,8 +55,16 @@ class Gpu : public stats::Group
     cu::ComputeUnit &computeUnit(unsigned i) { return *cus[i]; }
     unsigned numCus() const { return unsigned(cus.size()); }
 
-    /** @{ Aggregate helpers over all CUs (for the harness). */
+    /** @{ Aggregate helpers over all CUs (for the harness).
+     *
+     * Hot callers resolve the stat name to an index once with
+     * cuStatIndex() and then sum by index: all CUs register the same
+     * stats in the same constructor order, so one index is valid for
+     * every CU. The string overload stays for one-off queries. */
     double sumCuStat(const std::string &name) const;
+    double sumCuStat(int statIdx) const;
+    /** @return index into ComputeUnit::localStats(), or -1. */
+    int cuStatIndex(const std::string &name) const;
     /** @} */
 
     stats::Scalar totalCycles;

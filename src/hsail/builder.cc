@@ -428,4 +428,38 @@ KernelBuilder::build()
     return k;
 }
 
+uint64_t
+ilDigest(const IlKernel &il)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const void *data, size_t len) {
+        const auto *p = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < len; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ull;
+        }
+    };
+    auto mix_u64 = [&](uint64_t v) { mix(&v, sizeof(v)); };
+
+    const arch::KernelCode &code = *il.code;
+    std::string text = code.disassemble();
+    mix(text.data(), text.size());
+    mix_u64(code.numInsts());
+    mix_u64(code.vregsUsed);
+    mix_u64(code.sregsUsed);
+    mix_u64(code.privateBytesPerWi);
+    mix_u64(code.spillBytesPerWi);
+    mix_u64(code.ldsBytesPerWg);
+    mix_u64(code.kernargBytes);
+    for (const CfRegion &r : il.regions) {
+        mix_u64(uint64_t(r.kind));
+        mix_u64(r.condReg);
+        mix_u64(r.branchIdx);
+        mix_u64(r.elseJumpIdx);
+        mix_u64(r.bodyFirst);
+        mix_u64(r.endIdx);
+    }
+    return h;
+}
+
 } // namespace last::hsail

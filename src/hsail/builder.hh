@@ -182,6 +182,16 @@ class KernelBuilder
     bool built = false;
 };
 
+/**
+ * Content digest of an IL kernel: FNV-1a over the disassembled
+ * instruction stream, the control-flow region table, and the resource
+ * metadata. Two IlKernels with equal digests are the same program for
+ * every consumer (interpreter and finalizer alike) — the artifact
+ * cache uses this to verify its (workload, isa, scale, seq) key really
+ * names one unique kernel.
+ */
+uint64_t ilDigest(const IlKernel &il);
+
 } // namespace last::hsail
 
 #endif // LAST_HSAIL_BUILDER_HH

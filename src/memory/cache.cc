@@ -25,53 +25,66 @@ Cache::Cache(const std::string &name, const CacheConfig &cfg_,
                                   : cfg.associativity;
     numSets = unsigned(num_lines / ways);
     panic_if(numSets == 0, "cache too small for its associativity");
-    lines.assign(size_t(numSets) * ways, Line());
+    tags.assign(size_t(numSets) * ways, InvalidAddr);
+    lastUse.assign(size_t(numSets) * ways, 0);
+    dirty.assign(size_t(numSets) * ways, 0);
+    validCount.assign(numSets, 0);
+    useWayIndex = ways > 16;
+    if (useWayIndex)
+        wayIndex.init(num_lines);
+    lineShift = unsigned(findLsb(cfg.lineBytes));
+    setsPow2 = isPowerOf2(numSets);
+    setMask = numSets - 1;
 }
 
 unsigned
 Cache::setIndex(Addr line_addr) const
 {
-    return unsigned(line_addr % numSets);
+    return setsPow2 ? unsigned(line_addr) & setMask
+                    : unsigned(line_addr % numSets);
 }
 
-Cache::Line *
-Cache::findLine(Addr line_addr)
+size_t
+Cache::findLine(Addr line_addr) const
 {
-    Line *set = &lines[size_t(setIndex(line_addr)) * ways];
-    for (unsigned w = 0; w < ways; ++w)
-        if (set[w].valid && set[w].tag == line_addr)
-            return &set[w];
-    return nullptr;
+    if (useWayIndex)
+        return wayIndex.find(line_addr, NoWay);
+    // A line address never collides with the InvalidAddr sentinel, so
+    // one tag compare covers both the valid check and the match. Only
+    // the valid prefix of the set can hold the tag.
+    unsigned set = setIndex(line_addr);
+    size_t base = size_t(set) * ways;
+    const Addr *tag = tags.data() + base;
+    unsigned n = validCount[set];
+    for (unsigned w = 0; w < n; ++w)
+        if (tag[w] == line_addr)
+            return base + w;
+    return NoWay;
 }
 
-const Cache::Line *
-Cache::findLineConst(Addr line_addr) const
-{
-    const Line *set = &lines[size_t(setIndex(line_addr)) * ways];
-    for (unsigned w = 0; w < ways; ++w)
-        if (set[w].valid && set[w].tag == line_addr)
-            return &set[w];
-    return nullptr;
-}
-
-Cache::Line &
+size_t
 Cache::victimLine(Addr line_addr, Cycle now)
 {
-    Line *set = &lines[size_t(setIndex(line_addr)) * ways];
-    Line *victim = &set[0];
-    for (unsigned w = 0; w < ways; ++w) {
-        if (!set[w].valid)
-            return set[w];
-        if (set[w].lastUse < victim->lastUse)
-            victim = &set[w];
-    }
-    if (victim->dirty) {
+    unsigned set = setIndex(line_addr);
+    size_t base = size_t(set) * ways;
+    // First invalid way wins; valid ways are a prefix, so it is just
+    // the valid count.
+    if (validCount[set] < ways)
+        return base + validCount[set]++;
+    // Full set: LRU victim, lowest way index on lastUse ties (the
+    // strict < keeps the first minimum, same as the reference scan).
+    const Cycle *use = lastUse.data() + base;
+    unsigned victim = 0;
+    for (unsigned w = 1; w < ways; ++w)
+        if (use[w] < use[victim])
+            victim = w;
+    if (dirty[base + victim]) {
         // Account the writeback as bandwidth on the next level.
         ++writebacks;
         if (next)
-            next->access(victim->tag * cfg.lineBytes, true, now);
+            next->access(tags[base + victim] * cfg.lineBytes, true, now);
     }
-    return *victim;
+    return base + victim;
 }
 
 Cycle
@@ -81,17 +94,20 @@ Cache::access(Addr addr, bool is_write, Cycle now)
 
     // Lazily retire MSHRs whose fill completed in the past.
     auto mshr = mshrs.find(la);
-    if (mshr != mshrs.end() && mshr->second <= now)
+    if (mshr != mshrs.end() && mshr->second <= now) {
+        if (mshr->second == mshrMaxFill)
+            mshrMaxDirty = true;
         mshrs.erase(mshr), mshr = mshrs.end();
+    }
 
     Cycle done;
-    Line *line = findLine(la);
-    if (line) {
+    size_t line = findLine(la);
+    if (line != NoWay) {
         ++hits;
-        line->lastUse = now;
+        lastUse[line] = now;
         if (is_write) {
             if (cfg.writeBack) {
-                line->dirty = true;
+                dirty[line] = 1;
             } else if (next) {
                 // Write-through: forward for bandwidth accounting; the
                 // store completes at hit latency (store buffer).
@@ -117,20 +133,29 @@ Cache::access(Addr addr, bool is_write, Cycle now)
         if (mshrs.size() >= cfg.mshrs) {
             // All MSHRs busy: serialize behind the soonest-finishing
             // outstanding miss.
-            Cycle soonest = fill;
-            for (const auto &kv : mshrs)
-                soonest = std::max(soonest, kv.second);
-            fill = soonest + 1;
+            if (mshrMaxDirty) {
+                mshrMaxFill = 0;
+                for (const auto &kv : mshrs)
+                    mshrMaxFill = std::max(mshrMaxFill, kv.second);
+                mshrMaxDirty = false;
+            }
+            fill = std::max(fill, mshrMaxFill) + 1;
         }
         mshrs[la] = fill;
-        Line &victim = victimLine(la, now);
-        victim.tag = la;
-        victim.valid = true;
-        victim.dirty = false;
-        victim.lastUse = now;
+        if (!mshrMaxDirty)
+            mshrMaxFill = std::max(mshrMaxFill, fill);
+        size_t victim = victimLine(la, now);
+        if (useWayIndex) {
+            if (tags[victim] != InvalidAddr)
+                wayIndex.erase(tags[victim]);
+            wayIndex.insert(la, victim);
+        }
+        tags[victim] = la;
+        dirty[victim] = 0;
+        lastUse[victim] = now;
         if (is_write) {
             if (cfg.writeBack)
-                victim.dirty = true;
+                dirty[victim] = 1;
             else if (next)
                 next->access(addr, true, now);
         }
@@ -159,15 +184,20 @@ Cache::injectResponseFault(Cycle from, Cycle extra, unsigned count)
 void
 Cache::invalidateAll()
 {
-    for (auto &l : lines)
-        l = Line();
+    std::fill(tags.begin(), tags.end(), InvalidAddr);
+    std::fill(lastUse.begin(), lastUse.end(), Cycle(0));
+    std::fill(dirty.begin(), dirty.end(), uint8_t(0));
+    std::fill(validCount.begin(), validCount.end(), 0u);
+    wayIndex.clear();
     mshrs.clear();
+    mshrMaxFill = 0;
+    mshrMaxDirty = false;
 }
 
 bool
 Cache::isCached(Addr addr) const
 {
-    return findLineConst(lineAddr(addr)) != nullptr;
+    return findLine(lineAddr(addr)) != NoWay;
 }
 
 } // namespace last::mem

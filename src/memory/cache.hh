@@ -79,28 +79,149 @@ class Cache : public MemLevel, public stats::Group
     stats::Scalar accessLatencyTotal; ///< sum over accesses, for mean
 
   private:
-    struct Line
-    {
-        Addr tag = InvalidAddr;
-        bool valid = false;
-        bool dirty = false;
-        Cycle lastUse = 0;
-    };
+    /**
+     * Tag/LRU state in structure-of-arrays layout: the paper's Table 4
+     * L1D is fully associative (256 ways), so the per-access tag probe
+     * and the per-miss LRU victim search are whole-set linear scans.
+     * Keeping tags contiguous lets the compiler vectorize those scans;
+     * a per-set valid count makes the first-invalid victim pick O(1).
+     * The decisions (hit way, victim way, LRU order, tie-breaks) are
+     * bit-identical to the naive array-of-structs scan.
+     */
+    static constexpr size_t NoWay = size_t(-1);
 
-    Addr lineAddr(Addr addr) const { return addr / cfg.lineBytes; }
+    Addr lineAddr(Addr addr) const { return addr >> lineShift; }
     unsigned setIndex(Addr line_addr) const;
-    Line *findLine(Addr line_addr);
-    const Line *findLineConst(Addr line_addr) const;
-    Line &victimLine(Addr line_addr, Cycle now);
+    size_t findLine(Addr line_addr) const;
+    size_t victimLine(Addr line_addr, Cycle now);
 
     CacheConfig cfg;
     MemLevel *next;
     unsigned numSets;
     unsigned ways;
-    std::vector<Line> lines; ///< numSets x ways
+    /** @{ numSets x ways; tag == InvalidAddr encodes an invalid way.
+     *  Valid ways always form a prefix of each set (fills take the
+     *  first invalid way; only invalidateAll() clears them). */
+    std::vector<Addr> tags;
+    std::vector<Cycle> lastUse;
+    std::vector<uint8_t> dirty;
+    std::vector<unsigned> validCount; ///< per set
+    /** @} */
 
-    /** line addr -> cycle the fill completes. */
+    /**
+     * Exact line-addr -> way index, maintained iff the configuration
+     * makes set scans expensive (the fully associative L1D has 256
+     * ways; an early-exit tag scan cannot vectorize). The index always
+     * mirrors `tags` exactly — insert on fill, erase on eviction — so
+     * lookups return precisely what the scan would. Open-addressed
+     * with linear probing and backward-shift deletion: the entry count
+     * is bounded by the line count, so the table is sized once (4x
+     * lines, power of two) and never rehashes.
+     */
+    class LineWayMap
+    {
+      public:
+        void
+        init(size_t num_lines)
+        {
+            shift = 63;
+            while ((size_t(1) << (64 - shift)) < 4 * num_lines)
+                --shift;
+            slots.assign(size_t(1) << (64 - shift), {InvalidAddr, 0});
+        }
+
+        size_t
+        find(Addr key, size_t miss) const
+        {
+            for (size_t i = home(key);; i = next(i)) {
+                if (slots[i].key == key)
+                    return slots[i].way;
+                if (slots[i].key == InvalidAddr)
+                    return miss;
+            }
+        }
+
+        void
+        insert(Addr key, size_t way)
+        {
+            size_t i = home(key);
+            while (slots[i].key != InvalidAddr)
+                i = next(i);
+            slots[i] = {key, way};
+        }
+
+        void
+        erase(Addr key)
+        {
+            size_t i = home(key);
+            while (slots[i].key != key)
+                i = next(i);
+            // Backward-shift deletion keeps probe chains intact
+            // without tombstones.
+            for (size_t j = next(i);; j = next(j)) {
+                if (slots[j].key == InvalidAddr)
+                    break;
+                size_t h = home(slots[j].key);
+                // Move slots[j] into the hole iff its home position
+                // lies outside (i, j] on the probe circle.
+                if (((j - h) & mask()) >= ((j - i) & mask())) {
+                    slots[i] = slots[j];
+                    i = j;
+                }
+            }
+            slots[i].key = InvalidAddr;
+        }
+
+        void
+        clear()
+        {
+            for (auto &s : slots)
+                s.key = InvalidAddr;
+        }
+
+      private:
+        struct Slot
+        {
+            Addr key;
+            size_t way;
+        };
+
+        size_t mask() const { return slots.size() - 1; }
+        size_t next(size_t i) const { return (i + 1) & mask(); }
+        size_t
+        home(Addr key) const
+        {
+            return size_t(key * 0x9e3779b97f4a7c15ull >> shift);
+        }
+
+        std::vector<Slot> slots;
+        unsigned shift = 63;
+    };
+
+    bool useWayIndex = false;
+    LineWayMap wayIndex;
+
+    /** @{ Fast address decomposition: lineBytes is asserted a power of
+     *  two; numSets usually is one too (mask), with a modulo fallback
+     *  for odd configurations. */
+    unsigned lineShift = 0;
+    bool setsPow2 = false;
+    unsigned setMask = 0;
+    /** @} */
+
+    /** line addr -> cycle the fill completes. Entries retire lazily
+     *  (only when the same line is touched after its fill), so the map
+     *  holds many stale entries and the all-MSHRs-busy check fires on
+     *  most misses once the footprint exceeds the MSHR count. */
     std::unordered_map<Addr, Cycle> mshrs;
+
+    /** Cached max fill cycle over all `mshrs` entries, so the
+     *  all-MSHRs-busy serialization does not rescan the map per miss.
+     *  Invalidated (recomputed on next use) only when an entry holding
+     *  the max value retires — rare, since retirement needs a re-touch
+     *  after the fill completed. Values are exact at every query. */
+    Cycle mshrMaxFill = 0;
+    bool mshrMaxDirty = false;
 
     /** @{ Injected response fault (see injectResponseFault). */
     bool faultArmed = false;

@@ -16,6 +16,7 @@ Runtime::Runtime(const GpuConfig &cfg_)
       cfg(cfg_), cp(memory)
 {
     gpuModel = std::make_unique<gpu::Gpu>(cfg, memory, this);
+    dynInstsStatIdx = gpuModel->cuStatIndex("dynInsts");
 }
 
 Addr
@@ -40,7 +41,7 @@ Runtime::readGlobal(Addr addr, void *dst, size_t len)
 }
 
 void
-Runtime::loadKernel(arch::KernelCode &code)
+Runtime::loadKernel(const arch::KernelCode &code)
 {
     if (loaded.count(&code))
         return;
@@ -54,7 +55,7 @@ Runtime::loadKernel(arch::KernelCode &code)
 }
 
 Addr
-Runtime::allocScratchArenas(arch::KernelCode &code,
+Runtime::allocScratchArenas(const arch::KernelCode &code,
                             cu::KernelLaunch &launch,
                             unsigned grid_size)
 {
@@ -91,7 +92,7 @@ Runtime::allocScratchArenas(arch::KernelCode &code,
 }
 
 Cycle
-Runtime::dispatch(arch::KernelCode &code, unsigned grid_size,
+Runtime::dispatch(const arch::KernelCode &code, unsigned grid_size,
                   unsigned wg_size, const void *args, size_t arg_bytes)
 {
     fatal_if(wg_size == 0 || grid_size == 0, "empty dispatch");
@@ -117,10 +118,11 @@ Runtime::dispatch(arch::KernelCode &code, unsigned grid_size,
     allocScratchArenas(code, launch, grid_size);
 
     uint64_t insts_before =
-        uint64_t(gpuModel->sumCuStat("dynInsts"));
+        uint64_t(gpuModel->sumCuStat(dynInstsStatIdx));
     gpuModel->launch(launch);
     Cycle cycles = gpuModel->runToCompletion();
-    uint64_t insts_after = uint64_t(gpuModel->sumCuStat("dynInsts"));
+    uint64_t insts_after =
+        uint64_t(gpuModel->sumCuStat(dynInstsStatIdx));
 
     records.push_back(
         {code.name(), cycles, insts_after - insts_before});

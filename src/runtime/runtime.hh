@@ -64,15 +64,17 @@ class Runtime : public stats::Group
     /** @} */
 
     /** Load a kernel code object (assigns its fetch address and
-     *  charges its instruction footprint). Idempotent. */
-    void loadKernel(arch::KernelCode &code);
+     *  charges its instruction footprint). Idempotent. Takes a const
+     *  ref: kernel artifacts may be shared immutably across runs —
+     *  the load address publish is write-once (KernelCode). */
+    void loadKernel(const arch::KernelCode &code);
 
     /**
      * Synchronously dispatch a kernel: writes the kernarg buffer and
      * AQL packet, sets up segment arenas per the ISA's ABI rules, and
      * runs the GPU to completion.
      */
-    Cycle dispatch(arch::KernelCode &code, unsigned grid_size,
+    Cycle dispatch(const arch::KernelCode &code, unsigned grid_size,
                    unsigned wg_size, const void *args,
                    size_t arg_bytes);
 
@@ -100,7 +102,7 @@ class Runtime : public stats::Group
     stats::Scalar scratchArenaBytes;
 
   private:
-    Addr allocScratchArenas(arch::KernelCode &code,
+    Addr allocScratchArenas(const arch::KernelCode &code,
                             cu::KernelLaunch &launch,
                             unsigned grid_size);
 
@@ -116,6 +118,11 @@ class Runtime : public stats::Group
     /** GCN3 per-process scratch arena. */
     Addr processScratch = 0;
     uint64_t processScratchBytes = 0;
+
+    /** Resolved once at construction: dispatch() brackets every launch
+     *  with a dynInsts sum and must not pay a per-CU string lookup
+     *  each time. */
+    int dynInstsStatIdx = -1;
 
     std::vector<LaunchRecord> records;
 };

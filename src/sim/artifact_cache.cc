@@ -1,0 +1,84 @@
+#include "sim/artifact_cache.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace last::sim
+{
+
+namespace
+{
+
+std::atomic<bool> cacheEnabled{true};
+
+std::string
+mapKey(const ArtifactKey &key)
+{
+    // The scale participates bit-exactly: two doubles that compare
+    // unequal must never share an artifact.
+    uint64_t scale_bits;
+    static_assert(sizeof(scale_bits) == sizeof(key.scale));
+    std::memcpy(&scale_bits, &key.scale, sizeof(scale_bits));
+    std::string k = key.workload;
+    k += '\0';
+    k += isaName(key.isa);
+    k += '\0';
+    k += std::to_string(scale_bits);
+    k += '\0';
+    k += std::to_string(key.seq);
+    return k;
+}
+
+} // namespace
+
+ArtifactCache &
+ArtifactCache::instance()
+{
+    static ArtifactCache cache;
+    return cache;
+}
+
+ArtifactCache::Artifact
+ArtifactCache::getOrBuild(const ArtifactKey &key, uint64_t digest,
+                          const Builder &build)
+{
+    std::string k = mapKey(key);
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(k);
+    if (it != entries.end()) {
+        panic_if(it->second.digest != digest,
+                 "artifact cache key collision for %s/%s seq %u: same "
+                 "key, different kernel content — cache key unsound",
+                 key.workload.c_str(), isaName(key.isa), key.seq);
+        ++nHits;
+        return it->second.code;
+    }
+    Artifact built = build();
+    panic_if(!built, "artifact builder for %s/%s returned null",
+             key.workload.c_str(), isaName(key.isa));
+    ++nMisses;
+    entries.emplace(std::move(k), Entry{digest, built});
+    return built;
+}
+
+void
+ArtifactCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    entries.clear();
+}
+
+bool
+ArtifactCache::enabled()
+{
+    return cacheEnabled.load(std::memory_order_relaxed);
+}
+
+void
+ArtifactCache::setEnabled(bool on)
+{
+    cacheEnabled.store(on, std::memory_order_relaxed);
+}
+
+} // namespace last::sim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Process-wide kernel-artifact cache.
+ *
+ * Every (workload, isa, scale) run used to rebuild the identical HSAIL
+ * program and re-run the GCN3 finalizer (register allocation, ABI
+ * expansion, waitcnt insertion). Those artifacts are pure functions of
+ * the key, so the cache memoizes them once and hands out
+ * shared_ptr<const> views to every subsequent run — including worker
+ * pool jobs running concurrently (the map is mutex-protected and the
+ * artifacts are immutable; the load-address publish is write-once, see
+ * arch::KernelCode::setCodeBase).
+ *
+ * Soundness is checked, not assumed: each entry records a content
+ * digest of the builder's input (IL program + the config fields the
+ * finalizer reads), and a hit whose digest differs from the caller's
+ * panics — a silent wrong-artifact reuse would corrupt every statistic
+ * downstream. Fault-injection runs bypass the cache entirely
+ * (Workload::prepare checks cfg.faultPlan) so perturbed runs can never
+ * share state with clean ones.
+ */
+
+#ifndef LAST_SIM_ARTIFACT_CACHE_HH
+#define LAST_SIM_ARTIFACT_CACHE_HH
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "arch/kernel_code.hh"
+#include "common/types.hh"
+
+namespace last::sim
+{
+
+/** Identity of one prepared kernel artifact. `seq` is the index of
+ *  the prepare() call within one workload run: a workload's kernel
+ *  build order is deterministic, so (workload, isa, scale, seq) names
+ *  one artifact. */
+struct ArtifactKey
+{
+    std::string workload;
+    IsaKind isa;
+    double scale;
+    unsigned seq;
+};
+
+class ArtifactCache
+{
+  public:
+    using Artifact = std::shared_ptr<const arch::KernelCode>;
+    using Builder = std::function<Artifact()>;
+
+    static ArtifactCache &instance();
+
+    /**
+     * Return the cached artifact for `key`, building it via `build` on
+     * the first request. `digest` must summarize everything the build
+     * depends on; a hit with a mismatching digest panics (unsound key).
+     * The builder runs under the cache lock: concurrent same-key
+     * requests block and then share the one artifact, so equal keys
+     * always yield pointer-identical results.
+     */
+    Artifact getOrBuild(const ArtifactKey &key, uint64_t digest,
+                        const Builder &build);
+
+    /** Drop all entries (tests). Outstanding shared_ptrs stay valid. */
+    void clear();
+
+    uint64_t hits() const { return nHits.load(); }
+    uint64_t misses() const { return nMisses.load(); }
+
+    /** @{ Global switch (default on). Off, Workload::prepare builds
+     *  privately — used by tests proving cache-on/off identity. */
+    static bool enabled();
+    static void setEnabled(bool on);
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        uint64_t digest;
+        Artifact code;
+    };
+
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> entries;
+    std::atomic<uint64_t> nHits{0};
+    std::atomic<uint64_t> nMisses{0};
+};
+
+} // namespace last::sim
+
+#endif // LAST_SIM_ARTIFACT_CACHE_HH

@@ -25,8 +25,11 @@ runApp(const std::string &workload, IsaKind isa, const GpuConfig &cfg,
     r.digest = wl->resultDigest();
 
     gpu::Gpu &gpu = rt.gpu();
-    auto sum = [&](const char *name) {
-        return uint64_t(gpu.sumCuStat(name));
+    // Resolve each stat name to its CU-local index once, then sum by
+    // index — the repeated per-CU string lookups the harness used to
+    // pay are not free when every sweep run ends here.
+    auto sum = [&gpu](const char *name) {
+        return uint64_t(gpu.sumCuStat(gpu.cuStatIndex(name)));
     };
     r.dynInsts = sum("dynInsts");
     r.valu = sum("valuInsts");

@@ -6,29 +6,35 @@ namespace last::workloads
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name, const WorkloadScale &scale)
 {
+    std::unique_ptr<Workload> w;
     if (name == "ArrayBW")
-        return makeArrayBw(scale);
-    if (name == "BitonicSort")
-        return makeBitonicSort(scale);
-    if (name == "CoMD")
-        return makeCoMD(scale);
-    if (name == "FFT")
-        return makeFft(scale);
-    if (name == "HPGMG")
-        return makeHpgmg(scale);
-    if (name == "LULESH")
-        return makeLulesh(scale);
-    if (name == "MD")
-        return makeMd(scale);
-    if (name == "SNAP")
-        return makeSnap(scale);
-    if (name == "SpMV")
-        return makeSpmv(scale);
-    if (name == "XSBench")
-        return makeXsBench(scale);
-    if (name == "VecAdd")
-        return makeVecAdd(scale);
-    fatal("unknown workload '%s'", name.c_str());
+        w = makeArrayBw(scale);
+    else if (name == "BitonicSort")
+        w = makeBitonicSort(scale);
+    else if (name == "CoMD")
+        w = makeCoMD(scale);
+    else if (name == "FFT")
+        w = makeFft(scale);
+    else if (name == "HPGMG")
+        w = makeHpgmg(scale);
+    else if (name == "LULESH")
+        w = makeLulesh(scale);
+    else if (name == "MD")
+        w = makeMd(scale);
+    else if (name == "SNAP")
+        w = makeSnap(scale);
+    else if (name == "SpMV")
+        w = makeSpmv(scale);
+    else if (name == "XSBench")
+        w = makeXsBench(scale);
+    else if (name == "VecAdd")
+        w = makeVecAdd(scale);
+    else
+        fatal("unknown workload '%s'", name.c_str());
+    // The scale is part of the artifact-cache identity: kernels built
+    // for one input size must never be served to another.
+    w->setArtifactScale(scale.factor);
+    return w;
 }
 
 } // namespace last::workloads

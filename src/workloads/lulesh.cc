@@ -69,7 +69,7 @@ class Lulesh : public Workload
             v = rng.nextDouble() + 0.5;
         rt.writeGlobal(d_in, nodes.data(), nodes.size() * 8);
 
-        std::vector<arch::KernelCode *> codes;
+        std::vector<const arch::KernelCode *> codes;
         for (unsigned k = 0; k < NumKernels; ++k)
             codes.push_back(&buildKernel(k, isa, rt.config()));
 
@@ -101,7 +101,7 @@ class Lulesh : public Workload
     }
 
   private:
-    arch::KernelCode &
+    const arch::KernelCode &
     buildKernel(unsigned k, IsaKind isa, const GpuConfig &cfg)
     {
         using namespace hsail;

@@ -3,19 +3,56 @@
 #include "common/logging.hh"
 #include "finalizer/finalizer.hh"
 #include "finalizer/regalloc.hh"
+#include "sim/artifact_cache.hh"
 
 namespace last::workloads
 {
 
-arch::KernelCode &
-Workload::prepare(hsail::IlKernel &&il, IsaKind isa,
-                  const GpuConfig &cfg)
+namespace
 {
-    ownedIl.push_back(std::move(il));
-    hsail::IlKernel &kept = ownedIl.back();
+
+/** Run the (expensive) compile pipeline: IL register compaction for
+ *  both paths, plus the finalizer for GCN3. */
+std::shared_ptr<const arch::KernelCode>
+buildArtifact(hsail::IlKernel &&il, IsaKind isa, const GpuConfig &cfg)
+{
+    hsail::IlKernel kept = std::move(il);
     // The high-level compiler's register allocation over the IL's
     // 2,048-register space happens for both paths (the finalizer then
     // re-allocates into the much smaller GCN3 files).
+    finalizer::compactIlRegisters(kept);
+    if (isa == IsaKind::HSAIL)
+        return std::shared_ptr<const arch::KernelCode>(
+            std::move(kept.code));
+    return finalizer::finalize(kept, cfg);
+}
+
+} // namespace
+
+const arch::KernelCode &
+Workload::prepare(hsail::IlKernel &&il, IsaKind isa,
+                  const GpuConfig &cfg)
+{
+    unsigned seq = prepareSeq++;
+
+    // Fault-injection runs execute perturbed; they must never share
+    // artifacts with (or pollute the cache of) clean runs.
+    bool cacheable =
+        sim::ArtifactCache::enabled() && cfg.faultPlan == nullptr;
+    if (cacheable) {
+        uint64_t content = hsail::ilDigest(il);
+        if (isa == IsaKind::GCN3)
+            content = (content ^ finalizer::finalizeConfigDigest(cfg)) *
+                      1099511628211ull;
+        auto artifact = sim::ArtifactCache::instance().getOrBuild(
+            {name(), isa, artifactScale, seq}, content,
+            [&] { return buildArtifact(std::move(il), isa, cfg); });
+        sharedKernels.push_back(artifact);
+        return *sharedKernels.back();
+    }
+
+    ownedIl.push_back(std::move(il));
+    hsail::IlKernel &kept = ownedIl.back();
     finalizer::compactIlRegisters(kept);
     if (isa == IsaKind::HSAIL)
         return *kept.code;

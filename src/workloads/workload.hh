@@ -51,11 +51,21 @@ class Workload
      *  across ISAs). */
     virtual uint64_t resultDigest() const { return digest; }
 
+    /** Scale factor this instance was created for (set by
+     *  makeWorkload); part of the artifact-cache key. */
+    void setArtifactScale(double factor) { artifactScale = factor; }
+
   protected:
-    /** Prepare an IL kernel for execution at `isa`: returns the IL
-     *  code itself or the finalized GCN3 code, keeping ownership. */
-    arch::KernelCode &prepare(hsail::IlKernel &&il, IsaKind isa,
-                              const GpuConfig &cfg);
+    /**
+     * Prepare an IL kernel for execution at `isa`: the IL code itself
+     * or the finalized GCN3 code. Served from the process-wide
+     * artifact cache when possible (keyed on workload/isa/scale and
+     * the call order); fault-injection configs build privately so a
+     * perturbed run can never share state with a clean one. The
+     * returned artifact stays alive as long as this workload.
+     */
+    const arch::KernelCode &prepare(hsail::IlKernel &&il, IsaKind isa,
+                                    const GpuConfig &cfg);
 
     /** FNV-1a over a byte range, for cross-ISA result digests. */
     void digestBytes(const void *data, size_t len);
@@ -65,6 +75,9 @@ class Workload
   private:
     std::vector<std::unique_ptr<arch::KernelCode>> ownedKernels;
     std::vector<hsail::IlKernel> ownedIl;
+    std::vector<std::shared_ptr<const arch::KernelCode>> sharedKernels;
+    double artifactScale = 1.0;
+    unsigned prepareSeq = 0;
 };
 
 /** The Table 5 applications, in paper order. */

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Kernel-artifact cache tests: hits are pointer-identical, unsound
+ * keys are loud, and a sweep with the cache on/off is statistic-
+ * identical (the cache may only change wall-clock, never results).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "hsail/builder.hh"
+#include "sim/artifact_cache.hh"
+#include "sim/experiment.hh"
+
+using namespace last;
+
+namespace
+{
+
+/** A minimal kernel artifact for cache-mechanics tests (never
+ *  dispatched, so it needs no sealing or finalization). */
+sim::ArtifactCache::Artifact
+makeTinyArtifact(const char *name)
+{
+    hsail::KernelBuilder kb(name);
+    hsail::Val gid = kb.workitemAbsId();
+    kb.stGlobal(gid, kb.immU64(0x10000));
+    auto il = kb.build();
+    return sim::ArtifactCache::Artifact(std::move(il.code));
+}
+
+/** Field-by-field AppResult equality with a readable failure. */
+void
+expectIdentical(const sim::AppResult &a, const sim::AppResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.isa, b.isa);
+    EXPECT_EQ(a.verified, b.verified);
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.dynInsts, b.dynInsts);
+    EXPECT_EQ(a.valu, b.valu);
+    EXPECT_EQ(a.salu, b.salu);
+    EXPECT_EQ(a.vmem, b.vmem);
+    EXPECT_EQ(a.smem, b.smem);
+    EXPECT_EQ(a.lds, b.lds);
+    EXPECT_EQ(a.branch, b.branch);
+    EXPECT_EQ(a.waitcnt, b.waitcnt);
+    EXPECT_EQ(a.misc, b.misc);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.vrfBankConflicts, b.vrfBankConflicts);
+    EXPECT_DOUBLE_EQ(a.reuseMedian, b.reuseMedian);
+    EXPECT_EQ(a.instFootprint, b.instFootprint);
+    EXPECT_EQ(a.ibFlushes, b.ibFlushes);
+    EXPECT_DOUBLE_EQ(a.readUniq, b.readUniq);
+    EXPECT_DOUBLE_EQ(a.writeUniq, b.writeUniq);
+    EXPECT_DOUBLE_EQ(a.vrfUniq, b.vrfUniq);
+    EXPECT_EQ(a.dataFootprint, b.dataFootprint);
+    EXPECT_DOUBLE_EQ(a.simdUtil, b.simdUtil);
+    EXPECT_EQ(a.l1iMisses, b.l1iMisses);
+    EXPECT_EQ(a.l1iHits, b.l1iHits);
+    EXPECT_EQ(a.hazardViolations, b.hazardViolations);
+    EXPECT_EQ(a.scoreboardStalls, b.scoreboardStalls);
+    EXPECT_EQ(a.waitcntStalls, b.waitcntStalls);
+    EXPECT_EQ(a.ibEmptyStalls, b.ibEmptyStalls);
+    EXPECT_EQ(a.fuConflictStalls, b.fuConflictStalls);
+    EXPECT_EQ(a.coalescedLines, b.coalescedLines);
+    EXPECT_EQ(a.busyCycles, b.busyCycles);
+    ASSERT_EQ(a.launches.size(), b.launches.size());
+    for (size_t i = 0; i < a.launches.size(); ++i) {
+        EXPECT_EQ(a.launches[i].kernel, b.launches[i].kernel);
+        EXPECT_EQ(a.launches[i].cycles, b.launches[i].cycles);
+        EXPECT_EQ(a.launches[i].instsIssued, b.launches[i].instsIssued);
+    }
+}
+
+/** Restores the global cache switch even if an assertion fires. */
+struct CacheSwitchGuard
+{
+    bool saved = sim::ArtifactCache::enabled();
+    ~CacheSwitchGuard() { sim::ArtifactCache::setEnabled(saved); }
+};
+
+} // namespace
+
+TEST(ArtifactCache, HitsArePointerIdentical)
+{
+    auto &cache = sim::ArtifactCache::instance();
+    sim::ArtifactKey key{"__ac_test_ptr", IsaKind::HSAIL, 0.125, 0};
+
+    unsigned builds = 0;
+    auto builder = [&] {
+        ++builds;
+        return makeTinyArtifact("ac_ptr");
+    };
+
+    uint64_t h0 = cache.hits(), m0 = cache.misses();
+    auto first = cache.getOrBuild(key, /*digest=*/0xfeedull, builder);
+    auto second = cache.getOrBuild(key, 0xfeedull, builder);
+
+    EXPECT_EQ(builds, 1u) << "second request must not rebuild";
+    EXPECT_EQ(first.get(), second.get())
+        << "equal keys must hand out the same immutable artifact";
+    EXPECT_EQ(cache.misses(), m0 + 1);
+    EXPECT_EQ(cache.hits(), h0 + 1);
+}
+
+TEST(ArtifactCache, DistinctKeysAreDistinctEntries)
+{
+    auto &cache = sim::ArtifactCache::instance();
+    auto builder = [] { return makeTinyArtifact("ac_keys"); };
+
+    auto a = cache.getOrBuild({"__ac_test_keys", IsaKind::HSAIL,
+                               0.125, 0}, 1, builder);
+    auto b = cache.getOrBuild({"__ac_test_keys", IsaKind::GCN3,
+                               0.125, 0}, 1, builder);
+    auto c = cache.getOrBuild({"__ac_test_keys", IsaKind::HSAIL,
+                               0.25, 0}, 1, builder);
+    auto d = cache.getOrBuild({"__ac_test_keys", IsaKind::HSAIL,
+                               0.125, 1}, 1, builder);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_NE(a.get(), d.get());
+}
+
+TEST(ArtifactCache, DigestMismatchIsLoud)
+{
+    auto &cache = sim::ArtifactCache::instance();
+    sim::ArtifactKey key{"__ac_test_digest", IsaKind::HSAIL, 0.125, 0};
+    auto builder = [] { return makeTinyArtifact("ac_digest"); };
+
+    cache.getOrBuild(key, /*digest=*/42, builder);
+    // Same key, different build input: an unsound key must panic, not
+    // silently reuse the wrong artifact.
+    EXPECT_THROW(cache.getOrBuild(key, 43, builder), InvariantError);
+}
+
+TEST(ArtifactCache, RepeatedRunsHitTheCache)
+{
+    auto &cache = sim::ArtifactCache::instance();
+    ASSERT_TRUE(sim::ArtifactCache::enabled());
+
+    // A scale no other test uses, so both runs' keys are this test's.
+    workloads::WorkloadScale scale{0.375};
+    auto r1 = sim::runApp("VecAdd", IsaKind::GCN3, GpuConfig{},
+                          scale);
+    uint64_t h1 = cache.hits(), m1 = cache.misses();
+    auto r2 = sim::runApp("VecAdd", IsaKind::GCN3, GpuConfig{},
+                          scale);
+    EXPECT_GT(cache.hits(), h1) << "identical rerun must hit";
+    EXPECT_EQ(cache.misses(), m1) << "identical rerun must not rebuild";
+    expectIdentical(r1, r2);
+}
+
+TEST(ArtifactCache, CacheOnOffYieldsIdenticalResults)
+{
+    CacheSwitchGuard guard;
+    workloads::WorkloadScale scale{0.375};
+
+    sim::ArtifactCache::setEnabled(true);
+    auto hsailOn = sim::runApp("VecAdd", IsaKind::HSAIL,
+                               GpuConfig{}, scale);
+    auto gcnOn = sim::runApp("VecAdd", IsaKind::GCN3, GpuConfig{},
+                             scale);
+
+    sim::ArtifactCache::setEnabled(false);
+    auto hsailOff = sim::runApp("VecAdd", IsaKind::HSAIL,
+                                GpuConfig{}, scale);
+    auto gcnOff = sim::runApp("VecAdd", IsaKind::GCN3, GpuConfig{},
+                              scale);
+
+    expectIdentical(hsailOn, hsailOff);
+    expectIdentical(gcnOn, gcnOff);
+}

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cu/wavefront.hh"
 #include "finalizer/finalizer.hh"
 #include "finalizer/regalloc.hh"
 #include "helpers.hh"
@@ -230,4 +231,24 @@ TEST(CuTiming, InstFootprintDiffersByEncoding)
     EXPECT_GT(h.rt->instFootprintBytes(), 0u);
     EXPECT_GT(g.rt->instFootprintBytes(),
               h.rt->instFootprintBytes());
+}
+
+TEST(CuTiming, OldestFirstTieBreakIsExplicit)
+{
+    // The issue-stage age order must be bit-stable: dispatch sequence
+    // first, then slot index as a deterministic tie-break (never
+    // implementation-defined sort behaviour).
+    cu::Wavefront older(/*slot=*/7, /*simd=*/0);
+    cu::Wavefront newer(/*slot=*/1, /*simd=*/0);
+    older.dispatchSeq = 10;
+    newer.dispatchSeq = 20;
+    EXPECT_TRUE(cu::Wavefront::olderThan(older, newer));
+    EXPECT_FALSE(cu::Wavefront::olderThan(newer, older));
+
+    // Equal dispatchSeq: the lower slot wins, irreflexively.
+    cu::Wavefront slot2(2, 0), slot5(5, 0);
+    slot2.dispatchSeq = slot5.dispatchSeq = 42;
+    EXPECT_TRUE(cu::Wavefront::olderThan(slot2, slot5));
+    EXPECT_FALSE(cu::Wavefront::olderThan(slot5, slot2));
+    EXPECT_FALSE(cu::Wavefront::olderThan(slot2, slot2));
 }

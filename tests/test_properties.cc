@@ -9,8 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
+#include <vector>
 
+#include "cu/probes.hh"
 #include "finalizer/finalizer.hh"
 #include "finalizer/regalloc.hh"
 #include "gcn3/inst.hh"
@@ -303,3 +306,137 @@ INSTANTIATE_TEST_SUITE_P(
     Table5, AbstractionGapSweep,
     ::testing::Values("ArrayBW", "BitonicSort", "CoMD", "FFT", "HPGMG",
                       "MD", "SNAP", "SpMV", "XSBench"));
+
+// ---------------------------------------------------------------------
+// Execute-path fast paths (cu/probes.hh) against their sort-based
+// reference implementations: the probe rewrite is only admissible if
+// the statistics it feeds are bit-identical.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** xorshift64: deterministic across platforms, no <random> variance. */
+struct XorShift
+{
+    uint64_t s;
+    uint64_t
+    next()
+    {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+};
+
+unsigned
+refUniqueCount(const uint32_t *lanes, uint64_t mask)
+{
+    std::vector<uint32_t> vals;
+    for (unsigned lane = 0; lane < 64; ++lane)
+        if (mask & (1ull << lane))
+            vals.push_back(lanes[lane]);
+    std::sort(vals.begin(), vals.end());
+    vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+    return unsigned(vals.size());
+}
+
+std::vector<Addr>
+refCoalesce(const std::vector<Addr> &lane_addrs, uint64_t mask,
+            uint64_t bytes_per_lane)
+{
+    std::vector<Addr> lines;
+    for (unsigned lane = 0; lane < 64; ++lane) {
+        if (!(mask & (1ull << lane)))
+            continue;
+        Addr first = lane_addrs[lane] / 64;
+        Addr last = (lane_addrs[lane] + bytes_per_lane - 1) / 64;
+        lines.push_back(first);
+        if (last != first)
+            lines.push_back(last);
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    return lines;
+}
+
+} // namespace
+
+TEST(ProbeFastPaths, HashUniqCountMatchesSortReference)
+{
+    cu::LaneUniqCounter counter;
+    XorShift rng{0x5eed5eedull};
+    for (int iter = 0; iter < 2000; ++iter) {
+        uint64_t mask = rng.next();
+        switch (iter % 5) {
+          case 0: mask = ~0ull; break;                    // full WF
+          case 1: mask = 0; break;                        // all inactive
+          case 2: mask &= 0xffull; break;                 // partial WF
+          case 3: mask = 1ull << (rng.next() % 64); break; // single lane
+          default: break;                                  // random
+        }
+        uint32_t lanes[64];
+        // Mix duplicate-heavy (small value range) and unique-heavy
+        // patterns: both matter for an open-addressed counter.
+        uint32_t range = (iter % 2) ? 8 : 0xffffffffu;
+        for (auto &v : lanes)
+            v = uint32_t(rng.next()) & range;
+        EXPECT_EQ(counter.count(lanes, mask),
+                  refUniqueCount(lanes, mask))
+            << "iter " << iter << " mask " << mask;
+    }
+}
+
+TEST(ProbeFastPaths, CtzIterationVisitsExactlyTheMaskAscending)
+{
+    XorShift rng{0xabcdull};
+    for (int iter = 0; iter < 500; ++iter) {
+        uint64_t mask = rng.next() & rng.next(); // sparse-ish
+        std::vector<unsigned> ref, got;
+        for (unsigned lane = 0; lane < 64; ++lane)
+            if (mask & (1ull << lane))
+                ref.push_back(lane);
+        for (uint64_t m = mask; m; m &= m - 1)
+            got.push_back(unsigned(findLsb(m)));
+        EXPECT_EQ(got, ref);
+    }
+}
+
+TEST(ProbeFastPaths, InsertionCoalescingMatchesSortReference)
+{
+    XorShift rng{0xc0a1e5ceull};
+    for (int iter = 0; iter < 2000; ++iter) {
+        uint64_t mask = rng.next();
+        if (iter % 4 == 0)
+            mask = ~0ull;
+        uint64_t bytes_per_lane = 1ull << (rng.next() % 4); // 1..8
+        std::vector<Addr> lane_addrs(64);
+        // Unit-stride, strided, and scattered access patterns.
+        Addr base = rng.next() % 0x10000;
+        uint64_t stride = (iter % 3 == 0)   ? bytes_per_lane
+                          : (iter % 3 == 1) ? 64 * (rng.next() % 4 + 1)
+                                            : 0;
+        for (unsigned lane = 0; lane < 64; ++lane)
+            lane_addrs[lane] = stride
+                                   ? base + lane * stride
+                                   : base + (rng.next() % 0x4000);
+
+        // The production loop: ctz lane visit + bounded insertion.
+        Addr lines[2 * 64];
+        unsigned n = 0;
+        for (uint64_t m = mask; m; m &= m - 1) {
+            unsigned lane = unsigned(findLsb(m));
+            Addr first = lane_addrs[lane] / 64;
+            Addr last = (lane_addrs[lane] + bytes_per_lane - 1) / 64;
+            n = cu::insertLineSorted(lines, n, first);
+            if (last != first)
+                n = cu::insertLineSorted(lines, n, last);
+        }
+
+        auto ref = refCoalesce(lane_addrs, mask, bytes_per_lane);
+        ASSERT_EQ(n, ref.size()) << "iter " << iter;
+        for (unsigned i = 0; i < n; ++i)
+            EXPECT_EQ(lines[i], ref[i]) << "iter " << iter << " i " << i;
+    }
+}
