@@ -18,6 +18,11 @@ namespace sim
 struct FaultPlan; // sim/faultinject.hh
 }
 
+namespace obs
+{
+class TraceSink; // obs/trace.hh
+}
+
 /** Which instruction-set abstraction a kernel executes at. */
 enum class IsaKind
 {
@@ -123,6 +128,12 @@ struct GpuConfig
     /** Deterministic fault-injection plan (not owned; nullptr = no
      *  faults). See sim/faultinject.hh. */
     const sim::FaultPlan *faultPlan = nullptr;
+
+    /** Structured-trace sink (not owned; nullptr = tracing off). The
+     *  model wires per-component streams into it at construction and
+     *  records execute-path events; see obs/trace.hh. Observational
+     *  only — never changes results or statistics. */
+    obs::TraceSink *trace = nullptr;
 
     /** Human-readable one-line summary (printed by bench headers). */
     std::string summary() const;

@@ -38,6 +38,10 @@ class Stat
     /** Primary scalar view of the statistic (used for table output). */
     virtual double value() const = 0;
 
+    /** Statistic flavour, for machine-readable export ("scalar",
+     *  "average", "histogram"). */
+    virtual const char *kindName() const { return "scalar"; }
+
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
 
@@ -79,6 +83,7 @@ class Average : public Stat
 
     double value() const override { return count ? sum / count : 0; }
     uint64_t samples() const { return static_cast<uint64_t>(count); }
+    const char *kindName() const override { return "average"; }
     void reset() override { sum = 0; count = 0; }
 
   private:
@@ -110,13 +115,18 @@ class Histogram : public Stat
 
     /** Median is the headline value. */
     double value() const override { return median(); }
+    const char *kindName() const override { return "histogram"; }
     void reset() override;
     void print(std::ostream &os, const std::string &prefix) const override;
 
-  private:
-    static unsigned bucketFor(uint64_t v);
+    /** @{ Bucket introspection for the stats exporter (obs/). */
+    uint64_t bucketCount(unsigned b) const { return buckets[b]; }
     static uint64_t bucketLow(unsigned b);
     static uint64_t bucketHigh(unsigned b);
+    /** @} */
+
+  private:
+    static unsigned bucketFor(uint64_t v);
 
     uint64_t buckets[NumBuckets] = {};
     uint64_t total = 0;

@@ -11,6 +11,30 @@
 namespace last::cu
 {
 
+namespace
+{
+
+/** Issue-class nibble for InstIssue trace events (computed only when
+ *  tracing; mirrors the Figure 5 classification switch below). */
+obs::InstClass
+traceClassOf(const arch::Instruction &inst)
+{
+    if (inst.is(arch::IsWaitcnt))
+        return obs::InstClass::Waitcnt;
+    switch (inst.fuType()) {
+      case arch::FuType::VAlu: return obs::InstClass::VAlu;
+      case arch::FuType::SAlu: return obs::InstClass::SAlu;
+      case arch::FuType::VMem: return obs::InstClass::VMem;
+      case arch::FuType::SMem: return obs::InstClass::SMem;
+      case arch::FuType::Lds: return obs::InstClass::Lds;
+      case arch::FuType::Branch: return obs::InstClass::Branch;
+      case arch::FuType::Special: return obs::InstClass::Misc;
+    }
+    return obs::InstClass::Misc;
+}
+
+} // namespace
+
 ComputeUnit::ComputeUnit(const std::string &name, const GpuConfig &cfg,
                          EventQueue &eq, mem::MemLevel *l1d,
                          mem::MemLevel *l1i, mem::MemLevel *scalar_d,
@@ -224,6 +248,9 @@ ComputeUnit::accept(const WorkgroupTask &task)
         wf->dispatchSeq = nextDispatchSeq++;
         ageListLink(*wf);
         ++activeWfs;
+        if (tracing())
+            trace->emit(obs::TraceKind::WfStart, eq.now(), 0, wf->slot,
+                        task.wgId);
     }
 
     launch.wgsDispatched++;
@@ -605,6 +632,14 @@ ComputeUnit::issueStage(Cycle now)
                 ++scoreboardStalls;
             else
                 ++waitcntStalls;
+            // Tracing: remember where this dependency stall began; the
+            // whole stall is emitted as one span when the WF issues
+            // (works under fast-forward, which always observes at
+            // least one stalled tick before jumping).
+            if (tracing() && wf->stallSince == InvalidCycle) {
+                wf->stallSince = now;
+                wf->stallKind = wf->st.isa == IsaKind::HSAIL ? 0 : 1;
+            }
             continue;
         }
         if (needs_fu)
@@ -619,6 +654,14 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
 {
     arch::WfState &st = wf.st;
     progressLastTick = true;
+
+    // Tracing: close the dependency-stall span that ends with this
+    // issue (opened in issueStage on the first stalled tick).
+    if (tracing() && wf.stallSince != InvalidCycle) {
+        trace->emit(obs::TraceKind::DepStall, wf.stallSince,
+                    now - wf.stallSince, wf.slot, wf.stallKind);
+        wf.stallSince = InvalidCycle;
+    }
 
     // --- classification (Figure 5) ---
     ++dynInsts;
@@ -664,6 +707,12 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
     }
 
     // --- execute ---
+    // Tracing: snapshot the RS depth around execute + the pop loop
+    // below, so stack movement is observable without plumbing the
+    // tracer into the ISA executors.
+    size_t rs_before = 0;
+    if (tracing() && st.isa == IsaKind::HSAIL)
+        rs_before = st.rs.size();
     st.pc = st.code->offsetOf(wf.pcIdx);
     st.pendingAccess.reset();
     inst.execute(st);
@@ -691,10 +740,12 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
     }
 
     // --- result latency / memory timing ---
+    Cycle result_ready = now + 1;
     if (st.pendingAccess) {
         const arch::MemAccess acc = *st.pendingAccess;
         st.pendingAccess.reset();
         Cycle done = memAccessLatency(wf, acc, now);
+        result_ready = done;
         // Memory results gate dependents on both ISAs: the HSAIL
         // scoreboard stalls on them; for GCN3 they feed the hazard
         // probe (the waitcnt contract must cover them).
@@ -727,6 +778,7 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
         // vector-to-vector dependences, and the finalizer's s_nop
         // insertion covers the documented scalar-side wait states.
         Cycle done = now + inst.latency(cfg);
+        result_ready = done;
         for (const auto &op : inst.regOps()) {
             if (!op.isDef)
                 continue;
@@ -738,6 +790,14 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
             }
         }
     }
+
+    // Tracing: one span per issued instruction, issue -> result-ready
+    // (GCN3 non-memory results forward in 1 cycle; see above).
+    if (tracing())
+        trace->emit(obs::TraceKind::InstIssue, now, result_ready - now,
+                    wf.slot,
+                    (uint64_t(st.pc) << 4) |
+                        uint64_t(traceClassOf(inst)));
 
     // --- control-flow resolution ---
     Addr seq_next = st.pc + inst.sizeBytes();
@@ -759,6 +819,16 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
         }
     }
 
+    // Tracing: net RS movement of this instruction (push from a
+    // diverging branch inside execute, pops from the loop above).
+    if (tracing() && st.isa == IsaKind::HSAIL) {
+        size_t rs_after = st.rs.size();
+        if (rs_after != rs_before)
+            trace->emit(rs_after > rs_before ? obs::TraceKind::RsPush
+                                             : obs::TraceKind::RsPop,
+                        now, 0, wf.slot, rs_after);
+    }
+
     if (st.done) {
         finishWavefront(wf);
         return;
@@ -772,6 +842,9 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
         // Discontinuous PC: flush the instruction buffer and redirect
         // fetch (the front-end cost the paper highlights).
         ibFlushes += flushes;
+        if (tracing())
+            trace->emit(obs::TraceKind::IbFlush, now, 0, wf.slot,
+                        flushes);
         wf.ibCount = 0;
         wf.pcIdx = st.code->indexAt(new_pc);
         wf.ibNextIdx = wf.pcIdx;
@@ -799,6 +872,9 @@ void
 ComputeUnit::finishWavefront(Wavefront &wf)
 {
     WgInstance &wg = *wf.wg;
+    if (tracing())
+        trace->emit(obs::TraceKind::WfEnd, eq.now(), 0, wf.slot,
+                    wf.st.wgId);
     ageListUnlink(wf);
     wf.active = false;
     ++wf.gen;

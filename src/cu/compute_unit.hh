@@ -36,6 +36,7 @@
 #include "memory/cache.hh"
 #include "memory/functional_memory.hh"
 #include "memory/lds.hh"
+#include "obs/trace.hh"
 
 namespace last::cu
 {
@@ -106,6 +107,10 @@ class ComputeUnit : public stats::Group
     void dumpWavefronts(unsigned cuIndex,
                         std::vector<WavefrontDump> &out) const;
 
+    /** Attach this CU's structured-trace stream (nullptr = off). The
+     *  Gpu wires this when GpuConfig::trace is set; see obs/trace.hh. */
+    void setTraceStream(obs::TraceStream *s) { trace = s; }
+
     /** @{ Dynamic instruction counters (Figure 5 classification). */
     stats::Scalar dynInsts;
     stats::Scalar valuInsts;
@@ -164,8 +169,14 @@ class ComputeUnit : public stats::Group
     void ageListUnlink(Wavefront &wf);
     /** @} */
 
+    /** True iff trace points are compiled in AND a stream is attached;
+     *  constant-folds to `false` under -DLAST_OBS_TRACE=0 so every
+     *  tracing block becomes dead code. */
+    bool tracing() const { return obs::tracePointsCompiled() && trace; }
+
     GpuConfig cfg;
     EventQueue &eq;
+    obs::TraceStream *trace = nullptr;
     mem::MemLevel *l1d;
     mem::MemLevel *l1i;
     mem::MemLevel *scalarD;

@@ -76,6 +76,14 @@ class Wavefront
     /** Issue blocked until this cycle (GCN3 s_nop wait states). */
     Cycle blockedUntil = 0;
 
+    /** Tracing only (obs/trace.hh): first cycle of the current
+     *  dependency stall, so the whole stall is emitted as one span
+     *  when the WF finally issues. InvalidCycle = not stalled. Never
+     *  read by timing or statistics. */
+    Cycle stallSince = InvalidCycle;
+    /** Tracing only: stall flavour (0 scoreboard, 1 waitcnt). */
+    uint8_t stallKind = 0;
+
     /** Per-register ready cycle: the HSAIL scoreboard blocks issue
      *  until operands are ready; GCN3 only *checks* (hazard probe) —
      *  hardware relies on the finalizer's waitcnt/nops. */
@@ -115,6 +123,8 @@ class Wavefront
         ibNextFetch = 0;
         fetchInFlight = false;
         blockedUntil = 0;
+        stallSince = InvalidCycle;
+        stallKind = 0;
         wedged = false;
         ++gen;
         active = true;

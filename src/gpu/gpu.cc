@@ -38,7 +38,31 @@ Gpu::Gpu(const GpuConfig &cfg, mem::FunctionalMemory &memory,
             l1is[c].get(), scalarDs[c].get(), &memory, this));
     }
 
+    wireTraceStreams();
     armFaults();
+}
+
+void
+Gpu::wireTraceStreams()
+{
+    if (!obs::tracePointsCompiled() || !cfg.trace)
+        return;
+    obs::TraceSink &sink = *cfg.trace;
+    gpuTrace = sink.makeStream("gpu", obs::TidGpu);
+    for (size_t i = 0; i < cus.size(); ++i)
+        cus[i]->setTraceStream(sink.makeStream(
+            "cu_" + std::to_string(i), obs::TidCuBase + unsigned(i)));
+    // Cache tracks follow the CU tracks: per-CU L1Ds first, then the
+    // per-cluster shared levels.
+    unsigned tid = obs::TidCacheBase;
+    for (auto &c : l1ds)
+        c->setTraceStream(sink.makeStream(c->name(), tid++));
+    for (auto &c : l1is)
+        c->setTraceStream(sink.makeStream(c->name(), tid++));
+    for (auto &c : scalarDs)
+        c->setTraceStream(sink.makeStream(c->name(), tid++));
+    for (auto &c : l2s)
+        c->setTraceStream(sink.makeStream(c->name(), tid++));
 }
 
 void
@@ -191,6 +215,9 @@ Gpu::throwDeadlock(const std::string &reason, Cycle lastProgress)
     info.reason = reason;
     for (unsigned i = 0; i < cus.size(); ++i)
         cus[i]->dumpWavefronts(i, info.wavefronts);
+    if (obs::tracePointsCompiled() && gpuTrace)
+        gpuTrace->emit(obs::TraceKind::Watchdog, eq.now(), 0,
+                       gpuTrace->intern(reason));
     throw DeadlockError(std::move(info));
 }
 
@@ -240,6 +267,8 @@ Gpu::runToCompletion()
                 totalCycles += double(skipped);
                 for (auto &c : cus)
                     c->chargeSkippedCycles(now, skipped);
+                LAST_TRACE(gpuTrace, obs::TraceKind::IdleSkip, now,
+                           skipped, skipped);
             }
         }
     }

@@ -77,6 +77,10 @@ class Gpu : public stats::Group
     /** @return true if at least one workgroup was placed. */
     bool dispatchPending();
 
+    /** Create and attach per-component trace streams when
+     *  cfg.trace is set (see obs/trace.hh). */
+    void wireTraceStreams();
+
     /** @{ Fault injection (cfg.faultPlan) and watchdog support. */
     void armFaults();
     void applyDueFaults(Cycle now);
@@ -94,6 +98,10 @@ class Gpu : public stats::Group
     std::vector<std::unique_ptr<mem::Cache>> scalarDs; ///< per cluster
     std::vector<std::unique_ptr<mem::Cache>> l1ds;     ///< per CU
     std::vector<std::unique_ptr<cu::ComputeUnit>> cus;
+
+    /** GPU-level trace stream (idle skips, watchdog trips); nullptr
+     *  when tracing is off. */
+    obs::TraceStream *gpuTrace = nullptr;
 
     std::deque<cu::WorkgroupTask> pendingWgs;
     std::vector<cu::KernelLaunch *> liveLaunches;

@@ -22,6 +22,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/trace.hh"
 
 namespace last::mem
 {
@@ -72,6 +73,10 @@ class Cache : public MemLevel, public stats::Group
      */
     void injectResponseFault(Cycle from, Cycle extra, unsigned count);
 
+    /** Attach this cache's structured-trace stream (nullptr = off);
+     *  demand misses are recorded as miss->fill spans. */
+    void setTraceStream(obs::TraceStream *s) { trace = s; }
+
     stats::Scalar hits;
     stats::Scalar misses;
     stats::Scalar mshrMerges;
@@ -97,6 +102,7 @@ class Cache : public MemLevel, public stats::Group
 
     CacheConfig cfg;
     MemLevel *next;
+    obs::TraceStream *trace = nullptr;
     unsigned numSets;
     unsigned ways;
     /** @{ numSets x ways; tag == InvalidAddr encodes an invalid way.

@@ -1,0 +1,223 @@
+#include "obs/divergence.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.hh"
+
+namespace last::obs
+{
+
+namespace
+{
+
+/** The compared statistics, in figure order. `expect` is the paper's
+ *  published classification of the IL-level statistic against the
+ *  machine-ISA ground truth ("" = no position taken). */
+struct Metric
+{
+    const char *stat;
+    const char *figure;
+    const char *expect;
+    double (*get)(const sim::AppResult &);
+};
+
+#define METRIC(field) [](const sim::AppResult &r) { return double(r.field); }
+
+const Metric kMetrics[] = {
+    {"dynInsts", "Figure 5", "divergent", METRIC(dynInsts)},
+    {"valu", "Figure 5", "divergent", METRIC(valu)},
+    {"salu", "Figure 5", "divergent", METRIC(salu)},
+    {"vmem", "Figure 5", "similar", METRIC(vmem)},
+    {"branch", "Figure 5", "divergent", METRIC(branch)},
+    {"vrfBankConflicts", "Figure 6", "divergent", METRIC(vrfBankConflicts)},
+    {"reuseMedian", "Figure 7", "divergent", METRIC(reuseMedian)},
+    {"instFootprint", "Figure 8", "divergent", METRIC(instFootprint)},
+    {"ibFlushes", "Figure 9", "divergent", METRIC(ibFlushes)},
+    {"readUniq", "Figure 10", "similar", METRIC(readUniq)},
+    {"writeUniq", "Figure 10", "similar", METRIC(writeUniq)},
+    {"ipc", "Figure 11", "divergent", METRIC(ipc)},
+    {"cycles", "Figure 11", "divergent", METRIC(cycles)},
+    {"dataFootprint", "Table 6", "divergent", METRIC(dataFootprint)},
+    {"simdUtil", "Table 6", "similar", METRIC(simdUtil)},
+    {"coalescedLines", "", "similar", METRIC(coalescedLines)},
+    {"l1iMisses", "Figure 8", "divergent", METRIC(l1iMisses)},
+};
+
+#undef METRIC
+
+} // namespace
+
+double
+relDelta(double hsail, double gcn3)
+{
+    double mag = std::max(std::fabs(hsail), std::fabs(gcn3));
+    if (mag == 0)
+        return 0;
+    return std::fabs(gcn3 - hsail) / mag;
+}
+
+const DivergenceEntry *
+DivergenceReport::find(const std::string &stat) const
+{
+    for (const DivergenceEntry &e : entries)
+        if (e.stat == stat)
+            return &e;
+    return nullptr;
+}
+
+unsigned
+DivergenceReport::numDivergent() const
+{
+    unsigned n = 0;
+    for (const DivergenceEntry &e : entries)
+        n += e.divergent;
+    return n;
+}
+
+DivergenceReport
+divergenceReport(const sim::AppResult &hsail, const sim::AppResult &gcn3,
+                 double threshold)
+{
+    DivergenceReport r;
+    r.workload = hsail.workload;
+    r.threshold = threshold;
+    if (hsail.quarantined || gcn3.quarantined) {
+        r.failed = true;
+        const sim::AppResult &bad = hsail.quarantined ? hsail : gcn3;
+        r.error = bad.errorKind + ": " + bad.errorMessage;
+        return r;
+    }
+    for (const Metric &m : kMetrics) {
+        DivergenceEntry e;
+        e.stat = m.stat;
+        e.figure = m.figure;
+        e.paperExpectation = m.expect;
+        e.hsail = m.get(hsail);
+        e.gcn3 = m.get(gcn3);
+        e.relDelta = relDelta(e.hsail, e.gcn3);
+        e.divergent = e.relDelta > threshold;
+        r.entries.push_back(std::move(e));
+    }
+    // Rank: largest relative delta first; stable keeps figure order on
+    // ties so reports are deterministic and diffable.
+    std::stable_sort(r.entries.begin(), r.entries.end(),
+                     [](const DivergenceEntry &a, const DivergenceEntry &b) {
+                         return a.relDelta > b.relDelta;
+                     });
+    return r;
+}
+
+DivergenceReport
+divergenceReport(const std::string &workload, const GpuConfig &cfg,
+                 const workloads::WorkloadScale &scale, double threshold)
+{
+    auto [hsail, gcn3] = sim::runBoth(workload, cfg, scale);
+    DivergenceReport r = divergenceReport(hsail, gcn3, threshold);
+    r.scale = scale.factor;
+    return r;
+}
+
+std::vector<DivergenceReport>
+divergenceReports(const std::vector<std::string> &workloads,
+                  const GpuConfig &cfg,
+                  const workloads::WorkloadScale &scale, double threshold,
+                  unsigned jobs)
+{
+    std::vector<sim::RunSpec> specs;
+    specs.reserve(2 * workloads.size());
+    for (const std::string &w : workloads) {
+        specs.push_back({w, IsaKind::HSAIL, cfg, scale});
+        specs.push_back({w, IsaKind::GCN3, cfg, scale});
+    }
+    sim::SweepOptions opts;
+    opts.jobs = jobs;
+    sim::SweepReport sweep = sim::runSweep(specs, opts);
+
+    std::vector<DivergenceReport> out;
+    out.reserve(workloads.size());
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        const sim::AppResult &hsail = sweep.results[2 * i];
+        const sim::AppResult &gcn3 = sweep.results[2 * i + 1];
+        DivergenceReport r;
+        if (!hsail.quarantined && !gcn3.quarantined) {
+            // runSweep does not enforce the functional differential
+            // invariant (each level ran independently); restore
+            // runBoth's contract here, degrading to a failed report
+            // instead of throwing so one workload cannot kill a sweep.
+            try {
+                sim::checkIsaAgreement(hsail, gcn3);
+                r = divergenceReport(hsail, gcn3, threshold);
+            } catch (const sim::IsaMismatchError &e) {
+                r.workload = workloads[i];
+                r.failed = true;
+                r.error = std::string("isa-mismatch: ") + e.what();
+            }
+        } else {
+            r = divergenceReport(hsail, gcn3, threshold);
+            r.workload = workloads[i];
+        }
+        r.scale = scale.factor;
+        r.threshold = threshold;
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+void
+writeDivergenceJson(std::ostream &os, const DivergenceReport &r)
+{
+    os << "{\n\"schema\":\"last-divergence-v1\",\n"
+       << "\"workload\":\"" << jsonEscape(r.workload) << "\","
+       << "\"scale\":" << jsonNumber(r.scale) << ","
+       << "\"threshold\":" << jsonNumber(r.threshold) << ","
+       << "\"failed\":" << (r.failed ? "true" : "false") << ","
+       << "\"error\":\"" << jsonEscape(r.error) << "\",\n"
+       << "\"entries\":[\n";
+    bool first = true;
+    for (const DivergenceEntry &e : r.entries) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"stat\":\"" << jsonEscape(e.stat) << "\""
+           << ",\"figure\":\"" << jsonEscape(e.figure) << "\""
+           << ",\"hsail\":" << jsonNumber(e.hsail)
+           << ",\"gcn3\":" << jsonNumber(e.gcn3)
+           << ",\"rel_delta\":" << jsonNumber(e.relDelta)
+           << ",\"classification\":\""
+           << (e.divergent ? "divergent" : "similar") << "\""
+           << ",\"paper\":\"" << jsonEscape(e.paperExpectation) << "\"}";
+    }
+    os << "\n]}\n";
+}
+
+void
+writeDivergenceText(std::ostream &os, const DivergenceReport &r)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "== %s (scale %g, threshold %g%%): %u/%zu divergent\n",
+                  r.workload.c_str(), r.scale, 100 * r.threshold,
+                  r.numDivergent(), r.entries.size());
+    os << buf;
+    if (r.failed) {
+        os << "   FAILED: " << r.error << "\n";
+        return;
+    }
+    std::snprintf(buf, sizeof(buf), "   %-18s %-9s %14s %14s %8s  %-9s %s\n",
+                  "stat", "figure", "hsail", "gcn3", "delta%",
+                  "class", "paper");
+    os << buf;
+    for (const DivergenceEntry &e : r.entries) {
+        std::snprintf(buf, sizeof(buf),
+                      "   %-18s %-9s %14.6g %14.6g %8.2f  %-9s %s\n",
+                      e.stat.c_str(), e.figure.c_str(), e.hsail, e.gcn3,
+                      100 * e.relDelta,
+                      e.divergent ? "DIVERGENT" : "similar",
+                      e.paperExpectation.c_str());
+        os << buf;
+    }
+}
+
+} // namespace last::obs

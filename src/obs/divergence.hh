@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Cross-ISA divergence reports: the paper's headline artifact, as code.
+ *
+ * The paper's contribution is a quantified comparison of statistics
+ * between the HSAIL (intermediate-language) and GCN3 (machine-ISA)
+ * abstraction levels: some statistics survive the abstraction
+ * ("similar"), others are badly distorted ("divergent"). This module
+ * runs a workload at both levels (via the existing runBoth /
+ * runSweep differential paths), computes the relative delta of every
+ * per-figure statistic, ranks them, and classifies each against a
+ * threshold — reproducing the accurate-vs-inaccurate classification of
+ * Table 7 / Figures 5–12 automatically. Ranking rules are documented
+ * in DESIGN.md §5; scripts/report_divergence.sh is the CLI front-end.
+ */
+
+#ifndef LAST_OBS_DIVERGENCE_HH
+#define LAST_OBS_DIVERGENCE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/parallel.hh"
+
+namespace last::obs
+{
+
+/** Stats whose relative delta exceeds this are classified divergent
+ *  (10%: well below every paper-divergent effect, comfortably above
+ *  the noise on paper-similar ones). */
+constexpr double DefaultDivergenceThreshold = 0.10;
+
+/** One statistic compared across the two abstraction levels. */
+struct DivergenceEntry
+{
+    std::string stat;        ///< AppResult field name, e.g. "dynInsts"
+    std::string figure;      ///< paper anchor, e.g. "Figure 5"
+    double hsail = 0;
+    double gcn3 = 0;
+    double relDelta = 0;     ///< |g - h| / max(|h|, |g|); 0 if both 0
+    bool divergent = false;  ///< relDelta > threshold
+    /** The paper's published classification for this statistic:
+     *  "divergent", "similar", or "" where the paper takes no
+     *  position. Lets the report flag where the model disagrees with
+     *  the paper, not just where the ISAs disagree with each other. */
+    std::string paperExpectation;
+};
+
+/** Ranked cross-ISA comparison of one workload. */
+struct DivergenceReport
+{
+    std::string workload;
+    double scale = 1.0;
+    double threshold = DefaultDivergenceThreshold;
+
+    /** The differential run itself failed (e.g. one level was
+     *  quarantined by runSweep); entries is empty and error says why. */
+    bool failed = false;
+    std::string error;
+
+    /** Entries ranked by descending relDelta (ties: input order, which
+     *  follows the figure numbering). */
+    std::vector<DivergenceEntry> entries;
+
+    const DivergenceEntry *find(const std::string &stat) const;
+    unsigned numDivergent() const;
+};
+
+/** |g - h| scaled by the larger magnitude; 0 when both are 0, so
+ *  legitimately-zero stats (e.g. hazardViolations) never rank. */
+double relDelta(double hsail, double gcn3);
+
+/** Build a report from an already-run HSAIL/GCN3 result pair. */
+DivergenceReport divergenceReport(
+    const sim::AppResult &hsail, const sim::AppResult &gcn3,
+    double threshold = DefaultDivergenceThreshold);
+
+/** Run `workload` at both levels (runBoth semantics: functional
+ *  agreement enforced) and build the report. */
+DivergenceReport divergenceReport(
+    const std::string &workload, const GpuConfig &cfg = GpuConfig{},
+    const workloads::WorkloadScale &scale = {},
+    double threshold = DefaultDivergenceThreshold);
+
+/**
+ * Reports for many workloads, driven by the parallel sweep driver
+ * (sim::runSweep): all 2N simulations run concurrently and a
+ * quarantined run fails only its own workload's report (failed +
+ * error), never the batch.
+ */
+std::vector<DivergenceReport> divergenceReports(
+    const std::vector<std::string> &workloads,
+    const GpuConfig &cfg = GpuConfig{},
+    const workloads::WorkloadScale &scale = {},
+    double threshold = DefaultDivergenceThreshold, unsigned jobs = 0);
+
+/** `last-divergence-v1` JSON (one report). */
+void writeDivergenceJson(std::ostream &os, const DivergenceReport &r);
+
+/** Human-readable ranked table (what report_divergence.sh prints). */
+void writeDivergenceText(std::ostream &os, const DivergenceReport &r);
+
+} // namespace last::obs
+
+namespace last::sim
+{
+/** The reporter lives in obs/ (it layers on top of sim's differential
+ *  harness) but is part of sim's public surface by design. */
+using obs::DivergenceEntry;
+using obs::DivergenceReport;
+using obs::divergenceReport;
+using obs::divergenceReports;
+} // namespace last::sim
+
+#endif // LAST_OBS_DIVERGENCE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the observability writers
+ * (Chrome trace, stats export, divergence report). Emission only — the
+ * repo never parses JSON, so there is no parser here.
+ */
+
+#ifndef LAST_OBS_JSON_HH
+#define LAST_OBS_JSON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace last::obs
+{
+
+/** Escape a string for inclusion inside JSON double quotes. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Format a double as a JSON number that parses back to the same
+ * double: integers that fit exactly print without a fraction, the rest
+ * print with round-trip (max_digits10) precision. Non-finite values
+ * (JSON has none) degrade to 0 rather than emitting invalid output.
+ */
+inline std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[40];
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%lld", (long long)v);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+}
+
+} // namespace last::obs
+
+#endif // LAST_OBS_JSON_HH

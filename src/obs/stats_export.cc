@@ -1,0 +1,113 @@
+#include "obs/stats_export.hh"
+
+#include "obs/json.hh"
+
+namespace last::obs
+{
+
+namespace
+{
+
+void
+flattenInto(const stats::Group &g, const std::string &prefix,
+            std::vector<StatRow> &out)
+{
+    std::string base = prefix.empty() ? g.name() : prefix + "." + g.name();
+    for (const stats::Stat *s : g.localStats())
+        out.push_back({base + "." + s->name(), s});
+    for (const stats::Group *c : g.children())
+        flattenInto(*c, base, out);
+}
+
+void
+writeMetaJson(std::ostream &os, const ExportMeta &meta)
+{
+    os << "{\"workload\":\"" << jsonEscape(meta.workload) << "\""
+       << ",\"isa\":\"" << jsonEscape(meta.isa) << "\""
+       << ",\"scale\":" << jsonNumber(meta.scale)
+       << ",\"seed\":" << jsonNumber(double(meta.seed))
+       << ",\"fault_plan\":\"" << jsonEscape(meta.faultPlan) << "\"}";
+}
+
+} // namespace
+
+std::vector<StatRow>
+flattenStats(const stats::Group &root)
+{
+    std::vector<StatRow> out;
+    flattenInto(root, "", out);
+    return out;
+}
+
+void
+writeStatsJson(std::ostream &os, const stats::Group &root,
+               const ExportMeta &meta)
+{
+    os << "{\n\"schema\":\"last-stats-v1\",\n\"meta\":";
+    writeMetaJson(os, meta);
+    os << ",\n\"stats\":[\n";
+    bool first = true;
+    for (const StatRow &row : flattenStats(root)) {
+        const stats::Stat &s = *row.stat;
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"path\":\"" << jsonEscape(row.path) << "\""
+           << ",\"kind\":\"" << s.kindName() << "\""
+           << ",\"desc\":\"" << jsonEscape(s.desc()) << "\""
+           << ",\"value\":" << jsonNumber(s.value());
+        if (const auto *avg = dynamic_cast<const stats::Average *>(&s)) {
+            os << ",\"samples\":" << avg->samples();
+        } else if (const auto *h =
+                       dynamic_cast<const stats::Histogram *>(&s)) {
+            os << ",\"samples\":" << h->samples()
+               << ",\"mean\":" << jsonNumber(h->mean())
+               << ",\"median\":" << jsonNumber(h->median())
+               << ",\"max\":" << h->maxSample() << ",\"buckets\":[";
+            // Only populated buckets: 48 mostly-zero entries per
+            // histogram would dominate the file.
+            bool bfirst = true;
+            for (unsigned b = 0; b < stats::Histogram::NumBuckets; ++b) {
+                if (!h->bucketCount(b))
+                    continue;
+                if (!bfirst)
+                    os << ",";
+                bfirst = false;
+                os << "{\"lo\":" << stats::Histogram::bucketLow(b)
+                   << ",\"hi\":" << stats::Histogram::bucketHigh(b)
+                   << ",\"count\":" << h->bucketCount(b) << "}";
+            }
+            os << "]";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+void
+writeStatsCsv(std::ostream &os, const stats::Group &root,
+              const ExportMeta &meta, bool header)
+{
+    if (header)
+        os << "workload,isa,scale,seed,fault_plan,path,kind,value,"
+              "samples,mean,max\n";
+    for (const StatRow &row : flattenStats(root)) {
+        const stats::Stat &s = *row.stat;
+        os << meta.workload << "," << meta.isa << ","
+           << jsonNumber(meta.scale) << "," << meta.seed << ","
+           << meta.faultPlan << "," << row.path << "," << s.kindName()
+           << "," << jsonNumber(s.value()) << ",";
+        if (const auto *avg = dynamic_cast<const stats::Average *>(&s)) {
+            os << avg->samples() << ",,";
+        } else if (const auto *h =
+                       dynamic_cast<const stats::Histogram *>(&s)) {
+            os << h->samples() << "," << jsonNumber(h->mean()) << ","
+               << h->maxSample();
+        } else {
+            os << ",,";
+        }
+        os << "\n";
+    }
+}
+
+} // namespace last::obs

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Machine-readable export of the `common/stats` registry.
+ *
+ * Walks a stats::Group tree (typically the Runtime root, "sim") and
+ * dumps every statistic with its dotted path, flavour, and full state:
+ * scalars as a value, averages as value + sample count, histograms as
+ * median/mean/max plus the raw log2 buckets. Each dump carries run
+ * metadata (workload, ISA, scale, seed, fault plan) so files are
+ * self-describing. Formats: JSON (schema `last-stats-v1`, DESIGN.md §5)
+ * and a flat CSV for spreadsheet/pandas consumption.
+ */
+
+#ifndef LAST_OBS_STATS_EXPORT_HH
+#define LAST_OBS_STATS_EXPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace last::obs
+{
+
+/** Run provenance stamped into every export. */
+struct ExportMeta
+{
+    std::string workload;
+    std::string isa;
+    double scale = 1.0;
+    uint64_t seed = 0;
+    std::string faultPlan; ///< empty = no faults injected
+};
+
+/** One statistic with its dotted path from the exported root. */
+struct StatRow
+{
+    std::string path;
+    const stats::Stat *stat;
+};
+
+/** Depth-first flatten of a group tree into (path, stat) rows; the
+ *  root group's name is the first path component. */
+std::vector<StatRow> flattenStats(const stats::Group &root);
+
+/** Dump the tree as `last-stats-v1` JSON. */
+void writeStatsJson(std::ostream &os, const stats::Group &root,
+                    const ExportMeta &meta);
+
+/**
+ * Dump the tree as flat CSV, one row per statistic:
+ *   workload,isa,scale,seed,fault_plan,path,kind,value,samples,mean,max
+ * (samples/mean/max are empty for scalars).
+ * @param header emit the column-name row first (set false when
+ *        appending runs to one file).
+ */
+void writeStatsCsv(std::ostream &os, const stats::Group &root,
+                   const ExportMeta &meta, bool header = true);
+
+} // namespace last::obs
+
+#endif // LAST_OBS_STATS_EXPORT_HH

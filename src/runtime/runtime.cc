@@ -17,6 +17,8 @@ Runtime::Runtime(const GpuConfig &cfg_)
 {
     gpuModel = std::make_unique<gpu::Gpu>(cfg, memory, this);
     dynInstsStatIdx = gpuModel->cuStatIndex("dynInsts");
+    if (obs::tracePointsCompiled() && cfg.trace)
+        trace = cfg.trace->makeStream("runtime", obs::TidRuntime);
 }
 
 Addr
@@ -119,10 +121,15 @@ Runtime::dispatch(const arch::KernelCode &code, unsigned grid_size,
 
     uint64_t insts_before =
         uint64_t(gpuModel->sumCuStat(dynInstsStatIdx));
+    Cycle launched = gpuModel->eventQueue().now();
     gpuModel->launch(launch);
     Cycle cycles = gpuModel->runToCompletion();
     uint64_t insts_after =
         uint64_t(gpuModel->sumCuStat(dynInstsStatIdx));
+
+    if (obs::tracePointsCompiled() && trace)
+        trace->emit(obs::TraceKind::KernelDispatch, launched, cycles,
+                    trace->intern(code.name()));
 
     records.push_back(
         {code.name(), cycles, insts_after - insts_before});

@@ -124,6 +124,9 @@ class Runtime : public stats::Group
      *  each time. */
     int dynInstsStatIdx = -1;
 
+    /** Dispatch-span trace stream (nullptr = tracing off). */
+    obs::TraceStream *trace = nullptr;
+
     std::vector<LaunchRecord> records;
 };
 

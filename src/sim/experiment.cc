@@ -10,7 +10,8 @@ namespace last::sim
 
 AppResult
 runApp(const std::string &workload, IsaKind isa, const GpuConfig &cfg,
-       const workloads::WorkloadScale &scale)
+       const workloads::WorkloadScale &scale,
+       const RuntimeInspector &inspect)
 {
     runtime::Runtime rt(cfg);
     // Label the simulated process so MemoryErrors escaping a parallel
@@ -89,6 +90,8 @@ runApp(const std::string &workload, IsaKind isa, const GpuConfig &cfg,
     }
 
     r.launches = rt.launchRecords();
+    if (inspect)
+        inspect(rt);
     return r;
 }
 

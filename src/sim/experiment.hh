@@ -7,6 +7,7 @@
 #ifndef LAST_SIM_EXPERIMENT_HH
 #define LAST_SIM_EXPERIMENT_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -74,10 +75,19 @@ struct AppResult
     std::vector<runtime::LaunchRecord> launches;
 };
 
-/** Run a workload at one ISA level on a fresh simulated process. */
+/** Observability hook: called with the live Runtime after a runApp
+ *  simulation completes (stats collected, process still alive). Used
+ *  by the obs/ exporters to dump the full stats tree — AppResult only
+ *  carries the per-figure aggregates. */
+using RuntimeInspector = std::function<void(runtime::Runtime &)>;
+
+/** Run a workload at one ISA level on a fresh simulated process.
+ *  @param inspect optional hook run just before the Runtime is torn
+ *  down (see RuntimeInspector); must not mutate simulation state. */
 AppResult runApp(const std::string &workload, IsaKind isa,
                  const GpuConfig &cfg = GpuConfig{},
-                 const workloads::WorkloadScale &scale = {});
+                 const workloads::WorkloadScale &scale = {},
+                 const RuntimeInspector &inspect = {});
 
 /** Convenience: both ISAs, same workload. Index 0 = HSAIL, 1 = GCN3.
  *  Verifies cross-ISA result agreement; throws IsaMismatchError with a

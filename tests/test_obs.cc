@@ -1,0 +1,522 @@
+/**
+ * @file
+ * Observability-layer tests (obs/): the Chrome trace serializer emits
+ * well-formed JSON that survives a round-trip through a real parser,
+ * the stats exporter matches the in-memory registry exactly, the
+ * divergence reporter reproduces the paper's accurate-vs-divergent
+ * classification on known statistics, and — the load-bearing invariant
+ * — tracing on/off produces bit-identical AppResults.
+ */
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/divergence.hh"
+#include "obs/json.hh"
+#include "obs/stats_export.hh"
+#include "obs/trace.hh"
+#include "sim/experiment.hh"
+
+using namespace last;
+
+namespace
+{
+
+/** Shrunk problem sizes keep the differential runs fast (same factor
+ *  the fault suite uses). */
+constexpr double TestScale = 0.25;
+
+/**
+ * A strict recursive-descent JSON parser (validation only). If this
+ * accepts a document, any real JSON consumer (chrome://tracing,
+ * Perfetto, python json) will too — that is the round-trip the trace
+ * and export writers are tested against.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &s)
+        : p(s.c_str()), end(s.c_str() + s.size())
+    {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return p == end;
+    }
+
+  private:
+    const char *p;
+    const char *end;
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool eat(char c) { return p < end && *p == c ? (++p, true) : false; }
+
+    bool
+    literal(const char *s)
+    {
+        size_t n = std::strlen(s);
+        if (size_t(end - p) < n || std::strncmp(p, s, n) != 0)
+            return false;
+        p += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (!eat('"'))
+            return false;
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                ++p;
+                if (p >= end)
+                    return false;
+                if (*p == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++p;
+                        if (p >= end || !std::isxdigit((unsigned char)*p))
+                            return false;
+                    }
+                } else if (!std::strchr("\"\\/bfnrt", *p)) {
+                    return false;
+                }
+                ++p;
+            } else if ((unsigned char)*p < 0x20) {
+                return false; // unescaped control character
+            } else {
+                ++p;
+            }
+        }
+        return eat('"');
+    }
+
+    bool
+    number()
+    {
+        const char *start = p;
+        if (p < end && *p == '-')
+            ++p;
+        if (p >= end || !std::isdigit((unsigned char)*p))
+            return false;
+        while (p < end && std::isdigit((unsigned char)*p))
+            ++p;
+        if (p < end && *p == '.') {
+            ++p;
+            if (p >= end || !std::isdigit((unsigned char)*p))
+                return false;
+            while (p < end && std::isdigit((unsigned char)*p))
+                ++p;
+        }
+        if (p < end && (*p == 'e' || *p == 'E')) {
+            ++p;
+            if (p < end && (*p == '+' || *p == '-'))
+                ++p;
+            if (p >= end || !std::isdigit((unsigned char)*p))
+                return false;
+            while (p < end && std::isdigit((unsigned char)*p))
+                ++p;
+        }
+        return p > start;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (p >= end)
+            return false;
+        switch (*p) {
+          case '{': {
+            ++p;
+            skipWs();
+            if (eat('}'))
+                return true;
+            do {
+                skipWs();
+                if (!string())
+                    return false;
+                skipWs();
+                if (!eat(':') || !value())
+                    return false;
+                skipWs();
+            } while (eat(','));
+            return eat('}');
+          }
+          case '[': {
+            ++p;
+            skipWs();
+            if (eat(']'))
+                return true;
+            do {
+                if (!value())
+                    return false;
+                skipWs();
+            } while (eat(','));
+            return eat(']');
+          }
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+};
+
+/** Pull the number following `"key":` after the first occurrence of
+ *  `anchor` (writer-format-aware extraction for spot checks). */
+double
+numberAfter(const std::string &json, const std::string &anchor,
+            const std::string &key)
+{
+    size_t at = json.find(anchor);
+    EXPECT_NE(at, std::string::npos) << "missing " << anchor;
+    if (at == std::string::npos)
+        return -1;
+    size_t k = json.find("\"" + key + "\":", at);
+    EXPECT_NE(k, std::string::npos) << "missing " << key;
+    if (k == std::string::npos)
+        return -1;
+    return std::strtod(json.c_str() + k + key.size() + 3, nullptr);
+}
+
+/** Field-by-field AppResult equality (tracing must not perturb any of
+ *  this — the same contract the artifact-cache identity test uses). */
+void
+expectIdentical(const sim::AppResult &a, const sim::AppResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.isa, b.isa);
+    EXPECT_EQ(a.verified, b.verified);
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.dynInsts, b.dynInsts);
+    EXPECT_EQ(a.valu, b.valu);
+    EXPECT_EQ(a.salu, b.salu);
+    EXPECT_EQ(a.vmem, b.vmem);
+    EXPECT_EQ(a.smem, b.smem);
+    EXPECT_EQ(a.lds, b.lds);
+    EXPECT_EQ(a.branch, b.branch);
+    EXPECT_EQ(a.waitcnt, b.waitcnt);
+    EXPECT_EQ(a.misc, b.misc);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.vrfBankConflicts, b.vrfBankConflicts);
+    EXPECT_DOUBLE_EQ(a.reuseMedian, b.reuseMedian);
+    EXPECT_EQ(a.instFootprint, b.instFootprint);
+    EXPECT_EQ(a.ibFlushes, b.ibFlushes);
+    EXPECT_DOUBLE_EQ(a.readUniq, b.readUniq);
+    EXPECT_DOUBLE_EQ(a.writeUniq, b.writeUniq);
+    EXPECT_DOUBLE_EQ(a.vrfUniq, b.vrfUniq);
+    EXPECT_EQ(a.dataFootprint, b.dataFootprint);
+    EXPECT_DOUBLE_EQ(a.simdUtil, b.simdUtil);
+    EXPECT_EQ(a.l1iMisses, b.l1iMisses);
+    EXPECT_EQ(a.l1iHits, b.l1iHits);
+    EXPECT_EQ(a.hazardViolations, b.hazardViolations);
+    EXPECT_EQ(a.scoreboardStalls, b.scoreboardStalls);
+    EXPECT_EQ(a.waitcntStalls, b.waitcntStalls);
+    EXPECT_EQ(a.ibEmptyStalls, b.ibEmptyStalls);
+    EXPECT_EQ(a.fuConflictStalls, b.fuConflictStalls);
+    EXPECT_EQ(a.coalescedLines, b.coalescedLines);
+    EXPECT_EQ(a.busyCycles, b.busyCycles);
+    ASSERT_EQ(a.launches.size(), b.launches.size());
+    for (size_t i = 0; i < a.launches.size(); ++i) {
+        EXPECT_EQ(a.launches[i].kernel, b.launches[i].kernel);
+        EXPECT_EQ(a.launches[i].cycles, b.launches[i].cycles);
+        EXPECT_EQ(a.launches[i].instsIssued, b.launches[i].instsIssued);
+    }
+}
+
+} // namespace
+
+TEST(ObsJson, EscapeAndNumberFormats)
+{
+    EXPECT_EQ(obs::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(obs::jsonEscape(std::string("x\x01y")), "x\\u0001y");
+    EXPECT_EQ(obs::jsonNumber(42), "42");
+    EXPECT_EQ(obs::jsonNumber(-3), "-3");
+    EXPECT_EQ(obs::jsonNumber(0), "0");
+    // Round-trip precision for non-integers.
+    double v = 0.1 + 0.2;
+    EXPECT_DOUBLE_EQ(std::strtod(obs::jsonNumber(v).c_str(), nullptr), v);
+    EXPECT_EQ(obs::jsonNumber(1.0 / 0.0), "0"); // non-finite degrades
+}
+
+TEST(ObsTrace, StreamBuffersAndCaps)
+{
+    obs::TraceSink sink(4);
+    obs::TraceStream *s = sink.makeStream("cu_0", obs::TidCuBase);
+    for (unsigned i = 0; i < 10; ++i)
+        s->emit(obs::TraceKind::IbFlush, i, 0, i, 1);
+    EXPECT_EQ(s->events().size(), 4u);
+    EXPECT_EQ(s->dropped(), 6u);
+    EXPECT_EQ(sink.totalEvents(), 4u);
+    EXPECT_EQ(sink.totalDropped(), 6u);
+    EXPECT_EQ(s->tid(), obs::TidCuBase);
+    EXPECT_EQ(s->threadName(), "cu_0");
+    // String interning dedups.
+    EXPECT_EQ(s->intern("kern"), s->intern("kern"));
+    EXPECT_NE(s->intern("kern"), s->intern("other"));
+}
+
+TEST(ObsTrace, ChromeJsonIsWellFormed)
+{
+    obs::TraceSink sink;
+    obs::TraceStream *cu = sink.makeStream("cu_0", obs::TidCuBase);
+    obs::TraceStream *rt = sink.makeStream("runtime", obs::TidRuntime);
+    // One event of every kind, including the string-carrying ones and
+    // a name that needs escaping.
+    cu->emit(obs::TraceKind::InstIssue, 100, 4, 3,
+             (0x40u << 4) | uint64_t(obs::InstClass::VAlu));
+    cu->emit(obs::TraceKind::IbFlush, 101, 0, 3, 2);
+    cu->emit(obs::TraceKind::RsPush, 102, 0, 3, 1);
+    cu->emit(obs::TraceKind::RsPop, 103, 0, 3, 0);
+    cu->emit(obs::TraceKind::DepStall, 104, 7, 3, 1);
+    cu->emit(obs::TraceKind::WfStart, 105, 0, 3, 9);
+    cu->emit(obs::TraceKind::WfEnd, 106, 0, 3, 9);
+    cu->emit(obs::TraceKind::CacheMiss, 107, 160, 0xdeadbeef, 1);
+    cu->emit(obs::TraceKind::IdleSkip, 108, 50, 50);
+    rt->emit(obs::TraceKind::KernelDispatch, 0, 500,
+             rt->intern("vec\"add"));
+    rt->emit(obs::TraceKind::Watchdog, 600, 0, rt->intern("stalled"));
+
+    obs::TraceMeta meta;
+    meta.workload = "VecAdd";
+    meta.isa = "HSAIL";
+    meta.scale = 0.25;
+    std::ostringstream os;
+    sink.writeChromeTrace(os, meta);
+    std::string json = os.str();
+
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    // Structural spot checks a JSON validator cannot make.
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"VecAdd/HSAIL\""), std::string::npos);
+    EXPECT_NE(json.find("\"waitcnt_stall\""), std::string::npos);
+    EXPECT_NE(json.find("kernel vec\\\"add"), std::string::npos);
+    EXPECT_NE(json.find("\"valu\""), std::string::npos);
+    EXPECT_EQ(numberAfter(json, "\"name\":\"valu\"", "pc"), 0x40);
+}
+
+TEST(ObsTrace, TracedRunProducesEventsAndValidJson)
+{
+    if (!obs::tracePointsCompiled())
+        GTEST_SKIP() << "trace points compiled out";
+    obs::TraceSink sink;
+    GpuConfig cfg;
+    cfg.trace = &sink;
+    sim::AppResult r =
+        sim::runApp("VecAdd", IsaKind::GCN3, cfg, {TestScale});
+    ASSERT_TRUE(r.verified);
+
+    // Every issued instruction got an InstIssue span (stream caps not
+    // hit at this scale), plus dispatch/WF events.
+    uint64_t instEvents = 0, wfStarts = 0, dispatches = 0;
+    for (size_t i = 0; i < sink.numStreams(); ++i) {
+        for (const obs::TraceEvent &e : sink.stream(i).events()) {
+            instEvents += e.kind == obs::TraceKind::InstIssue;
+            wfStarts += e.kind == obs::TraceKind::WfStart;
+            dispatches += e.kind == obs::TraceKind::KernelDispatch;
+        }
+    }
+    EXPECT_EQ(sink.totalDropped(), 0u);
+    EXPECT_EQ(instEvents, r.dynInsts);
+    EXPECT_GT(wfStarts, 0u);
+    EXPECT_EQ(dispatches, r.launches.size());
+
+    obs::TraceMeta meta;
+    meta.workload = r.workload;
+    meta.isa = "GCN3";
+    meta.scale = TestScale;
+    std::ostringstream os;
+    sink.writeChromeTrace(os, meta);
+    EXPECT_TRUE(JsonChecker(os.str()).valid());
+}
+
+TEST(ObsTrace, TracingOnOffIsStatisticIdentical)
+{
+    if (!obs::tracePointsCompiled())
+        GTEST_SKIP() << "trace points compiled out";
+    for (IsaKind isa : {IsaKind::HSAIL, IsaKind::GCN3}) {
+        sim::AppResult plain =
+            sim::runApp("VecAdd", isa, GpuConfig{}, {TestScale});
+        obs::TraceSink sink;
+        GpuConfig cfg;
+        cfg.trace = &sink;
+        sim::AppResult traced =
+            sim::runApp("VecAdd", isa, cfg, {TestScale});
+        EXPECT_GT(sink.totalEvents(), 0u);
+        expectIdentical(plain, traced);
+    }
+}
+
+TEST(ObsStatsExport, JsonMatchesRegistryExactly)
+{
+    std::string json;
+    std::vector<std::pair<std::string, double>> expected;
+    sim::runApp("VecAdd", IsaKind::HSAIL, GpuConfig{}, {TestScale},
+                [&](runtime::Runtime &rt) {
+                    obs::ExportMeta meta;
+                    meta.workload = "VecAdd";
+                    meta.isa = "HSAIL";
+                    meta.scale = TestScale;
+                    std::ostringstream os;
+                    obs::writeStatsJson(os, rt, meta);
+                    json = os.str();
+                    for (const obs::StatRow &row : obs::flattenStats(rt))
+                        expected.emplace_back(row.path,
+                                              row.stat->value());
+                });
+
+    ASSERT_FALSE(json.empty());
+    ASSERT_FALSE(expected.empty());
+    EXPECT_TRUE(JsonChecker(json).valid());
+
+    // Every stat in the registry appears with exactly its in-memory
+    // value (jsonNumber round-trips doubles bit-exactly).
+    for (const auto &[path, value] : expected) {
+        double got =
+            numberAfter(json, "\"path\":\"" + path + "\"", "value");
+        EXPECT_DOUBLE_EQ(got, value) << path;
+    }
+    // The tree includes the root, the GPU, CU and cache groups.
+    EXPECT_NE(json.find("sim.gpu.totalCycles"), std::string::npos);
+    EXPECT_NE(json.find("sim.gpu.cu_0.dynInsts"), std::string::npos);
+    EXPECT_NE(json.find("sim.gpu.l1d_0.misses"), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"average\""), std::string::npos);
+}
+
+TEST(ObsStatsExport, CsvHasOneRowPerStat)
+{
+    std::string csv;
+    size_t nstats = 0;
+    sim::runApp("VecAdd", IsaKind::GCN3, GpuConfig{}, {TestScale},
+                [&](runtime::Runtime &rt) {
+                    obs::ExportMeta meta;
+                    meta.workload = "VecAdd";
+                    meta.isa = "GCN3";
+                    std::ostringstream os;
+                    obs::writeStatsCsv(os, rt, meta);
+                    csv = os.str();
+                    nstats = obs::flattenStats(rt).size();
+                });
+    ASSERT_GT(nstats, 0u);
+    size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, nstats + 1); // header + one row per stat
+    EXPECT_EQ(csv.rfind("workload,isa,scale,seed,fault_plan,path", 0),
+              0u);
+    EXPECT_NE(csv.find("sim.gpu.cu_0.dynInsts,scalar,"),
+              std::string::npos);
+}
+
+TEST(ObsDivergence, RelDeltaRules)
+{
+    EXPECT_DOUBLE_EQ(obs::relDelta(0, 0), 0);     // both-zero never ranks
+    EXPECT_DOUBLE_EQ(obs::relDelta(100, 100), 0);
+    EXPECT_DOUBLE_EQ(obs::relDelta(100, 150), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(obs::relDelta(0, 5), 1.0);   // appears-from-nothing
+    EXPECT_DOUBLE_EQ(obs::relDelta(5, 0), 1.0);
+    EXPECT_DOUBLE_EQ(obs::relDelta(-2, 2), 2.0);
+}
+
+TEST(ObsDivergence, FlagsKnownDivergentAndAccurateStats)
+{
+    auto [hsail, gcn3] = sim::runBoth("VecAdd", GpuConfig{}, {TestScale});
+    obs::DivergenceReport r = obs::divergenceReport(hsail, gcn3);
+    ASSERT_FALSE(r.failed);
+    ASSERT_FALSE(r.entries.empty());
+
+    // The paper's headline divergent statistic: the GCN3 dynamic
+    // instruction stream carries waitcnt/nop/scalar overhead the IL
+    // never sees (Figure 5).
+    const obs::DivergenceEntry *dyn = r.find("dynInsts");
+    ASSERT_NE(dyn, nullptr);
+    EXPECT_TRUE(dyn->divergent)
+        << "hsail=" << dyn->hsail << " gcn3=" << dyn->gcn3;
+    EXPECT_GT(dyn->gcn3, dyn->hsail);
+    EXPECT_EQ(dyn->paperExpectation, "divergent");
+
+    // The paper's headline accurate statistic: SIMD utilization is a
+    // property of the algorithm's control flow, not the encoding
+    // (Table 6).
+    const obs::DivergenceEntry *simd = r.find("simdUtil");
+    ASSERT_NE(simd, nullptr);
+    EXPECT_FALSE(simd->divergent)
+        << "hsail=" << simd->hsail << " gcn3=" << simd->gcn3;
+    EXPECT_EQ(simd->paperExpectation, "similar");
+
+    // Ranking: descending relDelta, so dynInsts outranks simdUtil.
+    size_t dynPos = size_t(dyn - r.entries.data());
+    size_t simdPos = size_t(simd - r.entries.data());
+    EXPECT_LT(dynPos, simdPos);
+    for (size_t i = 1; i < r.entries.size(); ++i)
+        EXPECT_GE(r.entries[i - 1].relDelta, r.entries[i].relDelta);
+
+    // Serialized forms are well-formed.
+    std::ostringstream js, txt;
+    obs::writeDivergenceJson(js, r);
+    obs::writeDivergenceText(txt, r);
+    EXPECT_TRUE(JsonChecker(js.str()).valid()) << js.str();
+    EXPECT_NE(txt.str().find("DIVERGENT"), std::string::npos);
+    EXPECT_NE(txt.str().find("dynInsts"), std::string::npos);
+}
+
+TEST(ObsDivergence, SweepDriverBatchesWorkloads)
+{
+    // Two workloads through the runSweep-backed batch path.
+    auto reports = obs::divergenceReports({"VecAdd", "ArrayBW"},
+                                          GpuConfig{}, {TestScale});
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_EQ(reports[0].workload, "VecAdd");
+    EXPECT_EQ(reports[1].workload, "ArrayBW");
+    for (const auto &r : reports) {
+        EXPECT_FALSE(r.failed) << r.error;
+        EXPECT_FALSE(r.entries.empty());
+        const obs::DivergenceEntry *dyn = r.find("dynInsts");
+        ASSERT_NE(dyn, nullptr);
+        EXPECT_TRUE(dyn->divergent);
+    }
+}
+
+TEST(ObsDivergence, QuarantinedRunFailsOnlyItsReport)
+{
+    sim::AppResult ok =
+        sim::runApp("VecAdd", IsaKind::HSAIL, GpuConfig{}, {TestScale});
+    sim::AppResult bad;
+    bad.workload = "VecAdd";
+    bad.isa = IsaKind::GCN3;
+    bad.quarantined = true;
+    bad.errorKind = "deadlock";
+    bad.errorMessage = "watchdog";
+    obs::DivergenceReport r = obs::divergenceReport(ok, bad);
+    EXPECT_TRUE(r.failed);
+    EXPECT_TRUE(r.entries.empty());
+    EXPECT_NE(r.error.find("deadlock"), std::string::npos);
+    std::ostringstream js;
+    obs::writeDivergenceJson(js, r);
+    EXPECT_TRUE(JsonChecker(js.str()).valid());
+}

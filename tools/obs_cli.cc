@@ -1,0 +1,222 @@
+/**
+ * @file
+ * `last_obs` — observability CLI (see DESIGN.md §5).
+ *
+ *   last_obs trace   <workload> <hsail|gcn3> [--scale F] [--out FILE]
+ *   last_obs stats   <workload> <hsail|gcn3> [--scale F] [--json FILE]
+ *                    [--csv FILE]
+ *   last_obs diverge [workload...] [--scale F] [--threshold T]
+ *                    [--json FILE] [--jobs N]
+ *
+ * trace:   run once with a TraceSink attached and emit Chrome
+ *          trace_event JSON (open in chrome://tracing or Perfetto).
+ * stats:   run once and dump the full stats tree (JSON and/or CSV;
+ *          JSON to stdout when neither file is given).
+ * diverge: run each workload (default: all Table 5 applications) at
+ *          both ISA levels on the parallel sweep driver and print the
+ *          ranked cross-ISA divergence report; optional machine-
+ *          readable copy with --json. Exit code 0 even when stats
+ *          diverge (that is the expected result); 1 on usage or
+ *          simulation failure.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/divergence.hh"
+#include "obs/stats_export.hh"
+#include "obs/trace.hh"
+#include "sim/experiment.hh"
+#include "workloads/workload.hh"
+
+using namespace last;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: last_obs trace   <workload> <hsail|gcn3> [--scale F] "
+        "[--out FILE]\n"
+        "       last_obs stats   <workload> <hsail|gcn3> [--scale F] "
+        "[--json FILE] [--csv FILE]\n"
+        "       last_obs diverge [workload...] [--scale F] "
+        "[--threshold T] [--json FILE] [--jobs N]\n");
+    std::exit(1);
+}
+
+IsaKind
+parseIsa(const std::string &s)
+{
+    if (s == "hsail" || s == "HSAIL")
+        return IsaKind::HSAIL;
+    if (s == "gcn3" || s == "GCN3")
+        return IsaKind::GCN3;
+    usage();
+}
+
+/** Pull `--flag value` out of args (erasing it); @return defaulted. */
+std::string
+takeOption(std::vector<std::string> &args, const std::string &flag,
+           const std::string &dflt)
+{
+    for (size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == flag) {
+            std::string v = args[i + 1];
+            args.erase(args.begin() + i, args.begin() + i + 2);
+            return v;
+        }
+    }
+    return dflt;
+}
+
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "last_obs: cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    return f;
+}
+
+int
+cmdTrace(std::vector<std::string> args)
+{
+    double scale = std::stod(takeOption(args, "--scale", "1.0"));
+    std::string out = takeOption(args, "--out", "");
+    if (args.size() != 2)
+        usage();
+    IsaKind isa = parseIsa(args[1]);
+
+    if (!obs::tracePointsCompiled()) {
+        std::fprintf(stderr,
+                     "last_obs: this build has trace points compiled "
+                     "out (LAST_OBS_TRACE_POINTS=OFF)\n");
+        return 1;
+    }
+
+    obs::TraceSink sink;
+    GpuConfig cfg;
+    cfg.trace = &sink;
+    sim::AppResult r = sim::runApp(args[0], isa, cfg, {scale});
+
+    obs::TraceMeta meta;
+    meta.workload = r.workload;
+    meta.isa = isaName(isa);
+    meta.scale = scale;
+    if (out.empty()) {
+        sink.writeChromeTrace(std::cout, meta);
+    } else {
+        auto f = openOut(out);
+        sink.writeChromeTrace(f, meta);
+        std::fprintf(stderr,
+                     "last_obs: %llu events (%llu dropped) across %zu "
+                     "tracks -> %s\n",
+                     (unsigned long long)sink.totalEvents(),
+                     (unsigned long long)sink.totalDropped(),
+                     sink.numStreams(), out.c_str());
+    }
+    return r.verified ? 0 : 1;
+}
+
+int
+cmdStats(std::vector<std::string> args)
+{
+    double scale = std::stod(takeOption(args, "--scale", "1.0"));
+    std::string jsonPath = takeOption(args, "--json", "");
+    std::string csvPath = takeOption(args, "--csv", "");
+    if (args.size() != 2)
+        usage();
+    IsaKind isa = parseIsa(args[1]);
+
+    obs::ExportMeta meta;
+    meta.workload = args[0];
+    meta.isa = isaName(isa);
+    meta.scale = scale;
+
+    bool verified = false;
+    sim::AppResult r = sim::runApp(
+        args[0], isa, GpuConfig{}, {scale},
+        [&](runtime::Runtime &rt) {
+            if (!jsonPath.empty()) {
+                auto f = openOut(jsonPath);
+                obs::writeStatsJson(f, rt, meta);
+            }
+            if (!csvPath.empty()) {
+                auto f = openOut(csvPath);
+                obs::writeStatsCsv(f, rt, meta);
+            }
+            if (jsonPath.empty() && csvPath.empty())
+                obs::writeStatsJson(std::cout, rt, meta);
+        });
+    verified = r.verified;
+    return verified ? 0 : 1;
+}
+
+int
+cmdDiverge(std::vector<std::string> args)
+{
+    double scale = std::stod(takeOption(args, "--scale", "1.0"));
+    double threshold = std::stod(takeOption(
+        args, "--threshold",
+        std::to_string(obs::DefaultDivergenceThreshold)));
+    std::string jsonPath = takeOption(args, "--json", "");
+    unsigned jobs = unsigned(std::stoul(takeOption(args, "--jobs", "0")));
+
+    std::vector<std::string> workloads =
+        args.empty() ? workloads::workloadNames() : args;
+
+    auto reports = obs::divergenceReports(workloads, GpuConfig{},
+                                          {scale}, threshold, jobs);
+
+    bool anyFailed = false;
+    for (const auto &r : reports) {
+        obs::writeDivergenceText(std::cout, r);
+        anyFailed |= r.failed;
+    }
+
+    if (!jsonPath.empty()) {
+        auto f = openOut(jsonPath);
+        f << "[\n";
+        for (size_t i = 0; i < reports.size(); ++i) {
+            obs::writeDivergenceJson(f, reports[i]);
+            if (i + 1 < reports.size())
+                f << ",\n";
+        }
+        f << "]\n";
+    }
+    return anyFailed ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    try {
+        if (cmd == "trace")
+            return cmdTrace(std::move(args));
+        if (cmd == "stats")
+            return cmdStats(std::move(args));
+        if (cmd == "diverge")
+            return cmdDiverge(std::move(args));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "last_obs: %s\n", e.what());
+        return 1;
+    }
+    usage();
+}
