@@ -17,7 +17,7 @@ namespace
 {
 
 constexpr const char *CacheFile = "last_bench_cache.csv";
-constexpr int CacheVersion = 3;
+constexpr int CacheVersion = 4; ///< v4: stress workloads in the sweep
 
 double
 benchScale()
@@ -119,10 +119,10 @@ readRow(std::istream &is, sim::AppResult &r)
 std::vector<AppPair>
 computeAll()
 {
-    const auto names = workloads::workloadNames();
+    const auto names = workloads::allWorkloadNames();
     workloads::WorkloadScale scale{benchScale()};
 
-    // The 10-workload x 2-ISA sweep is embarrassingly parallel: every
+    // The 14-workload x 2-ISA sweep is embarrassingly parallel: every
     // run owns its Runtime/Gpu/FunctionalMemory. Results come back in
     // spec order, bit-identical to a serial (LAST_JOBS=1) sweep.
     std::vector<sim::RunSpec> specs;
@@ -175,7 +175,7 @@ computeAll()
 bool
 readCacheBody(std::istream &in, std::vector<AppPair> &out)
 {
-    const auto names = workloads::workloadNames();
+    const auto names = workloads::allWorkloadNames();
     for (const auto &name : names) {
         AppPair p;
         if (!readRow(in, p.hsail) || !readRow(in, p.gcn3))
@@ -235,13 +235,34 @@ loadOrCompute()
     return out;
 }
 
+/** The full cached sweep: Table 5 pairs first, then stress. */
+const std::vector<AppPair> &
+allPairs()
+{
+    static std::vector<AppPair> results = loadOrCompute();
+    return results;
+}
+
 } // namespace
 
 const std::vector<AppPair> &
 allResults()
 {
-    static std::vector<AppPair> results = loadOrCompute();
-    return results;
+    static std::vector<AppPair> table5(
+        allPairs().begin(),
+        allPairs().begin() +
+            std::ptrdiff_t(workloads::workloadNames().size()));
+    return table5;
+}
+
+const std::vector<AppPair> &
+stressResults()
+{
+    static std::vector<AppPair> stress(
+        allPairs().begin() +
+            std::ptrdiff_t(workloads::workloadNames().size()),
+        allPairs().end());
+    return stress;
 }
 
 double

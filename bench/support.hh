@@ -2,11 +2,11 @@
  * @file
  * Shared support for the per-figure benchmark binaries.
  *
- * Running every Table 5 application at both ISA levels takes minutes,
- * so the first bench binary to run performs the sweep and caches the
- * per-app statistics in ./last_bench_cache.csv; the other binaries
- * reuse it. Delete the file (or change LAST_BENCH_SCALE) to force a
- * fresh sweep.
+ * Running every Table 5 application plus the stress workloads at both
+ * ISA levels takes minutes, so the first bench binary to run performs
+ * the sweep and caches the per-app statistics in
+ * ./last_bench_cache.csv; the other binaries reuse it. Delete the
+ * file (or change LAST_BENCH_SCALE) to force a fresh sweep.
  */
 
 #ifndef LAST_BENCH_SUPPORT_HH
@@ -26,8 +26,14 @@ struct AppPair
     sim::AppResult gcn3;
 };
 
-/** All ten applications, simulated at both ISA levels (cached). */
+/** The ten Table 5 applications, simulated at both ISA levels
+ *  (cached). The figure binaries draw their geomeans from exactly
+ *  this set, keeping them paper-faithful. */
 const std::vector<AppPair> &allResults();
+
+/** The stress workloads beyond Table 5 (atomicred, ldsswizzle,
+ *  bfsgraph, pipeline), from the same cached sweep. */
+const std::vector<AppPair> &stressResults();
 
 /** Geometric mean over per-app ratios. */
 double geomean(const std::vector<double> &xs);

@@ -57,6 +57,8 @@ ComputeUnit::ComputeUnit(const std::string &name, const GpuConfig &cfg,
                     "vector register reuse distance (Figure 7)"),
       ibFlushes(this, "ibFlushes",
                 "instruction buffer flushes (Figure 9)"),
+      rsDepth(this, "rsDepth",
+              "reconvergence-stack depth at each push (HSAIL)"),
       vrfReadUniq(this, "vrfReadUniq",
                   "VRF read lane-value uniqueness (Figure 10)"),
       vrfWriteUniq(this, "vrfWriteUniq",
@@ -707,16 +709,23 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
     }
 
     // --- execute ---
-    // Tracing: snapshot the RS depth around execute + the pop loop
-    // below, so stack movement is observable without plumbing the
-    // tracer into the ISA executors.
+    // Snapshot the RS depth around execute + the pop loop below: it
+    // feeds the rsDepth histogram (pushes only) and, when tracing, the
+    // RsPush/RsPop events — without plumbing either into the ISA
+    // executors.
     size_t rs_before = 0;
-    if (tracing() && st.isa == IsaKind::HSAIL)
+    if (st.isa == IsaKind::HSAIL)
         rs_before = st.rs.size();
     st.pc = st.code->offsetOf(wf.pcIdx);
     st.pendingAccess.reset();
     inst.execute(st);
     ++wf.dynInstCount;
+    ++wf.wg->launch->instsIssued;
+    // A diverging branch pushed an RS entry inside execute: record the
+    // depth reached (Figure 9's driver; the pop loop below only ever
+    // shrinks it).
+    if (st.isa == IsaKind::HSAIL && st.rs.size() > rs_before)
+        rsDepth.sample(st.rs.size());
 
     if (vector_op)
         probeVectorOperands(wf, inst, true);
@@ -887,6 +896,8 @@ ComputeUnit::finishWavefront(Wavefront &wf)
         srfUsed -= wg.sregsReserved;
         ldsUsed -= wg.ldsReserved;
         ++wg.launch->wgsCompleted;
+        if (wg.launch->complete())
+            wg.launch->endCycle = eq.now();
         for (auto it = workgroups.begin(); it != workgroups.end(); ++it) {
             if (it->get() == &wg) {
                 workgroups.erase(it);

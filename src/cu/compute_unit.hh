@@ -129,6 +129,10 @@ class ComputeUnit : public stats::Group
     stats::Scalar vrfBankConflicts; ///< Figure 6
     stats::Histogram vregReuseDist; ///< Figure 7
     stats::Scalar ibFlushes;        ///< Figure 9
+    /** Reconvergence-stack depth reached on each push (HSAIL only;
+     *  GCN3 has no RS). Non-degenerate for nested-divergence shapes
+     *  like bfsgraph; stays empty for straight-line kernels. */
+    stats::Histogram rsDepth;
     stats::Average vrfReadUniq;     ///< Figure 10 (reads)
     stats::Average vrfWriteUniq;    ///< Figure 10 (writes)
     stats::Average valuUtilization; ///< Table 6 SIMD utilization

@@ -43,6 +43,10 @@ struct KernelLaunch
     unsigned wgsDispatched = 0;
     unsigned wgsCompleted = 0;
     Cycle startCycle = 0;
+    /** Cycle the last workgroup retired (valid once complete()). */
+    Cycle endCycle = 0;
+    /** Instructions issued on behalf of this launch (all CUs). */
+    uint64_t instsIssued = 0;
 
     unsigned
     numWorkgroups() const

@@ -47,7 +47,85 @@ const Metric kMetrics[] = {
 
 #undef METRIC
 
+/**
+ * Per-workload expectation overrides. kMetrics encodes the paper's
+ * Table 5 geomean classification; the stress workloads beyond Table 5
+ * deliberately push single effects to extremes and land on different
+ * sides of the threshold for several stats (e.g. a straight-line
+ * kernel has zero ibFlushes at both levels — "similar" — even though
+ * the paper's geomean says IB flushes diverge). Entries here take
+ * precedence over the per-figure default; expect "" means the model
+ * takes no position (near-threshold or input-dependent).
+ */
+struct ExpectOverride
+{
+    const char *workload;
+    const char *stat;
+    const char *expect;
+};
+
+const ExpectOverride kExpectOverrides[] = {
+    // atomicred: serialized same-address atomics inflate HSAIL VMEM
+    // and bank-conflict traffic; straight-line control flow keeps the
+    // divergence stats quiet at both levels.
+    {"atomicred", "valu", "similar"},
+    {"atomicred", "vmem", "divergent"},
+    {"atomicred", "branch", "similar"},
+    {"atomicred", "ibFlushes", "similar"},
+    {"atomicred", "readUniq", "divergent"},
+    {"atomicred", "writeUniq", "divergent"},
+    {"atomicred", "dataFootprint", "similar"},
+
+    // ldsswizzle: the LDS soak is bound by bank-conflict passes that
+    // exist identically at both levels; the divergence is all in the
+    // instruction stream (finalized do-loop vs IL loop), not in
+    // footprints or flushes.
+    {"ldsswizzle", "vmem", "divergent"},
+    {"ldsswizzle", "branch", "similar"},
+    {"ldsswizzle", "reuseMedian", "similar"},
+    {"ldsswizzle", "instFootprint", "similar"},
+    {"ldsswizzle", "ibFlushes", "similar"},
+    {"ldsswizzle", "readUniq", "divergent"},
+    {"ldsswizzle", "writeUniq", "divergent"},
+    {"ldsswizzle", "ipc", "similar"},
+    {"ldsswizzle", "dataFootprint", "similar"},
+    {"ldsswizzle", "l1iMisses", "similar"},
+
+    // bfsgraph: nested data-dependent divergence is where the RS
+    // abstraction bites — ibFlushes stays well past the threshold —
+    // while the lane-visible memory system agrees (frontier loads
+    // coalesce the same way at both levels).
+    {"bfsgraph", "vmem", ""},
+    {"bfsgraph", "branch", "similar"},
+    {"bfsgraph", "readUniq", ""},
+    {"bfsgraph", "writeUniq", "similar"},
+    {"bfsgraph", "dataFootprint", "similar"},
+
+    // pipeline: six straight-line launches; divergence comes from the
+    // per-kernel finalization overhead (salu/waitcnt) repeated per
+    // dispatch, never from control flow.
+    {"pipeline", "branch", "similar"},
+    {"pipeline", "ibFlushes", "similar"},
+    {"pipeline", "vmem", "divergent"},
+    {"pipeline", "readUniq", "divergent"},
+    {"pipeline", "writeUniq", "divergent"},
+    {"pipeline", "dataFootprint", "similar"},
+    {"pipeline", "l1iMisses", "similar"},
+};
+
 } // namespace
+
+std::string
+expectedDivergence(const std::string &workload, const std::string &stat)
+{
+    for (const ExpectOverride &o : kExpectOverrides)
+        if (workload == o.workload && stat == o.stat)
+            return o.expect;
+    for (const Metric &m : kMetrics)
+        if (stat == m.stat)
+            return m.expect;
+    return "";
+}
 
 double
 relDelta(double hsail, double gcn3)
@@ -93,7 +171,7 @@ divergenceReport(const sim::AppResult &hsail, const sim::AppResult &gcn3,
         DivergenceEntry e;
         e.stat = m.stat;
         e.figure = m.figure;
-        e.paperExpectation = m.expect;
+        e.paperExpectation = expectedDivergence(r.workload, m.stat);
         e.hsail = m.get(hsail);
         e.gcn3 = m.get(gcn3);
         e.relDelta = relDelta(e.hsail, e.gcn3);

@@ -71,6 +71,16 @@ struct DivergenceReport
  *  legitimately-zero stats (e.g. hazardViolations) never rank. */
 double relDelta(double hsail, double gcn3);
 
+/**
+ * Expected classification ("divergent", "similar", or "" for no
+ * position) of `stat` when measured under `workload`. Per-workload
+ * overrides — the stress workloads beyond Table 5 have their own
+ * golden signatures — take precedence over the paper's per-figure
+ * default from the Table 5 geomean.
+ */
+std::string expectedDivergence(const std::string &workload,
+                               const std::string &stat);
+
 /** Build a report from an already-run HSAIL/GCN3 result pair. */
 DivergenceReport divergenceReport(
     const sim::AppResult &hsail, const sim::AppResult &gcn3,

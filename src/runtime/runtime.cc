@@ -93,9 +93,10 @@ Runtime::allocScratchArenas(const arch::KernelCode &code,
     return 0;
 }
 
-Cycle
-Runtime::dispatch(const arch::KernelCode &code, unsigned grid_size,
-                  unsigned wg_size, const void *args, size_t arg_bytes)
+void
+Runtime::setupLaunch(const arch::KernelCode &code, unsigned grid_size,
+                     unsigned wg_size, const void *args,
+                     size_t arg_bytes, cu::KernelLaunch &launch)
 {
     fatal_if(wg_size == 0 || grid_size == 0, "empty dispatch");
     fatal_if(wg_size % WavefrontSize != 0,
@@ -114,10 +115,17 @@ Runtime::dispatch(const arch::KernelCode &code, unsigned grid_size,
     Addr pkt = allocGlobal(abi::PktBytes, 64);
     cp.writePacket(pkt, wg_size, grid_size, kernarg);
 
-    cu::KernelLaunch launch;
     launch.code = &code;
     cp.readPacket(pkt, launch);
     allocScratchArenas(code, launch, grid_size);
+}
+
+Cycle
+Runtime::dispatch(const arch::KernelCode &code, unsigned grid_size,
+                  unsigned wg_size, const void *args, size_t arg_bytes)
+{
+    cu::KernelLaunch launch;
+    setupLaunch(code, grid_size, wg_size, args, arg_bytes, launch);
 
     uint64_t insts_before =
         uint64_t(gpuModel->sumCuStat(dynInstsStatIdx));
@@ -133,6 +141,38 @@ Runtime::dispatch(const arch::KernelCode &code, unsigned grid_size,
 
     records.push_back(
         {code.name(), cycles, insts_after - insts_before});
+    return cycles;
+}
+
+void
+Runtime::dispatchAsync(const arch::KernelCode &code, unsigned grid_size,
+                       unsigned wg_size, const void *args,
+                       size_t arg_bytes)
+{
+    auto launch = std::make_unique<cu::KernelLaunch>();
+    setupLaunch(code, grid_size, wg_size, args, arg_bytes, *launch);
+    gpuModel->launch(*launch);
+    inFlight.push_back(std::move(launch));
+}
+
+Cycle
+Runtime::sync()
+{
+    if (inFlight.empty())
+        return 0;
+    Cycle cycles = gpuModel->runToCompletion();
+    // Records land in dispatch order (not completion order) so the
+    // per-kernel sequence stays deterministic and cross-ISA
+    // comparable; spans come from the launch's own start/end cycles.
+    for (const auto &l : inFlight) {
+        if (obs::tracePointsCompiled() && trace)
+            trace->emit(obs::TraceKind::KernelDispatch, l->startCycle,
+                        l->endCycle - l->startCycle,
+                        trace->intern(l->code->name()));
+        records.push_back({l->code->name(),
+                           l->endCycle - l->startCycle, l->instsIssued});
+    }
+    inFlight.clear();
     return cycles;
 }
 

@@ -78,6 +78,26 @@ class Runtime : public stats::Group
                    unsigned wg_size, const void *args,
                    size_t arg_bytes);
 
+    /**
+     * Begin an asynchronous dispatch: identical setup to dispatch()
+     * (kernarg buffer, AQL packet, arenas) and enqueue on the GPU, but
+     * return without running — the caller overlaps further
+     * dispatchAsync() calls and then sync()s. Kernels in flight
+     * together must be data-independent: the dispatcher interleaves
+     * their workgroups and the model provides no cross-kernel ordering.
+     */
+    void dispatchAsync(const arch::KernelCode &code, unsigned grid_size,
+                       unsigned wg_size, const void *args,
+                       size_t arg_bytes);
+
+    /**
+     * Run the GPU until every dispatch in flight completes; appends
+     * one LaunchRecord per dispatch (in dispatch order, with
+     * per-launch cycle spans and instruction counts) and returns the
+     * cycles this sync spanned (0 when nothing was in flight).
+     */
+    Cycle sync();
+
     /** @{ Whole-process observables. */
     uint64_t dataFootprintBytes() const
     {
@@ -106,6 +126,11 @@ class Runtime : public stats::Group
                             cu::KernelLaunch &launch,
                             unsigned grid_size);
 
+    /** Shared dispatch setup: kernarg buffer, AQL packet, arenas. */
+    void setupLaunch(const arch::KernelCode &code, unsigned grid_size,
+                     unsigned wg_size, const void *args,
+                     size_t arg_bytes, cu::KernelLaunch &launch);
+
     GpuConfig cfg;
     mem::FunctionalMemory memory;
     std::unique_ptr<gpu::Gpu> gpuModel;
@@ -126,6 +151,11 @@ class Runtime : public stats::Group
 
     /** Dispatch-span trace stream (nullptr = tracing off). */
     obs::TraceStream *trace = nullptr;
+
+    /** Launches started by dispatchAsync and not yet sync()ed. Heap
+     *  allocated: the GPU holds KernelLaunch pointers until each
+     *  completes. */
+    std::vector<std::unique_ptr<cu::KernelLaunch>> inFlight;
 
     std::vector<LaunchRecord> records;
 };

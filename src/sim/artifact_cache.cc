@@ -27,6 +27,8 @@ mapKey(const ArtifactKey &key)
     k += std::to_string(scale_bits);
     k += '\0';
     k += std::to_string(key.seq);
+    k += '\0';
+    k += std::to_string(key.params);
     return k;
 }
 

@@ -38,14 +38,18 @@ namespace last::sim
 
 /** Identity of one prepared kernel artifact. `seq` is the index of
  *  the prepare() call within one workload run: a workload's kernel
- *  build order is deterministic, so (workload, isa, scale, seq) names
- *  one artifact. */
+ *  build order is deterministic, so (workload, isa, scale, params,
+ *  seq) names one artifact. `params` digests every kernel-shaping
+ *  knob beyond the scale (e.g. ldsswizzle's stride/padding, which are
+ *  IL immediates) so parameter variants of one workload get distinct
+ *  entries instead of tripping the digest-soundness panic. */
 struct ArtifactKey
 {
     std::string workload;
     IsaKind isa;
     double scale;
     unsigned seq;
+    uint64_t params = 0;
 };
 
 class ArtifactCache

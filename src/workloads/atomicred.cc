@@ -1,0 +1,134 @@
+/**
+ * @file
+ * atomicred: contended global-atomic tree reduction (stress workload;
+ * not part of Table 5 — see EXPERIMENTS.md "Stress workloads beyond
+ * Table 5").
+ *
+ * Level 1 funnels every wavefront's 64 lanes into ONE bucket
+ * (bucket = gid/64 mod nBuckets), the worst intra-wavefront contention
+ * an atomic can see; level 2 reduces the buckets into a single total
+ * with 64 of 256 lanes active (divergent tail). Integer atomic sums
+ * are order-independent, so the result is bit-identical across ISAs
+ * no matter how the two levels interleave wavefronts.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace last::workloads
+{
+
+namespace
+{
+
+class AtomicRed : public Workload
+{
+  public:
+    explicit AtomicRed(const WorkloadScale &s)
+        : n(scaleGrid(4096, s)),
+          seed(s.seed ? s.seed : 0xA70311Cull)
+    {
+    }
+
+    std::string name() const override { return "atomicred"; }
+
+    bool
+    run(runtime::Runtime &rt, IsaKind isa) override
+    {
+        using namespace hsail;
+        Rng rng(seed);
+
+        std::vector<uint32_t> vals(n);
+        for (auto &v : vals)
+            v = uint32_t(rng.next());
+
+        Addr d_vals = rt.allocGlobal(n * 4);
+        Addr d_buckets = rt.allocGlobal(NumBuckets * 4);
+        Addr d_total = rt.allocGlobal(4);
+        rt.writeGlobal(d_vals, vals.data(), n * 4);
+        std::vector<uint32_t> zeros(NumBuckets, 0);
+        rt.writeGlobal(d_buckets, zeros.data(), NumBuckets * 4);
+        rt.writeGlobal<uint32_t>(d_total, 0);
+
+        // Level 1: every lane adds its value into its wavefront's
+        // bucket — 64 lanes, one address.
+        KernelBuilder leaf("atomicred_leaf");
+        leaf.setKernargBytes(16);
+        {
+            Val p_vals = leaf.ldKernarg(DataType::U64, 0);
+            Val p_buck = leaf.ldKernarg(DataType::U64, 8);
+            Val gid = leaf.workitemAbsId();
+            Val v = leaf.ldGlobal(DataType::U32, addrAt(leaf, p_vals, gid, 4));
+            Val b = leaf.and_(leaf.shr(gid, leaf.immU32(6)),
+                              leaf.immU32(NumBuckets - 1));
+            leaf.atomicAddGlobal(addrAt(leaf, p_buck, b, 4), v);
+        }
+        auto &leaf_code = prepare(leaf.build(), isa, rt.config());
+
+        // Level 2: one workgroup; the first NumBuckets lanes fold the
+        // buckets into the root — the rest idle (divergent tail).
+        KernelBuilder root("atomicred_root");
+        root.setKernargBytes(24);
+        {
+            Val p_buck = root.ldKernarg(DataType::U64, 0);
+            Val p_tot = root.ldKernarg(DataType::U64, 8);
+            Val nb = root.ldKernarg(DataType::U32, 16);
+            Val lid = root.workitemAbsId();
+            Val active = root.cmp(CmpOp::Lt, lid, nb);
+            root.ifBegin(active);
+            {
+                Val v = root.ldGlobal(DataType::U32,
+                                      addrAt(root, p_buck, lid, 4));
+                root.atomicAddGlobal(p_tot, v);
+            }
+            root.ifEnd();
+        }
+        auto &root_code = prepare(root.build(), isa, rt.config());
+
+        struct LeafArgs
+        {
+            uint64_t vals, buckets;
+        } leaf_args{d_vals, d_buckets};
+        rt.dispatch(leaf_code, n, 256, &leaf_args, sizeof(leaf_args));
+
+        struct RootArgs
+        {
+            uint64_t buckets, total;
+            uint32_t nb;
+        } root_args{d_buckets, d_total, NumBuckets};
+        rt.dispatch(root_code, 256, 256, &root_args, sizeof(root_args));
+
+        // Host reference (u32 wrap-around matches the device).
+        std::vector<uint32_t> want_buckets(NumBuckets, 0);
+        for (unsigned i = 0; i < n; ++i)
+            want_buckets[(i / 64) % NumBuckets] += vals[i];
+        uint32_t want_total = 0;
+        for (uint32_t b : want_buckets)
+            want_total += b;
+
+        std::vector<uint32_t> got_buckets(NumBuckets);
+        rt.readGlobal(d_buckets, got_buckets.data(), NumBuckets * 4);
+        auto got_total = rt.readGlobal<uint32_t>(d_total);
+        bool ok = got_total == want_total;
+        for (unsigned b = 0; b < NumBuckets && ok; ++b)
+            ok = got_buckets[b] == want_buckets[b];
+        digestBytes(got_buckets.data(), NumBuckets * 4);
+        digestBytes(&got_total, 4);
+        return ok;
+    }
+
+  private:
+    static constexpr unsigned NumBuckets = 64;
+
+    unsigned n;
+    uint64_t seed;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeAtomicRed(const WorkloadScale &s)
+{
+    return std::make_unique<AtomicRed>(s);
+}
+
+} // namespace last::workloads

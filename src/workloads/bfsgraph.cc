@@ -1,0 +1,170 @@
+/**
+ * @file
+ * bfsgraph: irregular frontier-based BFS on a seeded scale-free graph
+ * (stress workload; not part of Table 5 — see EXPERIMENTS.md "Stress
+ * workloads beyond Table 5").
+ *
+ * Level-synchronized traversal, one vertex per work-item: each level
+ * re-dispatches the kernel and only frontier vertices walk their
+ * (irregular, hub-skewed) adjacency lists. The control flow nests
+ * if(frontier) / if(has-edges) / edge-loop / if(unvisited), so the
+ * HSAIL reconvergence stack gets real depth and its pops pile up IB
+ * flushes — this is the divergence-bound shape. All device writes are
+ * benign same-value races (dist[nb] = level+1, flag = 1), so the
+ * result is abstraction-invariant.
+ */
+
+#include "workloads/workload_impl.hh"
+
+#include <deque>
+
+namespace last::workloads
+{
+
+namespace
+{
+
+class BfsGraph : public Workload
+{
+  public:
+    explicit BfsGraph(const WorkloadScale &s)
+        : n(scaleGrid(1024, s)),
+          seed(s.seed ? s.seed : 0xBF5C4A1Eull)
+    {
+    }
+
+    std::string name() const override { return "bfsgraph"; }
+
+    bool
+    run(runtime::Runtime &rt, IsaKind isa) override
+    {
+        using namespace hsail;
+        Rng rng(seed);
+
+        // Seeded scale-free-ish graph: each new vertex attaches 1..8
+        // undirected edges to earlier vertices, min-of-two-draws
+        // biased so low-index vertices become hubs.
+        std::vector<std::vector<uint32_t>> adj(n);
+        for (unsigned v = 1; v < n; ++v) {
+            unsigned deg = 1 + unsigned(rng.nextBounded(MaxDeg));
+            for (unsigned e = 0; e < deg; ++e) {
+                auto a = uint32_t(rng.nextBounded(v));
+                auto b = uint32_t(rng.nextBounded(v));
+                uint32_t u = std::min(a, b);
+                adj[v].push_back(u);
+                adj[u].push_back(uint32_t(v));
+            }
+        }
+        std::vector<uint32_t> rowptr(n + 1, 0);
+        std::vector<uint32_t> cols;
+        for (unsigned v = 0; v < n; ++v) {
+            rowptr[v + 1] = rowptr[v] + uint32_t(adj[v].size());
+            cols.insert(cols.end(), adj[v].begin(), adj[v].end());
+        }
+        std::vector<uint32_t> dist(n, Inf);
+        dist[0] = 0;
+
+        Addr d_rowptr = rt.allocGlobal((n + 1) * 4);
+        Addr d_cols = rt.allocGlobal(cols.size() * 4);
+        Addr d_dist = rt.allocGlobal(n * 4);
+        Addr d_flag = rt.allocGlobal(4);
+        rt.writeGlobal(d_rowptr, rowptr.data(), rowptr.size() * 4);
+        rt.writeGlobal(d_cols, cols.data(), cols.size() * 4);
+        rt.writeGlobal(d_dist, dist.data(), n * 4);
+
+        KernelBuilder kb("bfs_level");
+        kb.setKernargBytes(40);
+        Val p_rp = kb.ldKernarg(DataType::U64, 0);
+        Val p_c = kb.ldKernarg(DataType::U64, 8);
+        Val p_d = kb.ldKernarg(DataType::U64, 16);
+        Val p_f = kb.ldKernarg(DataType::U64, 24);
+        Val level = kb.ldKernarg(DataType::U32, 32);
+        Val v = kb.workitemAbsId();
+        Val d = kb.ldGlobal(DataType::U32, addrAt(kb, p_d, v, 4));
+        Val inf = kb.immU32(Inf);
+        Val one = kb.immU32(1);
+        Val lvl1 = kb.add(level, one);
+        kb.ifBegin(kb.cmp(CmpOp::Eq, d, level));
+        {
+            Val start = kb.ldGlobal(DataType::U32, addrAt(kb, p_rp, v, 4));
+            Val end = kb.ldGlobal(DataType::U32, addrAt(kb, p_rp, v, 4), 4);
+            Val j = kb.mov(start);
+            kb.ifBegin(kb.cmp(CmpOp::Lt, j, end));
+            {
+                kb.doBegin();
+                {
+                    Val nb = kb.ldGlobal(DataType::U32,
+                                         addrAt(kb, p_c, j, 4));
+                    Val dn = kb.ldGlobal(DataType::U32,
+                                         addrAt(kb, p_d, nb, 4));
+                    kb.ifBegin(kb.cmp(CmpOp::Eq, dn, inf));
+                    {
+                        kb.stGlobal(lvl1, addrAt(kb, p_d, nb, 4));
+                        kb.stGlobal(one, p_f);
+                    }
+                    kb.ifEnd();
+                    kb.emitAluTo(Opcode::Add, j, j, one);
+                }
+                kb.doEnd(kb.cmp(CmpOp::Lt, j, end));
+            }
+            kb.ifEnd();
+        }
+        kb.ifEnd();
+
+        auto &code = prepare(kb.build(), isa, rt.config());
+
+        struct Args
+        {
+            uint64_t rp, c, d, f;
+            uint32_t level;
+        } args{d_rowptr, d_cols, d_dist, d_flag, 0};
+        for (uint32_t level_i = 0; level_i < n; ++level_i) {
+            rt.writeGlobal<uint32_t>(d_flag, 0);
+            args.level = level_i;
+            rt.dispatch(code, n, 256, &args, sizeof(args));
+            if (rt.readGlobal<uint32_t>(d_flag) == 0)
+                break;
+        }
+
+        // Host reference BFS (level-synchronous == plain BFS depth).
+        std::vector<uint32_t> want(n, Inf);
+        want[0] = 0;
+        std::deque<uint32_t> q{0};
+        while (!q.empty()) {
+            uint32_t u = q.front();
+            q.pop_front();
+            for (uint32_t e = rowptr[u]; e < rowptr[u + 1]; ++e) {
+                uint32_t nb = cols[e];
+                if (want[nb] == Inf) {
+                    want[nb] = want[u] + 1;
+                    q.push_back(nb);
+                }
+            }
+        }
+
+        std::vector<uint32_t> got(n);
+        rt.readGlobal(d_dist, got.data(), n * 4);
+        bool ok = true;
+        for (unsigned i = 0; i < n && ok; ++i)
+            ok = got[i] == want[i];
+        digestBytes(got.data(), n * 4);
+        return ok;
+    }
+
+  private:
+    static constexpr uint32_t Inf = 0xFFFFFFFFu;
+    static constexpr unsigned MaxDeg = 8;
+
+    unsigned n;
+    uint64_t seed;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBfsGraph(const WorkloadScale &s)
+{
+    return std::make_unique<BfsGraph>(s);
+}
+
+} // namespace last::workloads

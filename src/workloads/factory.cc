@@ -29,11 +29,31 @@ makeWorkload(const std::string &name, const WorkloadScale &scale)
         w = makeXsBench(scale);
     else if (name == "VecAdd")
         w = makeVecAdd(scale);
+    else if (name == "atomicred")
+        w = makeAtomicRed(scale);
+    else if (name == "ldsswizzle")
+        w = makeLdsSwizzle(scale);
+    else if (name == "bfsgraph")
+        w = makeBfsGraph(scale);
+    else if (name == "pipeline")
+        w = makePipeline(scale);
     else
         fatal("unknown workload '%s'", name.c_str());
     // The scale is part of the artifact-cache identity: kernels built
     // for one input size must never be served to another.
     w->setArtifactScale(scale.factor);
+    // So are the kernel-shaping knobs: two ldsswizzle variants with
+    // different strides are different programs under the same
+    // name/scale/seq. The input seed is deliberately excluded — it
+    // changes host data, never the IL, so seed variants share
+    // artifacts.
+    uint64_t params = 1469598103934665603ull;
+    auto mix = [&](uint64_t v) {
+        params = (params ^ v) * 1099511628211ull;
+    };
+    mix(uint64_t(int64_t(scale.ldsStrideWords)));
+    mix(uint64_t(int64_t(scale.ldsPadWords)));
+    w->setArtifactParams(params);
     return w;
 }
 

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * ldsswizzle: parameterized LDS bank-conflict soak (stress workload;
+ * not part of Table 5 — see EXPERIMENTS.md "Stress workloads beyond
+ * Table 5").
+ *
+ * Every lane owns an LDS slot of (stride + pad) words and each round
+ * stores its accumulator, barriers, loads a rotating partner's slot,
+ * and mixes it in. The slot width is the bank-conflict knob: the
+ * 32-bank x 4-byte LDS serializes a stride-8 layout into 16 passes
+ * per access, while one word of padding (stride 8 + pad 1 = 9 words,
+ * coprime with 32) spreads the same access pattern across every bank.
+ * The stride and pad are IL immediates, so each (stride, pad) variant
+ * is a distinct kernel — the artifact-cache params-key test rides on
+ * that.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace last::workloads
+{
+
+namespace
+{
+
+class LdsSwizzle : public Workload
+{
+  public:
+    explicit LdsSwizzle(const WorkloadScale &s)
+        : n(scaleGrid(2048, s)),
+          stride(s.ldsStrideWords < 0 ? 8u : unsigned(s.ldsStrideWords)),
+          pad(s.ldsPadWords < 0 ? 0u : unsigned(s.ldsPadWords)),
+          seed(s.seed ? s.seed : 0x1D55A1Full)
+    {
+        fatal_if(stride < 1 || stride > 32,
+                 "ldsswizzle: stride %u words out of range [1,32]",
+                 stride);
+        fatal_if(pad > 32, "ldsswizzle: pad %u words out of range [0,32]",
+                 pad);
+    }
+
+    std::string name() const override { return "ldsswizzle"; }
+
+    bool
+    run(runtime::Runtime &rt, IsaKind isa) override
+    {
+        using namespace hsail;
+        Rng rng(seed);
+
+        std::vector<uint32_t> in(n);
+        for (auto &v : in)
+            v = uint32_t(rng.next());
+
+        Addr d_in = rt.allocGlobal(n * 4);
+        Addr d_out = rt.allocGlobal(n * 4);
+        rt.writeGlobal(d_in, in.data(), n * 4);
+
+        const unsigned slot_bytes = (stride + pad) * 4;
+
+        KernelBuilder kb("lds_swizzle");
+        kb.setKernargBytes(16);
+        kb.setLdsBytesPerWg(uint64_t(WgSize) * slot_bytes);
+        Val p_in = kb.ldKernarg(DataType::U64, 0);
+        Val p_out = kb.ldKernarg(DataType::U64, 8);
+        Val gid = kb.workitemAbsId();
+        Val lid = kb.workitemId();
+        Val acc = kb.ldGlobal(DataType::U32, addrAt(kb, p_in, gid, 4));
+        Val loff = kb.mul(lid, kb.immU32(slot_bytes));
+        Val r = kb.immU32(0);
+        Val one = kb.immU32(1);
+        kb.doBegin();
+        {
+            kb.stGroup(acc, loff);
+            kb.barrier();
+            Val partner = kb.and_(kb.add(kb.add(lid, r), one),
+                                  kb.immU32(WgSize - 1));
+            Val pv = kb.ldGroup(
+                DataType::U32, kb.mul(partner, kb.immU32(slot_bytes)));
+            Val mixed = kb.mul(acc, kb.immU32(2654435761u));
+            kb.emitAluTo(Opcode::Add, acc, mixed, pv);
+            kb.emitAluTo(Opcode::Add, r, r, one);
+            // The next round's store must not race this round's loads.
+            kb.barrier();
+        }
+        kb.doEnd(kb.cmp(CmpOp::Lt, r, kb.immU32(Rounds)));
+        kb.stGlobal(acc, addrAt(kb, p_out, gid, 4));
+
+        auto &code = prepare(kb.build(), isa, rt.config());
+
+        struct Args
+        {
+            uint64_t in, out;
+        } args{d_in, d_out};
+        rt.dispatch(code, n, WgSize, &args, sizeof(args));
+
+        // Host reference: per workgroup, rounds over a snapshot of the
+        // previous round's accumulators (that is what the barriers
+        // guarantee).
+        std::vector<uint32_t> acc_h(in);
+        std::vector<uint32_t> prev(WgSize);
+        for (unsigned wg = 0; wg < n / WgSize; ++wg) {
+            for (unsigned round = 0; round < Rounds; ++round) {
+                for (unsigned l = 0; l < WgSize; ++l)
+                    prev[l] = acc_h[wg * WgSize + l];
+                for (unsigned l = 0; l < WgSize; ++l) {
+                    unsigned partner = (l + round + 1) & (WgSize - 1);
+                    acc_h[wg * WgSize + l] =
+                        prev[l] * 2654435761u + prev[partner];
+                }
+            }
+        }
+
+        std::vector<uint32_t> got(n);
+        rt.readGlobal(d_out, got.data(), n * 4);
+        bool ok = true;
+        for (unsigned i = 0; i < n && ok; ++i)
+            ok = got[i] == acc_h[i];
+        digestBytes(got.data(), n * 4);
+        return ok;
+    }
+
+  private:
+    static constexpr unsigned WgSize = 256;
+    static constexpr unsigned Rounds = 8;
+
+    unsigned n;
+    unsigned stride;
+    unsigned pad;
+    uint64_t seed;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLdsSwizzle(const WorkloadScale &s)
+{
+    return std::make_unique<LdsSwizzle>(s);
+}
+
+} // namespace last::workloads

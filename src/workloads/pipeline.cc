@@ -1,0 +1,163 @@
+/**
+ * @file
+ * pipeline: multi-kernel producer/consumer chain (stress workload; not
+ * part of Table 5 — see EXPERIMENTS.md "Stress workloads beyond
+ * Table 5").
+ *
+ * Three distinct kernels (produce -> transform -> reduce), each with
+ * its own kernarg layout, run over TWO independent buffer lanes. The
+ * two lanes of each stage are dispatched asynchronously and overlap on
+ * the GPU (Runtime::dispatchAsync + sync); consecutive stages are
+ * separated by a sync because they are data-dependent. Exercises
+ * dispatch overlap, the per-launch accounting, and the per-kernel
+ * kernarg/segment ABI re-initialization — HSAIL maps fresh arenas on
+ * every one of the six launches, GCN3 reuses its per-process arena.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace last::workloads
+{
+
+namespace
+{
+
+class Pipeline : public Workload
+{
+  public:
+    explicit Pipeline(const WorkloadScale &s)
+        : n(scaleGrid(2048, s)),
+          seed(s.seed ? s.seed : 0x919E11EEull)
+    {
+    }
+
+    std::string name() const override { return "pipeline"; }
+
+    bool
+    run(runtime::Runtime &rt, IsaKind isa) override
+    {
+        using namespace hsail;
+        Rng rng(seed);
+
+        std::vector<uint32_t> in0(n), in1(n);
+        for (auto &v : in0)
+            v = uint32_t(rng.next());
+        for (auto &v : in1)
+            v = uint32_t(rng.next());
+
+        // Two disjoint buffer lanes: in -> a -> b -> out per lane.
+        Addr d_in[2], d_a[2], d_b[2];
+        for (int l = 0; l < 2; ++l) {
+            d_in[l] = rt.allocGlobal(n * 4);
+            d_a[l] = rt.allocGlobal(n * 4);
+            d_b[l] = rt.allocGlobal(n * 4);
+        }
+        rt.writeGlobal(d_in[0], in0.data(), n * 4);
+        rt.writeGlobal(d_in[1], in1.data(), n * 4);
+
+        KernelBuilder prod("pipe_produce");
+        prod.setKernargBytes(16);
+        {
+            Val p_in = prod.ldKernarg(DataType::U64, 0);
+            Val p_out = prod.ldKernarg(DataType::U64, 8);
+            Val i = prod.workitemAbsId();
+            Val v = prod.ldGlobal(DataType::U32, addrAt(prod, p_in, i, 4));
+            Val mixed = prod.add(prod.mul(v, prod.immU32(2654435761u)), i);
+            prod.stGlobal(mixed, addrAt(prod, p_out, i, 4));
+        }
+        auto &prod_code = prepare(prod.build(), isa, rt.config());
+
+        KernelBuilder xform("pipe_transform");
+        xform.setKernargBytes(24);
+        {
+            Val p_in = xform.ldKernarg(DataType::U64, 0);
+            Val p_out = xform.ldKernarg(DataType::U64, 8);
+            Val bias = xform.ldKernarg(DataType::U32, 16);
+            Val i = xform.workitemAbsId();
+            Val v = xform.ldGlobal(DataType::U32, addrAt(xform, p_in, i, 4));
+            Val t = xform.add(xform.xor_(v, bias),
+                              xform.shr(v, xform.immU32(3)));
+            xform.stGlobal(t, addrAt(xform, p_out, i, 4));
+        }
+        auto &xform_code = prepare(xform.build(), isa, rt.config());
+
+        KernelBuilder red("pipe_reduce");
+        red.setKernargBytes(24);
+        {
+            Val p_in = red.ldKernarg(DataType::U64, 0);
+            Val p_out = red.ldKernarg(DataType::U64, 8);
+            Val nn = red.ldKernarg(DataType::U32, 16);
+            Val i = red.workitemAbsId();
+            Val j = red.add(i, red.immU32(1));
+            Val wrapped = red.cmov(red.cmp(CmpOp::Eq, j, nn),
+                                   red.immU32(0), j);
+            Val v = red.ldGlobal(DataType::U32, addrAt(red, p_in, i, 4));
+            Val w = red.ldGlobal(DataType::U32,
+                                 addrAt(red, p_in, wrapped, 4));
+            red.stGlobal(red.add(v, w), addrAt(red, p_out, i, 4));
+        }
+        auto &red_code = prepare(red.build(), isa, rt.config());
+
+        struct Args2
+        {
+            uint64_t in, out;
+        };
+        struct Args3
+        {
+            uint64_t in, out;
+            uint32_t k;
+        };
+
+        // Stage 1: both lanes in flight together.
+        for (int l = 0; l < 2; ++l) {
+            Args2 a{d_in[l], d_a[l]};
+            rt.dispatchAsync(prod_code, n, 256, &a, sizeof(a));
+        }
+        rt.sync();
+        // Stage 2.
+        for (int l = 0; l < 2; ++l) {
+            Args3 a{d_a[l], d_b[l], Bias[l]};
+            rt.dispatchAsync(xform_code, n, 256, &a, sizeof(a));
+        }
+        rt.sync();
+        // Stage 3 writes back over the stage-1 buffers.
+        for (int l = 0; l < 2; ++l) {
+            Args3 a{d_b[l], d_a[l], n};
+            rt.dispatchAsync(red_code, n, 256, &a, sizeof(a));
+        }
+        rt.sync();
+
+        // Host reference.
+        bool ok = true;
+        for (int l = 0; l < 2 && ok; ++l) {
+            const auto &in = l == 0 ? in0 : in1;
+            std::vector<uint32_t> b(n);
+            for (unsigned i = 0; i < n; ++i) {
+                uint32_t a = in[i] * 2654435761u + i;
+                b[i] = (a ^ Bias[l]) + (a >> 3);
+            }
+            std::vector<uint32_t> got(n);
+            rt.readGlobal(d_a[l], got.data(), n * 4);
+            for (unsigned i = 0; i < n && ok; ++i)
+                ok = got[i] == b[i] + b[(i + 1) % n];
+            digestBytes(got.data(), n * 4);
+        }
+        return ok;
+    }
+
+  private:
+    static constexpr uint32_t Bias[2] = {0x9E3779B9u, 0x85EBCA6Bu};
+
+    unsigned n;
+    uint64_t seed;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makePipeline(const WorkloadScale &s)
+{
+    return std::make_unique<Pipeline>(s);
+}
+
+} // namespace last::workloads

@@ -45,7 +45,7 @@ Workload::prepare(hsail::IlKernel &&il, IsaKind isa,
             content = (content ^ finalizer::finalizeConfigDigest(cfg)) *
                       1099511628211ull;
         auto artifact = sim::ArtifactCache::instance().getOrBuild(
-            {name(), isa, artifactScale, seq}, content,
+            {name(), isa, artifactScale, seq, artifactParams}, content,
             [&] { return buildArtifact(std::move(il), isa, cfg); });
         sharedKernels.push_back(artifact);
         return *sharedKernels.back();
@@ -75,6 +75,21 @@ workloadNames()
 {
     return {"ArrayBW", "BitonicSort", "CoMD",   "FFT",  "HPGMG",
             "LULESH",  "MD",          "SNAP",   "SpMV", "XSBench"};
+}
+
+std::vector<std::string>
+stressWorkloadNames()
+{
+    return {"atomicred", "ldsswizzle", "bfsgraph", "pipeline"};
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    auto names = workloadNames();
+    for (auto &s : stressWorkloadNames())
+        names.push_back(s);
+    return names;
 }
 
 // makeWorkload() lives in factory.cc next to the implementations.

@@ -29,6 +29,19 @@ namespace last::workloads
 struct WorkloadScale
 {
     double factor = 1.0;
+
+    /** @{ Stress-workload knobs (-1 = the workload's default). Only
+     *  ldsswizzle reads these today; they shape the emitted kernel
+     *  (the LDS slot stride is an IL immediate), so they participate
+     *  in the artifact-cache identity via setArtifactParams. */
+    int ldsStrideWords = -1; ///< LDS words between adjacent lanes' slots
+    int ldsPadWords = -1;    ///< extra words appended to each slot
+    /** @} */
+
+    /** Input-seed override for the seeded stress workloads (0 = each
+     *  workload's fixed default). Changes host-generated input data
+     *  only, never the kernel IL — seed variants share artifacts. */
+    uint64_t seed = 0;
 };
 
 class Workload
@@ -55,6 +68,11 @@ class Workload
      *  makeWorkload); part of the artifact-cache key. */
     void setArtifactScale(double factor) { artifactScale = factor; }
 
+    /** Digest of every kernel-shaping knob beyond the scale (set by
+     *  makeWorkload); part of the artifact-cache key so parameter
+     *  variants of one workload never alias to a stale KernelCode. */
+    void setArtifactParams(uint64_t params) { artifactParams = params; }
+
   protected:
     /**
      * Prepare an IL kernel for execution at `isa`: the IL code itself
@@ -77,11 +95,20 @@ class Workload
     std::vector<hsail::IlKernel> ownedIl;
     std::vector<std::shared_ptr<const arch::KernelCode>> sharedKernels;
     double artifactScale = 1.0;
+    uint64_t artifactParams = 0;
     unsigned prepareSeq = 0;
 };
 
 /** The Table 5 applications, in paper order. */
 std::vector<std::string> workloadNames();
+
+/** The stress workloads (beyond Table 5): shapes built to break the
+ *  IL-level abstraction where the paper did not need to measure it.
+ *  See EXPERIMENTS.md "Stress workloads beyond Table 5". */
+std::vector<std::string> stressWorkloadNames();
+
+/** Table 5 + stress workloads: the full bench sweep matrix. */
+std::vector<std::string> allWorkloadNames();
 
 /** Instantiate a workload by name (fatal on unknown names). */
 std::unique_ptr<Workload> makeWorkload(const std::string &name,

@@ -50,6 +50,14 @@ std::unique_ptr<Workload> makeXsBench(const WorkloadScale &);
 std::unique_ptr<Workload> makeVecAdd(const WorkloadScale &);
 /** @} */
 
+/** @{ Stress workloads (see EXPERIMENTS.md "Stress workloads beyond
+ *  Table 5"): shapes built to break the IL-level abstraction. */
+std::unique_ptr<Workload> makeAtomicRed(const WorkloadScale &);
+std::unique_ptr<Workload> makeLdsSwizzle(const WorkloadScale &);
+std::unique_ptr<Workload> makeBfsGraph(const WorkloadScale &);
+std::unique_ptr<Workload> makePipeline(const WorkloadScale &);
+/** @} */
+
 } // namespace last::workloads
 
 #endif // LAST_WORKLOADS_WORKLOAD_IMPL_HH

@@ -74,7 +74,11 @@ smallSweep()
 {
     workloads::WorkloadScale scale{0.25};
     std::vector<sim::RunSpec> specs;
-    for (const char *w : {"VecAdd", "ArrayBW", "BitonicSort"}) {
+    // Three Table 5 applications plus the four stress workloads: the
+    // sweep-identity contract must hold for multi-dispatch, atomic,
+    // LDS-bound, and irregular-divergence shapes too.
+    for (const char *w : {"VecAdd", "ArrayBW", "BitonicSort", "atomicred",
+                          "ldsswizzle", "bfsgraph", "pipeline"}) {
         specs.push_back({w, IsaKind::HSAIL, GpuConfig{}, scale});
         specs.push_back({w, IsaKind::GCN3, GpuConfig{}, scale});
     }

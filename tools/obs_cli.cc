@@ -6,18 +6,21 @@
  *   last_obs stats   <workload> <hsail|gcn3> [--scale F] [--json FILE]
  *                    [--csv FILE]
  *   last_obs diverge [workload...] [--scale F] [--threshold T]
- *                    [--json FILE] [--jobs N]
+ *                    [--json FILE] [--jobs N] [--seed S]
+ *                    [--lds-stride W] [--lds-pad W]
  *
  * trace:   run once with a TraceSink attached and emit Chrome
  *          trace_event JSON (open in chrome://tracing or Perfetto).
  * stats:   run once and dump the full stats tree (JSON and/or CSV;
  *          JSON to stdout when neither file is given).
- * diverge: run each workload (default: all Table 5 applications) at
- *          both ISA levels on the parallel sweep driver and print the
- *          ranked cross-ISA divergence report; optional machine-
- *          readable copy with --json. Exit code 0 even when stats
- *          diverge (that is the expected result); 1 on usage or
- *          simulation failure.
+ * diverge: run each workload (default: all Table 5 applications plus
+ *          the stress workloads) at both ISA levels on the parallel
+ *          sweep driver and print the ranked cross-ISA divergence
+ *          report; optional machine-readable copy with --json. --seed
+ *          varies the input data; --lds-stride/--lds-pad are the
+ *          ldsswizzle bank-conflict knobs (ignored elsewhere). Exit
+ *          code 0 even when stats diverge (that is the expected
+ *          result); 1 on usage or simulation failure.
  */
 
 #include <cstdio>
@@ -49,7 +52,9 @@ usage()
         "       last_obs stats   <workload> <hsail|gcn3> [--scale F] "
         "[--json FILE] [--csv FILE]\n"
         "       last_obs diverge [workload...] [--scale F] "
-        "[--threshold T] [--json FILE] [--jobs N]\n");
+        "[--threshold T] [--json FILE] [--jobs N]\n"
+        "                        [--seed S] [--lds-stride W] "
+        "[--lds-pad W]\n");
     std::exit(1);
 }
 
@@ -173,11 +178,16 @@ cmdDiverge(std::vector<std::string> args)
     std::string jsonPath = takeOption(args, "--json", "");
     unsigned jobs = unsigned(std::stoul(takeOption(args, "--jobs", "0")));
 
-    std::vector<std::string> workloads =
-        args.empty() ? workloads::workloadNames() : args;
+    workloads::WorkloadScale ws{scale};
+    ws.seed = std::stoull(takeOption(args, "--seed", "0"));
+    ws.ldsStrideWords = std::stoi(takeOption(args, "--lds-stride", "-1"));
+    ws.ldsPadWords = std::stoi(takeOption(args, "--lds-pad", "-1"));
 
-    auto reports = obs::divergenceReports(workloads, GpuConfig{},
-                                          {scale}, threshold, jobs);
+    std::vector<std::string> workloads =
+        args.empty() ? workloads::allWorkloadNames() : args;
+
+    auto reports = obs::divergenceReports(workloads, GpuConfig{}, ws,
+                                          threshold, jobs);
 
     bool anyFailed = false;
     for (const auto &r : reports) {
