@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <functional>
+#include <thread>
+
 #include "common/event_queue.hh"
 #include "cu/probes.hh"
 #include "finalizer/finalizer.hh"
@@ -16,6 +20,7 @@
 #include "memory/dram.hh"
 #include "memory/functional_memory.hh"
 #include "runtime/runtime.hh"
+#include "sim/parallel.hh"
 
 using namespace last;
 using namespace last::hsail;
@@ -144,6 +149,50 @@ BM_CoalesceLines(benchmark::State &state)
     benchmark::DoNotOptimize(total);
 }
 BENCHMARK(BM_CoalesceLines);
+
+/**
+ * Pathologically skewed task durations for the sweep scheduler: 64
+ * tasks where the first 16 — exactly worker 0's static chunk at 4
+ * workers — take 40x longer than the rest (a bfsgraph/pipeline block
+ * at the front of the matrix next to vecadd-class specs). The tasks
+ * are timed waits rather than spins so the measured wall clock is the
+ * *schedule makespan* on any core count: static chunking serializes
+ * the whole long block behind one worker (~32 ms) while work stealing
+ * spreads it across all four (~8 ms).
+ */
+std::vector<std::function<void()>>
+skewedScheduleTasks()
+{
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+        auto dur = std::chrono::microseconds(i < 16 ? 2000 : 50);
+        tasks.push_back([dur] { std::this_thread::sleep_for(dur); });
+    }
+    return tasks;
+}
+
+void
+BM_ParallelInvokeSkewedStatic(benchmark::State &state)
+{
+    auto tasks = skewedScheduleTasks();
+    for (auto _ : state)
+        sim::parallelInvokeStatic(tasks, 4);
+}
+BENCHMARK(BM_ParallelInvokeSkewedStatic)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void
+BM_ParallelInvokeSkewedSteal(benchmark::State &state)
+{
+    auto tasks = skewedScheduleTasks();
+    for (auto _ : state)
+        sim::parallelInvoke(tasks, 4);
+}
+BENCHMARK(BM_ParallelInvokeSkewedSteal)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 IlKernel
 computeKernel()

@@ -4,11 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <sstream>
-#include <stdexcept>
 
 #include "common/logging.hh"
-#include "sim/parallel.hh"
+#include "sim/bench_cache.hh"
+#include "sim/shard.hh"
 
 namespace last::bench
 {
@@ -17,7 +16,6 @@ namespace
 {
 
 constexpr const char *CacheFile = "last_bench_cache.csv";
-constexpr int CacheVersion = 4; ///< v4: stress workloads in the sweep
 
 double
 benchScale()
@@ -27,210 +25,89 @@ benchScale()
     return 1.0;
 }
 
-void
-writeRow(std::ostream &os, const sim::AppResult &r)
-{
-    // The cache must never hold poisoned rows: a quarantined result
-    // carries no statistics and would be served back as real data on
-    // the next run.
-    panic_if(r.quarantined,
-             "refusing to persist quarantined run %s/%s to the bench "
-             "cache (%s)",
-             r.workload.c_str(), isaName(r.isa),
-             r.errorMessage.c_str());
-    os << r.workload << ',' << isaName(r.isa) << ',' << r.verified
-       << ',' << r.digest << ',' << r.dynInsts << ',' << r.valu << ','
-       << r.salu << ',' << r.vmem << ',' << r.smem << ',' << r.lds
-       << ',' << r.branch << ',' << r.waitcnt << ',' << r.misc << ','
-       << r.cycles << ',' << r.ipc << ',' << r.vrfBankConflicts << ','
-       << r.reuseMedian << ',' << r.instFootprint << ','
-       << r.ibFlushes << ',' << r.readUniq << ',' << r.writeUniq
-       << ',' << r.vrfUniq << ',' << r.dataFootprint << ','
-       << r.simdUtil << ',' << r.l1iMisses << ',' << r.l1iHits << ','
-       << r.hazardViolations << '\n';
-    for (const auto &l : r.launches)
-        os << "launch," << l.kernel << ',' << l.cycles << ','
-           << l.instsIssued << '\n';
-    os << "end\n";
-}
-
 /**
- * Parse one cached app row. Returns false on a clean end-of-file;
- * throws (std::invalid_argument from the numeric conversions, or
- * std::runtime_error for a bad ISA tag) on a truncated or garbled
- * row — the caller treats any throw as a cache miss.
+ * The cached sweep, incrementally: load whatever usable rows
+ * last_bench_cache.csv has (a stale version, damaged row, wrong
+ * scale, or quarantined entry is dropped with a loud warn(), never
+ * silently), simulate only the specs that are missing, and rewrite
+ * the cache when anything new was computed. A fully-warm cache runs
+ * zero simulations; a cold or discarded one recomputes the whole
+ * matrix — the old all-or-nothing behavior is just the endpoints of
+ * the incremental path. The file I/O and row format live in
+ * sim/bench_cache.{hh,cc}, shared with the `last_sweep` shard CLI, so
+ * this cache and a merged shard sweep are byte-identical artifacts.
  */
-bool
-readRow(std::istream &is, sim::AppResult &r)
-{
-    std::string line;
-    if (!std::getline(is, line) || line.empty())
-        return false;
-    std::istringstream ls(line);
-    std::string isa, tok;
-    auto next = [&]() {
-        if (!std::getline(ls, tok, ','))
-            throw std::runtime_error("truncated cache row");
-        return tok;
-    };
-    r.workload = next();
-    isa = next();
-    if (isa != "GCN3" && isa != "HSAIL")
-        throw std::runtime_error("bad ISA tag in cache row");
-    r.isa = isa == "GCN3" ? IsaKind::GCN3 : IsaKind::HSAIL;
-    r.verified = std::stoi(next());
-    r.digest = std::stoull(next());
-    r.dynInsts = std::stoull(next());
-    r.valu = std::stoull(next());
-    r.salu = std::stoull(next());
-    r.vmem = std::stoull(next());
-    r.smem = std::stoull(next());
-    r.lds = std::stoull(next());
-    r.branch = std::stoull(next());
-    r.waitcnt = std::stoull(next());
-    r.misc = std::stoull(next());
-    r.cycles = std::stoull(next());
-    r.ipc = std::stod(next());
-    r.vrfBankConflicts = std::stoull(next());
-    r.reuseMedian = std::stod(next());
-    r.instFootprint = std::stoull(next());
-    r.ibFlushes = std::stoull(next());
-    r.readUniq = std::stod(next());
-    r.writeUniq = std::stod(next());
-    r.vrfUniq = std::stod(next());
-    r.dataFootprint = std::stoull(next());
-    r.simdUtil = std::stod(next());
-    r.l1iMisses = std::stoull(next());
-    r.l1iHits = std::stoull(next());
-    r.hazardViolations = std::stoull(next());
-    while (std::getline(is, line) && line != "end") {
-        std::istringstream lls(line);
-        std::string tag, kernel, cyc, insts;
-        std::getline(lls, tag, ',');
-        std::getline(lls, kernel, ',');
-        std::getline(lls, cyc, ',');
-        std::getline(lls, insts, ',');
-        r.launches.push_back(
-            {kernel, std::stoull(cyc), std::stoull(insts)});
-    }
-    return true;
-}
-
 std::vector<AppPair>
-computeAll()
+loadOrCompute()
 {
+    const double scale = benchScale();
     const auto names = workloads::allWorkloadNames();
-    workloads::WorkloadScale scale{benchScale()};
+    const auto specs = sim::canonicalMatrix(scale, 0);
 
-    // The 14-workload x 2-ISA sweep is embarrassingly parallel: every
-    // run owns its Runtime/Gpu/FunctionalMemory. Results come back in
-    // spec order, bit-identical to a serial (LAST_JOBS=1) sweep.
-    std::vector<sim::RunSpec> specs;
-    specs.reserve(names.size() * 2);
-    for (const auto &w : names) {
-        specs.push_back({w, IsaKind::HSAIL, GpuConfig{}, scale});
-        specs.push_back({w, IsaKind::GCN3, GpuConfig{}, scale});
+    sim::BenchCacheFile cache;
+    {
+        std::ifstream in(CacheFile);
+        if (in && sim::readBenchCache(in, cache, CacheFile)) {
+            if (cache.scale != scale) {
+                warn("bench cache %s is for scale %g, want %g; "
+                     "discarding it — the sweep will re-simulate",
+                     CacheFile, cache.scale, scale);
+                cache.rows.clear();
+            }
+            sim::dropQuarantinedRows(cache, CacheFile);
+        } else {
+            cache.rows.clear();
+        }
+        cache.scale = scale;
     }
-    std::fprintf(stderr,
-                 "[bench] simulating %zu workloads x 2 ISAs on %u "
-                 "worker(s) (override with LAST_JOBS) ...\n",
-                 names.size(), sim::defaultJobs());
-    // Graceful sweep: a poisoned run is quarantined (after one serial
-    // retry) while the rest completes, then reported here. The bench
-    // needs every row to draw its figures, so quarantine is still
-    // fatal — but only after the full casualty report is printed and
-    // with the cache left untouched.
-    auto sweep = sim::runSweep(specs);
-    if (!sweep.allOk()) {
-        std::fprintf(stderr, "[bench] sweep completed with failures:\n%s",
-                     sweep.format().c_str());
+
+    auto manifests = sim::makeShardManifests(specs, 1);
+    sim::ShardRunOptions opts;
+    opts.reuse = &cache;
+
+    size_t misses = 0;
+    for (const auto &e : manifests[0].entries) {
+        const sim::CachedRun *hit =
+            cache.find(sim::specCacheKey(sim::specFromEntry(e)));
+        misses += !(hit && !hit->result.quarantined);
+    }
+    if (misses)
+        std::fprintf(stderr,
+                     "[bench] simulating %zu of %zu (workload x ISA) "
+                     "specs on %u worker(s) (override with LAST_JOBS) "
+                     "...\n",
+                     misses, specs.size(), sim::defaultJobs());
+
+    auto outcome = sim::runShard(manifests[0], opts);
+    if (outcome.quarantined) {
+        // The bench needs every row to draw its figures, so
+        // quarantine is fatal — but only after the full casualty
+        // report is printed and with the cache left untouched.
+        std::fprintf(stderr,
+                     "[bench] sweep completed with failures:\n%s",
+                     outcome.sweep.format().c_str());
         fatal("%zu of %zu bench runs quarantined; no cache written "
               "(see the report above)",
-              sweep.quarantined.size(), specs.size());
+              outcome.quarantined, specs.size());
     }
-    auto &results = sweep.results;
+    if (outcome.simulated) {
+        std::ofstream os(CacheFile);
+        sim::writeBenchCache(os, outcome.cache);
+    }
 
+    // Manifest order is the canonical matrix: HSAIL then GCN3 per
+    // workload, workloads in allWorkloadNames order.
     std::vector<AppPair> out;
     out.reserve(names.size());
     for (size_t i = 0; i < names.size(); ++i) {
-        sim::AppResult &h = results[2 * i];
-        sim::AppResult &g = results[2 * i + 1];
+        sim::AppResult &h = outcome.cache.rows[2 * i].result;
+        sim::AppResult &g = outcome.cache.rows[2 * i + 1].result;
         fatal_if(!h.verified || !g.verified,
                  "workload %s failed verification", names[i].c_str());
         fatal_if(h.digest != g.digest,
                  "workload %s: cross-ISA result mismatch",
                  names[i].c_str());
         out.push_back({std::move(h), std::move(g)});
-    }
-    return out;
-}
-
-/**
- * Parse a complete cache body. Each app pair is validated against the
- * canonical workload list — name and ISA per row — so a stale or
- * reordered cache with the right row count is rejected rather than
- * silently mislabelling every figure. Truncated or garbled rows throw
- * out of readRow; the caller treats that as a cache miss.
- */
-bool
-readCacheBody(std::istream &in, std::vector<AppPair> &out)
-{
-    const auto names = workloads::allWorkloadNames();
-    for (const auto &name : names) {
-        AppPair p;
-        if (!readRow(in, p.hsail) || !readRow(in, p.gcn3))
-            return false;
-        if (p.hsail.workload != name || p.gcn3.workload != name ||
-            p.hsail.isa != IsaKind::HSAIL ||
-            p.gcn3.isa != IsaKind::GCN3)
-            return false;
-        out.push_back(std::move(p));
-    }
-    return out.size() == names.size();
-}
-
-std::vector<AppPair>
-loadOrCompute()
-{
-    double scale = benchScale();
-    {
-        std::ifstream in(CacheFile);
-        if (in) {
-            int ver = 0;
-            double cached_scale = 0;
-            std::string header;
-            std::getline(in, header);
-            std::sscanf(header.c_str(), "last-bench-cache v%d scale=%lf",
-                        &ver, &cached_scale);
-            if (ver == CacheVersion && cached_scale == scale) {
-                std::vector<AppPair> out;
-                bool ok = false;
-                try {
-                    ok = readCacheBody(in, out);
-                    if (!ok)
-                        std::fprintf(stderr,
-                                     "[bench] ignoring stale cache "
-                                     "%s: rows do not match the "
-                                     "current workload list\n",
-                                     CacheFile);
-                } catch (const std::exception &e) {
-                    std::fprintf(stderr,
-                                 "[bench] ignoring damaged cache "
-                                 "%s: %s\n",
-                                 CacheFile, e.what());
-                }
-                if (ok)
-                    return out;
-            }
-        }
-    }
-    auto out = computeAll();
-    std::ofstream os(CacheFile);
-    os << "last-bench-cache v" << CacheVersion << " scale=" << scale
-       << "\n";
-    for (const auto &p : out) {
-        writeRow(os, p.hsail);
-        writeRow(os, p.gcn3);
     }
     return out;
 }

@@ -1,20 +1,26 @@
 #!/bin/sh
 # Perf-regression baseline for the statistic-identical fast paths.
 #
-# Measures two things on a Release build and writes them to a JSON
+# Measures three things on a Release build and writes them to a JSON
 # baseline (BENCH_<n>.json at the repo root, committed per PR):
 #
 #  1. The tier-1 figure sweep: wall-clock of fig01_summary populating a
 #     FRESH result cache in a scratch directory (every workload, both
 #     ISAs — the hot path every figure binary shares). Best-of-N, since
 #     wall-clock minima are the stable statistic on a noisy machine.
-#  2. Component microbenchmarks (bench/micro_components) covering the
-#     rewritten paths: probe uniqueness counting, vmem coalescing,
-#     cache access, whole-kernel simulation rate.
+#  2. The sharded sweep backend: a fresh single-shard `last_sweep run`
+#     vs a warm incremental rerun against its own cache. The warm run
+#     must reuse every row, emit byte-identical artifacts, and finish
+#     at least 10x faster than the fresh run.
+#  3. Component microbenchmarks (bench/micro_components) covering the
+#     rewritten paths, including the skewed-duration scheduler pair
+#     (BM_ParallelInvokeSkewedStatic vs ...Steal) — the work-stealing
+#     pool must beat static chunking on the skewed batch.
 #
-# It also proves statistic identity: the freshly generated cache file
-# must be byte-identical to the committed last_bench_cache.csv. A perf
-# "win" that changes a statistic is a bug, and this script fails on it.
+# It also proves statistic identity: the freshly generated cache files
+# (fig01_summary's and last_sweep's) must be byte-identical to the
+# committed last_bench_cache.csv. A perf "win" that changes a statistic
+# is a bug, and this script fails on it.
 #
 # Usage: scripts/bench_perf.sh [--quick] [--check BASELINE.json] [OUT.json]
 #   --quick   1 sweep rep + short microbench time (CI smoke)
@@ -51,7 +57,7 @@ fail() {
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null ||
     fail "configure"
 cmake --build build-perf -j --target fig01_summary micro_components \
-    >/dev/null || fail "build"
+    last_sweep >/dev/null || fail "build"
 
 # --- 1. Figure sweep: fresh cache in a scratch dir, best of N. ------
 scratch=$(mktemp -d)
@@ -84,27 +90,89 @@ else
     echo "bench_perf: no committed last_bench_cache.csv; skipping identity check" >&2
 fi
 
-# --- 3. Component microbenchmarks (google-benchmark JSON). ----------
+# --- 3. Sharded backend: fresh last_sweep vs warm incremental. ------
+sweep_bin="$repo/build-perf/tools/last_sweep"
+"$sweep_bin" plan --shards 1 --out-dir "$scratch" >/dev/null 2>&1 ||
+    fail "last_sweep plan"
+
+t0=$(date +%s%N)
+"$sweep_bin" run "$scratch/shard_0.json" \
+    --out "$scratch/fresh.csv" --diverge "$scratch/fresh.json" \
+    >/dev/null 2>&1 || fail "last_sweep fresh run"
+t1=$(date +%s%N)
+shard_fresh_ms=$(( (t1 - t0) / 1000000 ))
+
+# The CLI's artifact and fig01_summary's must be the same bytes — one
+# cache format, one writer, shared across the whole backend.
+if [ -f "$repo/last_bench_cache.csv" ]; then
+    cmp -s "$repo/last_bench_cache.csv" "$scratch/fresh.csv" ||
+        fail "last_sweep cache differs from committed last_bench_cache.csv"
+fi
+
+t0=$(date +%s%N)
+"$sweep_bin" run "$scratch/shard_0.json" --cache "$scratch/fresh.csv" \
+    --out "$scratch/warm.csv" --diverge "$scratch/warm.json" \
+    >/dev/null 2>&1 || fail "last_sweep warm run"
+t1=$(date +%s%N)
+shard_warm_ms=$(( (t1 - t0) / 1000000 ))
+
+cmp -s "$scratch/fresh.csv" "$scratch/warm.csv" ||
+    fail "warm incremental run changed the cache bytes"
+cmp -s "$scratch/fresh.json" "$scratch/warm.json" ||
+    fail "warm incremental run changed the divergence report bytes"
+
+# The incremental acceptance gate: a fully-warm cache must be at least
+# 10x faster than re-simulating the matrix.
+[ "$shard_warm_ms" -gt 0 ] || shard_warm_ms=1
+if [ $((shard_warm_ms * 10)) -gt "$shard_fresh_ms" ]; then
+    fail "warm incremental sweep ${shard_warm_ms} ms is not >=10x faster than fresh ${shard_fresh_ms} ms"
+fi
+echo "bench_perf: shard backend OK (fresh ${shard_fresh_ms} ms, warm ${shard_warm_ms} ms)" >&2
+
+# --- 4. Component microbenchmarks (google-benchmark JSON). ----------
 micro_json="$scratch/micro.json"
 "$repo/build-perf/bench/micro_components" \
     --benchmark_min_time="$min_time" \
     --benchmark_out="$micro_json" --benchmark_out_format=json \
     >/dev/null 2>&1 || fail "micro_components"
 
-# --- 4. Emit the baseline JSON. -------------------------------------
+# The scheduler gate: on the skewed batch, work stealing must beat the
+# static-chunk baseline (both are timed waits, so real_time measures
+# the schedule makespan on any core count).
+static_ms=$(jq -r '[.benchmarks[]
+    | select(.name | startswith("BM_ParallelInvokeSkewedStatic"))
+    | .real_time][0]' "$micro_json")
+steal_ms=$(jq -r '[.benchmarks[]
+    | select(.name | startswith("BM_ParallelInvokeSkewedSteal"))
+    | .real_time][0]' "$micro_json")
+[ "$static_ms" != "null" ] && [ "$steal_ms" != "null" ] ||
+    fail "skewed scheduler benchmarks missing from micro_components output"
+if [ "$(awk -v s="$steal_ms" -v t="$static_ms" 'BEGIN{print (s < t) ? 1 : 0}')" != "1" ]; then
+    fail "work stealing (${steal_ms} ms) not faster than static chunking (${static_ms} ms) on the skewed batch"
+fi
+echo "bench_perf: skewed scheduler OK (static ${static_ms} ms, steal ${steal_ms} ms)" >&2
+
+# --- 5. Emit the baseline JSON. -------------------------------------
 result=$(jq -n \
     --argjson sweep_ms "$best_ms" \
     --argjson reps "$reps" \
     --argjson quick "$([ "$quick" -eq 1 ] && echo true || echo false)" \
     --argjson cache_identical "$cache_identical" \
+    --argjson shard_fresh_ms "$shard_fresh_ms" \
+    --argjson shard_warm_ms "$shard_warm_ms" \
     --slurpfile micro "$micro_json" \
     '{
-        schema: "last-bench-perf v1",
+        schema: "last-bench-perf v2",
         sweep: {
             description: "fig01_summary populating a fresh result cache (all workloads, both ISAs)",
             wall_ms_best: $sweep_ms,
             reps: $reps,
             quick: $quick
+        },
+        shard: {
+            description: "last_sweep single-shard run: fresh matrix vs fully-warm incremental cache",
+            fresh_ms: $shard_fresh_ms,
+            warm_ms: $shard_warm_ms
         },
         cache_identical: $cache_identical,
         micro: ($micro[0].benchmarks | map({
@@ -119,7 +187,7 @@ else
     printf '%s\n' "$result"
 fi
 
-# --- 5. Optional regression gate. -----------------------------------
+# --- 6. Optional regression gate. -----------------------------------
 if [ -n "$check_file" ]; then
     [ -f "$check_file" ] || fail "baseline $check_file not found"
     base_ms=$(jq -r '.sweep.wall_ms_best' "$check_file")

@@ -271,6 +271,19 @@ writeDivergenceJson(std::ostream &os, const DivergenceReport &r)
 }
 
 void
+writeDivergenceJsonArray(std::ostream &os,
+                         const std::vector<DivergenceReport> &rs)
+{
+    os << "[\n";
+    for (size_t i = 0; i < rs.size(); ++i) {
+        writeDivergenceJson(os, rs[i]);
+        if (i + 1 < rs.size())
+            os << ",\n";
+    }
+    os << "]\n";
+}
+
+void
 writeDivergenceText(std::ostream &os, const DivergenceReport &r)
 {
     char buf[160];

@@ -108,6 +108,12 @@ std::vector<DivergenceReport> divergenceReports(
 /** `last-divergence-v1` JSON (one report). */
 void writeDivergenceJson(std::ostream &os, const DivergenceReport &r);
 
+/** JSON array of reports — the batch format `last_obs diverge --json`
+ *  and the `last_sweep` partial/merged reports share, so shard
+ *  equivalence can be checked with a byte diff. */
+void writeDivergenceJsonArray(std::ostream &os,
+                              const std::vector<DivergenceReport> &rs);
+
 /** Human-readable ranked table (what report_divergence.sh prints). */
 void writeDivergenceText(std::ostream &os, const DivergenceReport &r);
 

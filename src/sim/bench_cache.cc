@@ -1,0 +1,331 @@
+#include "sim/bench_cache.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace last::sim
+{
+
+namespace
+{
+
+/** Canonical workload rank: position in allWorkloadNames(); unknown
+ *  names sort after every known one, alphabetically. */
+size_t
+workloadRank(const std::string &name)
+{
+    static const std::vector<std::string> names =
+        workloads::allWorkloadNames();
+    for (size_t i = 0; i < names.size(); ++i)
+        if (names[i] == name)
+            return i;
+    return names.size();
+}
+
+/** Round-trip-exact double formatting (integers stay integral, the
+ *  rest print with max_digits10) — the same rule the JSON writers
+ *  use, so cached statistics reconstruct bit-exactly. */
+std::string
+num(double v)
+{
+    return obs::jsonNumber(v);
+}
+
+std::string
+sanitizeMessage(const std::string &s)
+{
+    // The message is the last field of a one-line record: newlines
+    // would truncate it, so flatten them. Commas are fine (the reader
+    // consumes the rest of the line).
+    std::string out = s;
+    for (char &c : out)
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    return out;
+}
+
+void
+writeRow(std::ostream &os, const CachedRun &row)
+{
+    const AppResult &r = row.result;
+    if (r.quarantined) {
+        os << "quarantine," << row.key.workload << ','
+           << isaName(row.key.isa) << ',' << row.key.seed << ','
+           << row.key.knobDigest << ',' << r.errorKind << ','
+           << sanitizeMessage(r.errorMessage) << '\n';
+        return;
+    }
+    os << r.workload << ',' << isaName(r.isa) << ',' << r.verified
+       << ',' << r.digest << ',' << r.dynInsts << ',' << r.valu << ','
+       << r.salu << ',' << r.vmem << ',' << r.smem << ',' << r.lds
+       << ',' << r.branch << ',' << r.waitcnt << ',' << r.misc << ','
+       << r.cycles << ',' << num(r.ipc) << ',' << r.vrfBankConflicts
+       << ',' << num(r.reuseMedian) << ',' << r.instFootprint << ','
+       << r.ibFlushes << ',' << num(r.readUniq) << ','
+       << num(r.writeUniq) << ',' << num(r.vrfUniq) << ','
+       << r.dataFootprint << ',' << num(r.simdUtil) << ','
+       << r.l1iMisses << ',' << r.l1iHits << ',' << r.hazardViolations
+       << ',' << r.scoreboardStalls << ',' << r.waitcntStalls << ','
+       << r.ibEmptyStalls << ',' << r.fuConflictStalls << ','
+       << r.coalescedLines << ',' << r.busyCycles << ','
+       << row.key.seed << ',' << row.key.knobDigest << '\n';
+    for (const auto &l : r.launches)
+        os << "launch," << l.kernel << ',' << l.cycles << ','
+           << l.instsIssued << '\n';
+    os << "end\n";
+}
+
+IsaKind
+parseIsaTag(const std::string &isa)
+{
+    if (isa == "HSAIL")
+        return IsaKind::HSAIL;
+    if (isa == "GCN3")
+        return IsaKind::GCN3;
+    throw std::runtime_error("bad ISA tag in cache row");
+}
+
+/**
+ * Parse one cached row (result or quarantine marker). Returns false on
+ * a clean end-of-file; throws on a truncated or garbled row.
+ */
+bool
+readRow(std::istream &is, CachedRun &row)
+{
+    std::string line;
+    if (!std::getline(is, line) || line.empty())
+        return false;
+    std::istringstream ls(line);
+    std::string tok;
+    auto next = [&]() {
+        if (!std::getline(ls, tok, ','))
+            throw std::runtime_error("truncated cache row");
+        return tok;
+    };
+
+    AppResult &r = row.result;
+    std::string first = next();
+    if (first == "quarantine") {
+        row.key.workload = next();
+        row.key.isa = parseIsaTag(next());
+        row.key.seed = std::stoull(next());
+        row.key.knobDigest = std::stoull(next());
+        r = AppResult{};
+        r.workload = row.key.workload;
+        r.isa = row.key.isa;
+        r.quarantined = true;
+        r.errorKind = next();
+        std::getline(ls, r.errorMessage); // rest of line, commas and all
+        return true;
+    }
+
+    r.workload = first;
+    r.isa = parseIsaTag(next());
+    r.verified = std::stoi(next());
+    r.digest = std::stoull(next());
+    r.dynInsts = std::stoull(next());
+    r.valu = std::stoull(next());
+    r.salu = std::stoull(next());
+    r.vmem = std::stoull(next());
+    r.smem = std::stoull(next());
+    r.lds = std::stoull(next());
+    r.branch = std::stoull(next());
+    r.waitcnt = std::stoull(next());
+    r.misc = std::stoull(next());
+    r.cycles = std::stoull(next());
+    r.ipc = std::stod(next());
+    r.vrfBankConflicts = std::stoull(next());
+    r.reuseMedian = std::stod(next());
+    r.instFootprint = std::stoull(next());
+    r.ibFlushes = std::stoull(next());
+    r.readUniq = std::stod(next());
+    r.writeUniq = std::stod(next());
+    r.vrfUniq = std::stod(next());
+    r.dataFootprint = std::stoull(next());
+    r.simdUtil = std::stod(next());
+    r.l1iMisses = std::stoull(next());
+    r.l1iHits = std::stoull(next());
+    r.hazardViolations = std::stoull(next());
+    r.scoreboardStalls = std::stoull(next());
+    r.waitcntStalls = std::stoull(next());
+    r.ibEmptyStalls = std::stoull(next());
+    r.fuConflictStalls = std::stoull(next());
+    r.coalescedLines = std::stoull(next());
+    r.busyCycles = std::stoull(next());
+    row.key.workload = r.workload;
+    row.key.isa = r.isa;
+    row.key.seed = std::stoull(next());
+    row.key.knobDigest = std::stoull(next());
+    while (std::getline(is, line) && line != "end") {
+        std::istringstream lls(line);
+        std::string tag, kernel, cyc, insts;
+        std::getline(lls, tag, ',');
+        if (tag != "launch")
+            throw std::runtime_error("bad launch row in cache");
+        std::getline(lls, kernel, ',');
+        std::getline(lls, cyc, ',');
+        std::getline(lls, insts, ',');
+        r.launches.push_back(
+            {kernel, std::stoull(cyc), std::stoull(insts)});
+    }
+    return true;
+}
+
+} // namespace
+
+CacheKey
+specCacheKey(const RunSpec &spec)
+{
+    CacheKey k;
+    k.workload = spec.workload;
+    k.isa = spec.isa;
+    k.seed = spec.scale.seed;
+    k.knobDigest = workloads::kernelParamsDigest(spec.scale);
+    return k;
+}
+
+bool
+cacheKeyLess(const CacheKey &a, const CacheKey &b)
+{
+    size_t ra = workloadRank(a.workload), rb = workloadRank(b.workload);
+    if (ra != rb)
+        return ra < rb;
+    if (a.workload != b.workload)
+        return a.workload < b.workload;
+    if (a.isa != b.isa)
+        return a.isa == IsaKind::HSAIL; // HSAIL first, like the matrix
+    if (a.seed != b.seed)
+        return a.seed < b.seed;
+    return a.knobDigest < b.knobDigest;
+}
+
+const CachedRun *
+BenchCacheFile::find(const CacheKey &key) const
+{
+    for (const CachedRun &row : rows)
+        if (row.key == key)
+            return &row;
+    return nullptr;
+}
+
+void
+writeBenchCache(std::ostream &os, const BenchCacheFile &cache)
+{
+    std::vector<const CachedRun *> ordered;
+    ordered.reserve(cache.rows.size());
+    for (const CachedRun &row : cache.rows)
+        ordered.push_back(&row);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const CachedRun *a, const CachedRun *b) {
+                         return cacheKeyLess(a->key, b->key);
+                     });
+    os << "last-bench-cache v" << BenchCacheVersion
+       << " scale=" << cache.scale << "\n";
+    for (const CachedRun *row : ordered)
+        writeRow(os, *row);
+}
+
+bool
+readBenchCache(std::istream &is, BenchCacheFile &out,
+               const std::string &source)
+{
+    out = BenchCacheFile{};
+    std::string header;
+    if (!std::getline(is, header))
+        return false;
+    int ver = 0;
+    double scale = 0;
+    std::sscanf(header.c_str(), "last-bench-cache v%d scale=%lf", &ver,
+                &scale);
+    if (ver != BenchCacheVersion) {
+        // The satellite contract: a version mismatch discards real
+        // simulation results, so it must be loud, not a silent miss.
+        warn("bench cache %s has version %d (current v%d); "
+             "discarding it — the sweep will re-simulate",
+             source.c_str(), ver, BenchCacheVersion);
+        return false;
+    }
+    out.scale = scale;
+    try {
+        CachedRun row;
+        while (readRow(is, row)) {
+            out.rows.push_back(std::move(row));
+            row = CachedRun{};
+        }
+    } catch (const std::exception &e) {
+        warn("bench cache %s is damaged (%s); discarding all %zu "
+             "parsed rows — the sweep will re-simulate",
+             source.c_str(), e.what(), out.rows.size());
+        out.rows.clear();
+        return false;
+    }
+    return true;
+}
+
+size_t
+dropQuarantinedRows(BenchCacheFile &cache, const std::string &source)
+{
+    size_t dropped = 0;
+    std::vector<CachedRun> kept;
+    kept.reserve(cache.rows.size());
+    for (CachedRun &row : cache.rows) {
+        if (row.result.quarantined) {
+            warn("bench cache %s: dropping quarantined row %s/%s "
+                 "(%s: %s) — that spec will be re-simulated",
+                 source.c_str(), row.key.workload.c_str(),
+                 isaName(row.key.isa), row.result.errorKind.c_str(),
+                 row.result.errorMessage.c_str());
+            ++dropped;
+            continue;
+        }
+        kept.push_back(std::move(row));
+    }
+    cache.rows = std::move(kept);
+    return dropped;
+}
+
+BenchCacheFile
+mergeBenchCaches(const std::vector<BenchCacheFile> &parts)
+{
+    BenchCacheFile merged;
+    bool first = true;
+    for (const BenchCacheFile &part : parts) {
+        if (first) {
+            merged.scale = part.scale;
+            first = false;
+        } else {
+            fatal_if(part.scale != merged.scale,
+                     "cannot merge bench caches at different scales "
+                     "(%g vs %g)",
+                     part.scale, merged.scale);
+        }
+        for (const CachedRun &row : part.rows) {
+            if (const CachedRun *have = merged.find(row.key)) {
+                // Overlapping shards legitimately duplicate rows; a
+                // deterministic simulator produces identical stats, so
+                // anything else is a red flag worth shouting about.
+                std::ostringstream a, b;
+                writeRow(a, *have);
+                writeRow(b, row);
+                if (a.str() != b.str())
+                    warn("merge: conflicting duplicate for %s/%s "
+                         "(seed %llu); keeping the first occurrence",
+                         row.key.workload.c_str(),
+                         isaName(row.key.isa),
+                         (unsigned long long)row.key.seed);
+                continue;
+            }
+            merged.rows.push_back(row);
+        }
+    }
+    return merged;
+}
+
+} // namespace last::sim

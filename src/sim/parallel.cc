@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -22,9 +23,172 @@ defaultJobs()
     return hw ? hw : 1;
 }
 
+namespace
+{
+
+/**
+ * One worker's task deque. The owner pops from the head (executing its
+ * initial chunk in input order); thieves take the back half, the work
+ * the owner would reach last. Tasks here are whole simulations
+ * (milliseconds to seconds), so a plain mutex per deque costs nothing
+ * measurable and keeps the scheduler trivially TSan-clean — the
+ * lock-free Chase-Lev structure would buy latency this workload cannot
+ * observe.
+ */
+struct StealDeque
+{
+    std::mutex m;
+    std::vector<size_t> buf; ///< live range is [head, buf.size())
+    size_t head = 0;
+
+    bool
+    pop(size_t &out)
+    {
+        std::lock_guard<std::mutex> lk(m);
+        if (head >= buf.size())
+            return false;
+        out = buf[head++];
+        return true;
+    }
+
+    /** Move the back half (ceil) of the live range into `into`;
+     *  @return number of tasks stolen (0 = nothing to steal). */
+    size_t
+    stealHalfInto(std::vector<size_t> &into)
+    {
+        std::lock_guard<std::mutex> lk(m);
+        size_t avail = buf.size() - head;
+        if (avail == 0)
+            return 0;
+        size_t take = (avail + 1) / 2;
+        into.insert(into.end(), buf.end() - std::ptrdiff_t(take),
+                    buf.end());
+        buf.resize(buf.size() - take);
+        return take;
+    }
+};
+
+/** Static contiguous partition: worker w owns [lo, hi). */
+void
+staticChunk(size_t n, unsigned jobs, unsigned w, size_t &lo, size_t &hi)
+{
+    lo = n * w / jobs;
+    hi = n * (w + 1) / jobs;
+}
+
+} // namespace
+
 std::vector<std::exception_ptr>
 parallelInvokeCollect(const std::vector<std::function<void()>> &tasks,
-                      unsigned jobs)
+                      unsigned jobs, PoolStats *stats)
+{
+    const size_t n = tasks.size();
+    if (jobs == 0)
+        jobs = defaultJobs();
+    if (jobs > n)
+        jobs = unsigned(n);
+    if (stats)
+        *stats = PoolStats{};
+
+    // Per-task capture slots: each index is written by exactly one
+    // worker (the one that claimed it), so no lock is needed. The
+    // steal schedule decides only *which worker* runs a task, never
+    // which slot its result or error lands in — that is the whole
+    // determinism argument for input-order result collection.
+    std::vector<std::exception_ptr> errors(n);
+    auto runTask = [&](size_t i) {
+        try {
+            tasks[i]();
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    };
+
+    if (jobs <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            runTask(i);
+        return errors;
+    }
+
+    // Seed each worker's deque with its static chunk (input order, so
+    // an undisturbed worker executes exactly the serial schedule), then
+    // let exhausted workers steal half of a victim's remaining work.
+    std::vector<StealDeque> deques(jobs);
+    for (unsigned w = 0; w < jobs; ++w) {
+        size_t lo, hi;
+        staticChunk(n, jobs, w, lo, hi);
+        deques[w].buf.reserve(hi - lo);
+        for (size_t i = lo; i < hi; ++i)
+            deques[w].buf.push_back(i);
+    }
+
+    std::atomic<size_t> pending{n};
+    std::atomic<uint64_t> steals{0}, stolenTasks{0};
+
+    auto worker = [&](unsigned self) {
+        std::vector<size_t> loot; // scratch for stolen batches
+        while (pending.load(std::memory_order_acquire) > 0) {
+            size_t i;
+            if (deques[self].pop(i)) {
+                runTask(i);
+                pending.fetch_sub(1, std::memory_order_release);
+                continue;
+            }
+            // Local deque dry: rob the victims, nearest index first.
+            bool got = false;
+            for (unsigned k = 1; k < jobs && !got; ++k) {
+                unsigned victim = (self + k) % jobs;
+                loot.clear();
+                size_t taken = deques[victim].stealHalfInto(loot);
+                if (!taken)
+                    continue;
+                steals.fetch_add(1, std::memory_order_relaxed);
+                stolenTasks.fetch_add(taken,
+                                      std::memory_order_relaxed);
+                // The loot (the back of the victim's range, ascending)
+                // refills our deque; the next pop takes its lowest
+                // index first, preserving as much of the input order
+                // as stealing allows.
+                std::lock_guard<std::mutex> lk(deques[self].m);
+                for (size_t j = 0; j < taken; ++j)
+                    deques[self].buf.push_back(loot[j]);
+                got = true;
+            }
+            if (!got) {
+                // Nothing to steal anywhere, but tasks may still be in
+                // flight on other workers (pending > 0): yield rather
+                // than spin hot until they finish or release work.
+                std::this_thread::yield();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        pool.emplace_back(worker, t);
+    for (auto &th : pool)
+        th.join();
+
+    if (stats) {
+        stats->steals = steals.load();
+        stats->stolenTasks = stolenTasks.load();
+    }
+    return errors;
+}
+
+void
+parallelInvoke(const std::vector<std::function<void()>> &tasks,
+               unsigned jobs)
+{
+    for (const auto &e : parallelInvokeCollect(tasks, jobs))
+        if (e)
+            std::rethrow_exception(e);
+}
+
+void
+parallelInvokeStatic(const std::vector<std::function<void()>> &tasks,
+                     unsigned jobs)
 {
     const size_t n = tasks.size();
     if (jobs == 0)
@@ -32,8 +196,6 @@ parallelInvokeCollect(const std::vector<std::function<void()>> &tasks,
     if (jobs > n)
         jobs = unsigned(n);
 
-    // Per-task capture slots: each index is written by exactly one
-    // worker (the one that claimed it), so no lock is needed.
     std::vector<std::exception_ptr> errors(n);
     auto runTask = [&](size_t i) {
         try {
@@ -47,31 +209,19 @@ parallelInvokeCollect(const std::vector<std::function<void()>> &tasks,
         for (size_t i = 0; i < n; ++i)
             runTask(i);
     } else {
-        std::atomic<size_t> cursor{0};
         std::vector<std::thread> pool;
         pool.reserve(jobs);
-        for (unsigned t = 0; t < jobs; ++t)
-            pool.emplace_back([&] {
-                while (true) {
-                    size_t i =
-                        cursor.fetch_add(1, std::memory_order_relaxed);
-                    if (i >= n)
-                        return;
+        for (unsigned w = 0; w < jobs; ++w)
+            pool.emplace_back([&, w] {
+                size_t lo, hi;
+                staticChunk(n, jobs, w, lo, hi);
+                for (size_t i = lo; i < hi; ++i)
                     runTask(i);
-                }
             });
         for (auto &th : pool)
             th.join();
     }
-
-    return errors;
-}
-
-void
-parallelInvoke(const std::vector<std::function<void()>> &tasks,
-               unsigned jobs)
-{
-    for (const auto &e : parallelInvokeCollect(tasks, jobs))
+    for (const auto &e : errors)
         if (e)
             std::rethrow_exception(e);
 }

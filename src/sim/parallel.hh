@@ -22,6 +22,7 @@
 #ifndef LAST_SIM_PARALLEL_HH
 #define LAST_SIM_PARALLEL_HH
 
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <string>
@@ -46,12 +47,26 @@ struct RunSpec
  *  hardware_concurrency(), else 1. */
 unsigned defaultJobs();
 
+/** Scheduler counters from one parallelInvoke(Collect) call — how much
+ *  load-balancing the work-stealing pool actually did. Observational
+ *  only: the numbers depend on OS scheduling, never the results. */
+struct PoolStats
+{
+    uint64_t steals = 0;      ///< successful steal transactions
+    uint64_t stolenTasks = 0; ///< tasks migrated by those steals
+};
+
 /**
- * Run every task on a fixed-size worker pool (jobs == 0 means
- * defaultJobs()). Tasks are claimed from an atomic cursor, so workers
- * stay saturated even when task durations vary. After all workers
- * join, the exception from the lowest-index failed task (if any) is
- * rethrown.
+ * Run every task on a fixed-size work-stealing worker pool (jobs == 0
+ * means defaultJobs()). Each worker starts with a contiguous chunk of
+ * the task vector in its local deque and executes it in input order;
+ * when a worker's deque runs dry it steals the back half of a victim's
+ * remaining tasks (steal-half, scanning victims round-robin from its
+ * own index). Long tasks therefore cannot strand the batch on one
+ * worker the way static chunking or even a shared claim cursor can
+ * (the cursor balances task *counts*, stealing balances *remaining
+ * work*). After all workers join, the exception from the lowest-index
+ * failed task (if any) is rethrown.
  */
 void parallelInvoke(const std::vector<std::function<void()>> &tasks,
                     unsigned jobs = 0);
@@ -61,10 +76,21 @@ void parallelInvoke(const std::vector<std::function<void()>> &tasks,
  * vector with slot i holding the exception task i threw (null when it
  * succeeded). Never throws itself — one poisoned task cannot take the
  * rest of the batch down. runSweep builds its quarantine on this.
+ * @param stats optional out-param receiving scheduler counters.
  */
 std::vector<std::exception_ptr>
 parallelInvokeCollect(const std::vector<std::function<void()>> &tasks,
-                      unsigned jobs = 0);
+                      unsigned jobs = 0, PoolStats *stats = nullptr);
+
+/**
+ * The pre-work-stealing baseline: static contiguous chunking, one
+ * chunk per worker, no rebalancing. Kept only so benchmarks and tests
+ * can quantify what stealing buys on skewed task durations
+ * (BM_ParallelInvokeSkewed*); everything in the simulator goes through
+ * parallelInvoke. Same error contract as parallelInvoke.
+ */
+void parallelInvokeStatic(const std::vector<std::function<void()>> &tasks,
+                          unsigned jobs = 0);
 
 /** Run every spec concurrently; results in input (spec) order.
  *  Fail-fast contract: the first (lowest-index) worker exception is

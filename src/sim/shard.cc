@@ -1,0 +1,568 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace last::sim
+{
+
+namespace
+{
+
+// --------------------------------------------------------------------
+// A minimal JSON reader for the shard manifest. The repo's other JSON
+// surfaces are write-only (obs/json.hh); the manifest is the one
+// schema we both produce and consume, so it gets a small recursive-
+// descent parser here. Numbers keep their raw literal so 64-bit seeds
+// and digests never round-trip through a double.
+// --------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string text; ///< string value, or the raw number literal
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : members)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &src) : s(src) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        ws();
+        if (p != s.size())
+            fail("trailing garbage after JSON value");
+        return v;
+    }
+
+  private:
+    const std::string &s;
+    size_t p = 0;
+
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        throw std::runtime_error("manifest JSON: " + what +
+                                 " at offset " + std::to_string(p));
+    }
+
+    void
+    ws()
+    {
+        while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p])))
+            ++p;
+    }
+
+    char
+    peek()
+    {
+        if (p >= s.size())
+            fail("unexpected end of input");
+        return s[p];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++p;
+    }
+
+    bool
+    eat(char c)
+    {
+        if (p < s.size() && s[p] == c) {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        ws();
+        char c = peek();
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't' || c == 'f')
+            return boolean();
+        if (c == 'n') {
+            literal("null");
+            return JsonValue{};
+        }
+        return number();
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *q = word; *q; ++q)
+            if (p >= s.size() || s[p++] != *q)
+                fail(std::string("bad literal (expected ") + word + ")");
+    }
+
+    JsonValue
+    boolean()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (peek() == 't') {
+            literal("true");
+            v.boolean = true;
+        } else {
+            literal("false");
+        }
+        return v;
+    }
+
+    JsonValue
+    number()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        size_t start = p;
+        if (eat('-')) {}
+        while (p < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[p])) || s[p] == '.' ||
+                s[p] == 'e' || s[p] == 'E' || s[p] == '+' ||
+                s[p] == '-'))
+            ++p;
+        if (p == start)
+            fail("expected a number");
+        v.text = s.substr(start, p - start);
+        return v;
+    }
+
+    JsonValue
+    string()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        expect('"');
+        while (true) {
+            if (p >= s.size())
+                fail("unterminated string");
+            char c = s[p++];
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                if (p >= s.size())
+                    fail("unterminated escape");
+                char e = s[p++];
+                switch (e) {
+                  case '"': v.text += '"'; break;
+                  case '\\': v.text += '\\'; break;
+                  case '/': v.text += '/'; break;
+                  case 'n': v.text += '\n'; break;
+                  case 'r': v.text += '\r'; break;
+                  case 't': v.text += '\t'; break;
+                  case 'b': v.text += '\b'; break;
+                  case 'f': v.text += '\f'; break;
+                  case 'u': {
+                    if (p + 4 > s.size())
+                        fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = s[p++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= unsigned(h - 'A' + 10);
+                        else
+                            fail("bad \\u escape");
+                    }
+                    // Manifests only ever escape control characters;
+                    // encode the code point as UTF-8 for completeness.
+                    if (code < 0x80) {
+                        v.text += char(code);
+                    } else if (code < 0x800) {
+                        v.text += char(0xc0 | (code >> 6));
+                        v.text += char(0x80 | (code & 0x3f));
+                    } else {
+                        v.text += char(0xe0 | (code >> 12));
+                        v.text += char(0x80 | ((code >> 6) & 0x3f));
+                        v.text += char(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default: fail("unknown escape");
+                }
+            } else {
+                v.text += c;
+            }
+        }
+        return v;
+    }
+
+    JsonValue
+    array()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        ws();
+        if (eat(']'))
+            return v;
+        while (true) {
+            v.items.push_back(value());
+            ws();
+            if (eat(']'))
+                return v;
+            expect(',');
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        ws();
+        if (eat('}'))
+            return v;
+        while (true) {
+            ws();
+            JsonValue key = string();
+            ws();
+            expect(':');
+            v.members.emplace_back(std::move(key.text), value());
+            ws();
+            if (eat('}'))
+                return v;
+            expect(',');
+        }
+    }
+};
+
+const JsonValue &
+require(const JsonValue &obj, const std::string &key)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v)
+        throw std::runtime_error("manifest JSON: missing field '" + key +
+                                 "'");
+    return *v;
+}
+
+uint64_t
+asU64(const JsonValue &v, const std::string &key)
+{
+    if (v.kind != JsonValue::Kind::Number)
+        throw std::runtime_error("manifest JSON: field '" + key +
+                                 "' is not a number");
+    return std::stoull(v.text);
+}
+
+int64_t
+asI64(const JsonValue &v, const std::string &key)
+{
+    if (v.kind != JsonValue::Kind::Number)
+        throw std::runtime_error("manifest JSON: field '" + key +
+                                 "' is not a number");
+    return std::stoll(v.text);
+}
+
+double
+asDouble(const JsonValue &v, const std::string &key)
+{
+    if (v.kind != JsonValue::Kind::Number)
+        throw std::runtime_error("manifest JSON: field '" + key +
+                                 "' is not a number");
+    return std::stod(v.text);
+}
+
+std::string
+asString(const JsonValue &v, const std::string &key)
+{
+    if (v.kind != JsonValue::Kind::String)
+        throw std::runtime_error("manifest JSON: field '" + key +
+                                 "' is not a string");
+    return v.text;
+}
+
+} // namespace
+
+RunSpec
+specFromEntry(const ShardEntry &e)
+{
+    RunSpec s;
+    s.workload = e.workload;
+    s.isa = e.isa;
+    s.scale.factor = e.scaleFactor;
+    s.scale.seed = e.seed;
+    s.scale.ldsStrideWords = e.ldsStrideWords;
+    s.scale.ldsPadWords = e.ldsPadWords;
+    return s;
+}
+
+std::vector<RunSpec>
+canonicalMatrix(double scaleFactor, uint64_t seed)
+{
+    workloads::WorkloadScale scale{scaleFactor};
+    scale.seed = seed;
+    std::vector<RunSpec> specs;
+    const auto names = workloads::allWorkloadNames();
+    specs.reserve(names.size() * 2);
+    for (const auto &w : names) {
+        specs.push_back({w, IsaKind::HSAIL, GpuConfig{}, scale});
+        specs.push_back({w, IsaKind::GCN3, GpuConfig{}, scale});
+    }
+    return specs;
+}
+
+std::vector<ShardManifest>
+makeShardManifests(const std::vector<RunSpec> &specs, unsigned shards)
+{
+    fatal_if(shards == 0, "shard count must be >= 1");
+    std::vector<ShardManifest> out(shards);
+    for (unsigned i = 0; i < shards; ++i) {
+        out[i].shardIndex = i;
+        out[i].shardCount = shards;
+        out[i].totalSpecs = specs.size();
+    }
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const RunSpec &s = specs[i];
+        size_t group = i / 2; // HSAIL/GCN3 pair stays together
+        ShardManifest &m = out[group % shards];
+        ShardEntry e;
+        e.index = i;
+        e.workload = s.workload;
+        e.isa = s.isa;
+        e.scaleFactor = s.scale.factor;
+        e.seed = s.scale.seed;
+        e.ldsStrideWords = s.scale.ldsStrideWords;
+        e.ldsPadWords = s.scale.ldsPadWords;
+        m.entries.push_back(std::move(e));
+    }
+    return out;
+}
+
+void
+writeShardManifest(std::ostream &os, const ShardManifest &m)
+{
+    os << "{\n\"schema\":\"" << ShardSchema << "\",\n"
+       << "\"shard_index\":" << m.shardIndex << ",\n"
+       << "\"shard_count\":" << m.shardCount << ",\n"
+       << "\"total_specs\":" << m.totalSpecs << ",\n"
+       << "\"entries\":[\n";
+    for (size_t i = 0; i < m.entries.size(); ++i) {
+        const ShardEntry &e = m.entries[i];
+        os << "{\"index\":" << e.index << ",\"workload\":\""
+           << obs::jsonEscape(e.workload) << "\",\"isa\":\""
+           << isaName(e.isa) << "\",\"scale\":"
+           << obs::jsonNumber(e.scaleFactor) << ",\"seed\":" << e.seed
+           << ",\"lds_stride\":" << e.ldsStrideWords
+           << ",\"lds_pad\":" << e.ldsPadWords << "}";
+        if (i + 1 < m.entries.size())
+            os << ",";
+        os << "\n";
+    }
+    os << "]}\n";
+}
+
+ShardManifest
+readShardManifest(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string src = buf.str();
+    JsonValue root = JsonParser(src).parse();
+    if (root.kind != JsonValue::Kind::Object)
+        throw std::runtime_error("manifest JSON: top level is not an "
+                                 "object");
+    std::string schema = asString(require(root, "schema"), "schema");
+    if (schema != ShardSchema)
+        throw std::runtime_error("manifest schema is '" + schema +
+                                 "', expected '" + ShardSchema + "'");
+    ShardManifest m;
+    m.shardIndex =
+        unsigned(asU64(require(root, "shard_index"), "shard_index"));
+    m.shardCount =
+        unsigned(asU64(require(root, "shard_count"), "shard_count"));
+    m.totalSpecs =
+        size_t(asU64(require(root, "total_specs"), "total_specs"));
+    const JsonValue &entries = require(root, "entries");
+    if (entries.kind != JsonValue::Kind::Array)
+        throw std::runtime_error("manifest JSON: 'entries' is not an "
+                                 "array");
+    for (const JsonValue &je : entries.items) {
+        if (je.kind != JsonValue::Kind::Object)
+            throw std::runtime_error("manifest JSON: entry is not an "
+                                     "object");
+        ShardEntry e;
+        e.index = size_t(asU64(require(je, "index"), "index"));
+        e.workload = asString(require(je, "workload"), "workload");
+        std::string isa = asString(require(je, "isa"), "isa");
+        if (isa == "HSAIL")
+            e.isa = IsaKind::HSAIL;
+        else if (isa == "GCN3")
+            e.isa = IsaKind::GCN3;
+        else
+            throw std::runtime_error("manifest JSON: bad isa '" + isa +
+                                     "'");
+        e.scaleFactor = asDouble(require(je, "scale"), "scale");
+        e.seed = asU64(require(je, "seed"), "seed");
+        e.ldsStrideWords =
+            int(asI64(require(je, "lds_stride"), "lds_stride"));
+        e.ldsPadWords = int(asI64(require(je, "lds_pad"), "lds_pad"));
+        m.entries.push_back(std::move(e));
+    }
+    return m;
+}
+
+ShardRunOutcome
+runShard(const ShardManifest &m, const ShardRunOptions &opts)
+{
+    ShardRunOutcome out;
+    out.cache.rows.resize(m.entries.size());
+
+    for (size_t i = 0; i < m.entries.size(); ++i) {
+        fatal_if(m.entries[i].scaleFactor != m.entries[0].scaleFactor,
+                 "shard %u mixes scales %g and %g (one cache file "
+                 "holds one scale)",
+                 m.shardIndex, m.entries[0].scaleFactor,
+                 m.entries[i].scaleFactor);
+    }
+    out.cache.scale =
+        m.entries.empty() ? 1.0 : m.entries[0].scaleFactor;
+
+    // Incremental pass: serve every entry the reuse cache already has
+    // a healthy row for; only the misses get simulated.
+    std::vector<size_t> toRun;
+    for (size_t i = 0; i < m.entries.size(); ++i) {
+        const RunSpec spec = specFromEntry(m.entries[i]);
+        const CacheKey key = specCacheKey(spec);
+        if (opts.reuse) {
+            const CachedRun *hit = opts.reuse->find(key);
+            if (hit && !hit->result.quarantined) {
+                out.cache.rows[i] = *hit;
+                ++out.reused;
+                continue;
+            }
+        }
+        out.cache.rows[i].key = key;
+        toRun.push_back(i);
+    }
+
+    if (!toRun.empty()) {
+        std::vector<RunSpec> specs;
+        specs.reserve(toRun.size());
+        for (size_t i : toRun)
+            specs.push_back(specFromEntry(m.entries[i]));
+        SweepOptions so;
+        so.jobs = opts.jobs;
+        so.retryFailed = opts.retryFailed;
+        out.sweep = runSweep(specs, so);
+        for (size_t j = 0; j < toRun.size(); ++j)
+            out.cache.rows[toRun[j]].result =
+                std::move(out.sweep.results[j]);
+        out.simulated = toRun.size();
+    }
+
+    for (const CachedRun &row : out.cache.rows)
+        out.quarantined += row.result.quarantined;
+    return out;
+}
+
+std::vector<obs::DivergenceReport>
+divergenceFromCache(const BenchCacheFile &cache, double threshold)
+{
+    // Canonical order, so single-process and merged caches with equal
+    // row sets produce identical report sequences.
+    std::vector<const CachedRun *> ordered;
+    ordered.reserve(cache.rows.size());
+    for (const CachedRun &row : cache.rows)
+        ordered.push_back(&row);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const CachedRun *a, const CachedRun *b) {
+                         return cacheKeyLess(a->key, b->key);
+                     });
+
+    auto samePair = [](const CacheKey &a, const CacheKey &b) {
+        return a.workload == b.workload && a.seed == b.seed &&
+               a.knobDigest == b.knobDigest;
+    };
+
+    std::vector<obs::DivergenceReport> out;
+    for (size_t i = 0; i < ordered.size();) {
+        const CachedRun *hsail = nullptr, *gcn3 = nullptr;
+        size_t j = i;
+        for (; j < ordered.size() &&
+               samePair(ordered[j]->key, ordered[i]->key);
+             ++j) {
+            if (ordered[j]->key.isa == IsaKind::HSAIL && !hsail)
+                hsail = ordered[j];
+            else if (ordered[j]->key.isa == IsaKind::GCN3 && !gcn3)
+                gcn3 = ordered[j];
+        }
+
+        obs::DivergenceReport r;
+        if (hsail && gcn3) {
+            if (!hsail->result.quarantined &&
+                !gcn3->result.quarantined) {
+                // Restore runBoth's functional contract, degrading to
+                // a failed report instead of throwing (one bad
+                // workload must not kill the batch).
+                try {
+                    checkIsaAgreement(hsail->result, gcn3->result);
+                    r = obs::divergenceReport(hsail->result,
+                                              gcn3->result, threshold);
+                } catch (const IsaMismatchError &e) {
+                    r.workload = hsail->key.workload;
+                    r.failed = true;
+                    r.error = std::string("isa-mismatch: ") + e.what();
+                }
+            } else {
+                r = obs::divergenceReport(hsail->result, gcn3->result,
+                                          threshold);
+                r.workload = hsail->key.workload;
+            }
+        } else {
+            r.workload = ordered[i]->key.workload;
+            r.failed = true;
+            r.error = std::string("missing ") +
+                      (hsail ? "GCN3" : "HSAIL") +
+                      " row in the merged cache";
+        }
+        r.scale = cache.scale;
+        r.threshold = threshold;
+        out.push_back(std::move(r));
+        i = j;
+    }
+    return out;
+}
+
+} // namespace last::sim

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Multi-process sharded sweeps: deterministic matrix splitting, shard
+ * execution with incremental cache reuse, and the merge step.
+ *
+ * The (workload x ISA x scale x seed) sweep matrix is split into N
+ * shard manifests (JSON, schema `last-shard-v1`). Each manifest is
+ * executed by an independent `last_sweep` process (tools/sweep_cli.cc)
+ * on the in-process work-stealing pool, emitting a *partial* bench
+ * cache plus a partial divergence report; the merge step combines any
+ * set of partial caches back into artifacts byte-identical to what a
+ * single process covering the whole matrix writes. ROADMAP's sweep
+ * server schedules onto exactly this backend.
+ *
+ * Determinism argument, in three layers:
+ *  1. every simulation owns its Runtime/Gpu/FunctionalMemory, so an
+ *     AppResult depends only on its spec, never on scheduling — the
+ *     work-stealing schedule (sim/parallel.cc) decides who runs a
+ *     spec, not what it produces;
+ *  2. HSAIL/GCN3 pairs are kept in one shard (splitting is by pair
+ *     group, round-robin), so per-workload divergence reports never
+ *     straddle a shard boundary;
+ *  3. cache files are written in canonical key order
+ *     (bench_cache.hh), so equal row *sets* give equal file *bytes*
+ *     no matter which process produced which row or in what order
+ *     partials were merged.
+ */
+
+#ifndef LAST_SIM_SHARD_HH
+#define LAST_SIM_SHARD_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/divergence.hh"
+#include "sim/bench_cache.hh"
+#include "sim/parallel.hh"
+
+namespace last::sim
+{
+
+/** Manifest schema identifier (the `schema` field of the JSON). */
+constexpr const char *ShardSchema = "last-shard-v1";
+
+/** One sweep entry inside a shard manifest. */
+struct ShardEntry
+{
+    size_t index = 0; ///< position in the full (pre-split) matrix
+    std::string workload;
+    IsaKind isa = IsaKind::HSAIL;
+    double scaleFactor = 1.0;
+    uint64_t seed = 0;
+    int ldsStrideWords = -1;
+    int ldsPadWords = -1;
+};
+
+/** A deterministic slice of the sweep matrix. */
+struct ShardManifest
+{
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+    size_t totalSpecs = 0; ///< matrix size across all shards
+    std::vector<ShardEntry> entries;
+};
+
+/** The RunSpec a manifest entry describes (default GpuConfig — the
+ *  bench sweep never perturbs the Table 4 machine). */
+RunSpec specFromEntry(const ShardEntry &e);
+
+/**
+ * Split a spec matrix into `shards` manifests. Specs are grouped in
+ * consecutive pairs (the canonical matrix interleaves HSAIL/GCN3 per
+ * workload, and a divergence report needs both halves in one shard)
+ * and pair group g lands in shard g % shards — round-robin, so a
+ * skewed matrix (bfsgraph next to vecadd) spreads its heavy workloads
+ * across shards instead of stacking them into one. Deterministic:
+ * same specs and shard count, same manifests, always.
+ */
+std::vector<ShardManifest>
+makeShardManifests(const std::vector<RunSpec> &specs, unsigned shards);
+
+/** The canonical full sweep matrix (allWorkloadNames x both ISAs) at
+ *  one scale/seed — what `last_sweep plan` shards by default and what
+ *  the bench figures sweep. */
+std::vector<RunSpec> canonicalMatrix(double scaleFactor, uint64_t seed);
+
+/** Emit the `last-shard-v1` JSON for one manifest. */
+void writeShardManifest(std::ostream &os, const ShardManifest &m);
+
+/** Parse a `last-shard-v1` manifest.
+ *  @throws std::runtime_error on malformed JSON or a wrong schema. */
+ShardManifest readShardManifest(std::istream &is);
+
+struct ShardRunOptions
+{
+    unsigned jobs = 0;       ///< 0 = defaultJobs()
+    bool retryFailed = true; ///< runSweep's serial retry
+    /** Incremental mode: entries whose key has a healthy row here are
+     *  served from the cache instead of re-simulated. */
+    const BenchCacheFile *reuse = nullptr;
+};
+
+/** What one shard execution produced. */
+struct ShardRunOutcome
+{
+    BenchCacheFile cache; ///< one row per manifest entry
+    size_t simulated = 0; ///< entries actually run
+    size_t reused = 0;    ///< entries served from `reuse`
+    size_t quarantined = 0;
+    SweepReport sweep; ///< report over the simulated subset only
+};
+
+/**
+ * Execute one shard: look up every entry in the reuse cache, simulate
+ * the misses as one work-stealing sweep (runSweep semantics:
+ * quarantine + retry-once), and return a partial cache holding a row —
+ * real or quarantine marker — for every entry of the manifest.
+ */
+ShardRunOutcome runShard(const ShardManifest &m,
+                         const ShardRunOptions &opts = {});
+
+/**
+ * Divergence reports reconstructed from cache rows: rows are paired
+ * (HSAIL, GCN3) per (workload, seed, knob-digest) in canonical order;
+ * a quarantined or missing half degrades that workload's report to
+ * failed, exactly like the live runSweep-backed batch. Both the
+ * single-process and the merged path derive their report from the
+ * same cache representation, which is what makes the two reports
+ * byte-identical.
+ */
+std::vector<obs::DivergenceReport>
+divergenceFromCache(const BenchCacheFile &cache,
+                    double threshold = obs::DefaultDivergenceThreshold);
+
+} // namespace last::sim
+
+#endif // LAST_SIM_SHARD_HH

@@ -47,14 +47,20 @@ makeWorkload(const std::string &name, const WorkloadScale &scale)
     // name/scale/seq. The input seed is deliberately excluded — it
     // changes host data, never the IL, so seed variants share
     // artifacts.
+    w->setArtifactParams(kernelParamsDigest(scale));
+    return w;
+}
+
+uint64_t
+kernelParamsDigest(const WorkloadScale &scale)
+{
     uint64_t params = 1469598103934665603ull;
     auto mix = [&](uint64_t v) {
         params = (params ^ v) * 1099511628211ull;
     };
     mix(uint64_t(int64_t(scale.ldsStrideWords)));
     mix(uint64_t(int64_t(scale.ldsPadWords)));
-    w->setArtifactParams(params);
-    return w;
+    return params;
 }
 
 } // namespace last::workloads

@@ -114,6 +114,17 @@ std::vector<std::string> allWorkloadNames();
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        const WorkloadScale &scale = {});
 
+/**
+ * FNV-1a digest of every kernel-shaping knob beyond the scale factor
+ * (today: the ldsswizzle stride/pad words). This is the knob part of
+ * both the artifact-cache key (makeWorkload) and the bench-cache row
+ * key (sim::specCacheKey): two parameter variants of one workload are
+ * different programs and must never alias. The input seed is
+ * deliberately excluded from the *artifact* identity (it changes host
+ * data, never the IL) but is a separate column in the bench-cache key.
+ */
+uint64_t kernelParamsDigest(const WorkloadScale &scale);
+
 } // namespace last::workloads
 
 #endif // LAST_WORKLOADS_WORKLOAD_HH

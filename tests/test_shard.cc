@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Tests for the sharded sweep backend (sim/shard, sim/bench_cache):
+ *  - deterministic matrix splitting that keeps ISA pairs together;
+ *  - manifest JSON round-trip and schema validation;
+ *  - cache rows reconstruct results exactly (round-trip precision);
+ *  - merge is order-independent, overlap-tolerant, and idempotent,
+ *    with merged artifacts byte-identical to a single-process run;
+ *  - incremental reuse skips every cached spec and changes no bytes;
+ *  - quarantine marker rows survive the cache and degrade divergence
+ *    reports instead of vanishing, and the loader warns when it drops
+ *    rows (stale version, quarantined spec) instead of staying silent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "obs/divergence.hh"
+#include "sim/bench_cache.hh"
+#include "sim/shard.hh"
+
+using namespace last;
+
+namespace
+{
+
+std::vector<sim::RunSpec>
+smallMatrix()
+{
+    workloads::WorkloadScale scale{0.25};
+    std::vector<sim::RunSpec> specs;
+    for (const char *w : {"VecAdd", "ArrayBW", "atomicred", "pipeline"}) {
+        specs.push_back({w, IsaKind::HSAIL, GpuConfig{}, scale});
+        specs.push_back({w, IsaKind::GCN3, GpuConfig{}, scale});
+    }
+    return specs;
+}
+
+std::string
+cacheBytes(const sim::BenchCacheFile &c)
+{
+    std::ostringstream os;
+    sim::writeBenchCache(os, c);
+    return os.str();
+}
+
+std::string
+divergenceBytes(const sim::BenchCacheFile &c)
+{
+    auto reports = sim::divergenceFromCache(c);
+    std::ostringstream os;
+    obs::writeDivergenceJsonArray(os, reports);
+    return os.str();
+}
+
+std::string
+manifestBytes(const sim::ShardManifest &m)
+{
+    std::ostringstream os;
+    sim::writeShardManifest(os, m);
+    return os.str();
+}
+
+} // namespace
+
+TEST(ShardManifest, DeterministicSplitKeepsPairsTogether)
+{
+    auto specs = smallMatrix();
+    auto shards = sim::makeShardManifests(specs, 3);
+    ASSERT_EQ(shards.size(), 3u);
+
+    // Every spec appears exactly once, pairs (2g, 2g+1) in one shard.
+    std::vector<int> seen(specs.size(), 0);
+    for (const auto &m : shards) {
+        EXPECT_EQ(m.totalSpecs, specs.size());
+        EXPECT_EQ(m.shardCount, 3u);
+        for (size_t i = 0; i + 1 < m.entries.size(); i += 2) {
+            EXPECT_EQ(m.entries[i].workload, m.entries[i + 1].workload);
+            EXPECT_EQ(m.entries[i].isa, IsaKind::HSAIL);
+            EXPECT_EQ(m.entries[i + 1].isa, IsaKind::GCN3);
+        }
+        for (const auto &e : m.entries) {
+            ASSERT_LT(e.index, specs.size());
+            ++seen[e.index];
+            EXPECT_EQ(e.workload, specs[e.index].workload);
+            EXPECT_EQ(e.isa, specs[e.index].isa);
+        }
+    }
+    for (size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], 1) << "spec " << i;
+
+    // Same input, same manifests — byte for byte.
+    auto again = sim::makeShardManifests(specs, 3);
+    for (size_t i = 0; i < shards.size(); ++i)
+        EXPECT_EQ(manifestBytes(shards[i]), manifestBytes(again[i]));
+}
+
+TEST(ShardManifest, JsonRoundTrip)
+{
+    auto specs = smallMatrix();
+    // Exercise the 64-bit fields: seeds and knobs must not round-trip
+    // through a double.
+    for (auto &s : specs) {
+        s.scale.seed = 0xdeadbeefcafef00dull;
+        s.scale.ldsStrideWords = 33;
+        s.scale.ldsPadWords = 1;
+    }
+    auto shards = sim::makeShardManifests(specs, 2);
+    for (const auto &m : shards) {
+        std::istringstream is(manifestBytes(m));
+        sim::ShardManifest back = sim::readShardManifest(is);
+        EXPECT_EQ(back.shardIndex, m.shardIndex);
+        EXPECT_EQ(back.shardCount, m.shardCount);
+        EXPECT_EQ(back.totalSpecs, m.totalSpecs);
+        ASSERT_EQ(back.entries.size(), m.entries.size());
+        for (size_t i = 0; i < m.entries.size(); ++i) {
+            EXPECT_EQ(back.entries[i].index, m.entries[i].index);
+            EXPECT_EQ(back.entries[i].workload, m.entries[i].workload);
+            EXPECT_EQ(back.entries[i].isa, m.entries[i].isa);
+            EXPECT_EQ(back.entries[i].scaleFactor,
+                      m.entries[i].scaleFactor);
+            EXPECT_EQ(back.entries[i].seed, 0xdeadbeefcafef00dull);
+            EXPECT_EQ(back.entries[i].ldsStrideWords, 33);
+            EXPECT_EQ(back.entries[i].ldsPadWords, 1);
+        }
+        // Round-tripping the parse emits identical bytes.
+        EXPECT_EQ(manifestBytes(back), manifestBytes(m));
+    }
+}
+
+TEST(ShardManifest, RejectsBadInput)
+{
+    {
+        std::istringstream is("{\"schema\":\"wrong-schema\"}");
+        EXPECT_THROW(sim::readShardManifest(is), std::runtime_error);
+    }
+    {
+        std::istringstream is("{\"schema\":\"last-shard-v1\""); // cut off
+        EXPECT_THROW(sim::readShardManifest(is), std::runtime_error);
+    }
+    {
+        std::istringstream is("[1, 2, 3]");
+        EXPECT_THROW(sim::readShardManifest(is), std::runtime_error);
+    }
+    {
+        // Missing required entry fields.
+        std::istringstream is(
+            "{\"schema\":\"last-shard-v1\",\"shard_index\":0,"
+            "\"shard_count\":1,\"total_specs\":1,"
+            "\"entries\":[{\"index\":0}]}");
+        EXPECT_THROW(sim::readShardManifest(is), std::runtime_error);
+    }
+}
+
+TEST(BenchCache, RowRoundTripIsExact)
+{
+    auto specs = smallMatrix();
+    auto shards = sim::makeShardManifests(specs, 1);
+    auto outcome = sim::runShard(shards[0]);
+    ASSERT_EQ(outcome.quarantined, 0u);
+
+    std::string bytes = cacheBytes(outcome.cache);
+    std::istringstream is(bytes);
+    sim::BenchCacheFile back;
+    ASSERT_TRUE(sim::readBenchCache(is, back, "test"));
+    ASSERT_EQ(back.rows.size(), outcome.cache.rows.size());
+    EXPECT_EQ(back.scale, 0.25);
+
+    // Writing the parse reproduces the bytes, and the doubles made the
+    // trip exactly (round-trip precision, not the old 6 digits).
+    EXPECT_EQ(cacheBytes(back), bytes);
+    for (const auto &row : outcome.cache.rows) {
+        const sim::CachedRun *b = back.find(row.key);
+        ASSERT_NE(b, nullptr);
+        EXPECT_EQ(b->result.digest, row.result.digest);
+        EXPECT_EQ(b->result.dynInsts, row.result.dynInsts);
+        EXPECT_EQ(b->result.cycles, row.result.cycles);
+        EXPECT_DOUBLE_EQ(b->result.ipc, row.result.ipc);
+        EXPECT_DOUBLE_EQ(b->result.reuseMedian, row.result.reuseMedian);
+        EXPECT_DOUBLE_EQ(b->result.simdUtil, row.result.simdUtil);
+        EXPECT_EQ(b->result.coalescedLines, row.result.coalescedLines);
+        EXPECT_EQ(b->result.busyCycles, row.result.busyCycles);
+        ASSERT_EQ(b->result.launches.size(), row.result.launches.size());
+    }
+}
+
+TEST(ShardSweep, MergeIsOrderIndependentOverlapTolerantIdempotent)
+{
+    auto specs = smallMatrix();
+
+    // Ground truth: one process covering the whole matrix.
+    auto single = sim::runShard(sim::makeShardManifests(specs, 1)[0]);
+    const std::string want = cacheBytes(single.cache);
+    const std::string wantDiv = divergenceBytes(single.cache);
+
+    // Three shard processes (simulated in-process).
+    auto manifests = sim::makeShardManifests(specs, 3);
+    std::vector<sim::BenchCacheFile> parts;
+    for (const auto &m : manifests)
+        parts.push_back(sim::runShard(m).cache);
+
+    // Any merge order...
+    sim::BenchCacheFile merged =
+        sim::mergeBenchCaches({parts[0], parts[1], parts[2]});
+    EXPECT_EQ(cacheBytes(merged), want);
+    EXPECT_EQ(cacheBytes(sim::mergeBenchCaches(
+                  {parts[2], parts[0], parts[1]})),
+              want);
+    // ... overlapping shards (shard 1 delivered twice, plus the full
+    // single-process cache on top) ...
+    EXPECT_EQ(cacheBytes(sim::mergeBenchCaches(
+                  {parts[1], single.cache, parts[0], parts[1],
+                   parts[2]})),
+              want);
+    // ... and re-merging a merged cache are all byte-identical.
+    EXPECT_EQ(cacheBytes(sim::mergeBenchCaches({merged, merged})), want);
+
+    // The reconstructed divergence report matches the single-process
+    // one byte for byte too.
+    EXPECT_EQ(divergenceBytes(merged), wantDiv);
+}
+
+TEST(ShardSweep, IncrementalReuseSkipsEverythingAndChangesNoBytes)
+{
+    auto specs = smallMatrix();
+    auto manifest = sim::makeShardManifests(specs, 1)[0];
+    auto fresh = sim::runShard(manifest);
+    ASSERT_EQ(fresh.simulated, specs.size());
+    ASSERT_EQ(fresh.reused, 0u);
+
+    sim::ShardRunOptions opts;
+    opts.reuse = &fresh.cache;
+    auto warm = sim::runShard(manifest, opts);
+    EXPECT_EQ(warm.simulated, 0u);
+    EXPECT_EQ(warm.reused, specs.size());
+    EXPECT_EQ(cacheBytes(warm.cache), cacheBytes(fresh.cache));
+
+    // A different seed is a different key: nothing may be served from
+    // the seed-0 cache.
+    auto seeded = specs;
+    for (auto &s : seeded)
+        s.scale.seed = 7;
+    auto seededManifest = sim::makeShardManifests(seeded, 1)[0];
+    std::vector<size_t> toReuse;
+    for (const auto &e : seededManifest.entries) {
+        const sim::CachedRun *hit = fresh.cache.find(
+            sim::specCacheKey(sim::specFromEntry(e)));
+        if (hit)
+            toReuse.push_back(e.index);
+    }
+    EXPECT_TRUE(toReuse.empty());
+}
+
+TEST(ShardSweep, QuarantineRowsSurviveAndDegradeReports)
+{
+    // An unknown workload throws inside the sweep; runShard must
+    // quarantine it, emit a marker row that survives the cache
+    // round-trip, and the divergence report built from those rows must
+    // degrade to failed instead of inventing numbers.
+    workloads::WorkloadScale scale{0.25};
+    std::vector<sim::RunSpec> specs = {
+        {"VecAdd", IsaKind::HSAIL, GpuConfig{}, scale},
+        {"VecAdd", IsaKind::GCN3, GpuConfig{}, scale},
+        {"NoSuchWorkload", IsaKind::HSAIL, GpuConfig{}, scale},
+        {"NoSuchWorkload", IsaKind::GCN3, GpuConfig{}, scale},
+    };
+    auto outcome = sim::runShard(sim::makeShardManifests(specs, 1)[0]);
+    EXPECT_EQ(outcome.quarantined, 2u);
+    EXPECT_EQ(outcome.sweep.quarantined.size(), 2u);
+
+    std::string bytes = cacheBytes(outcome.cache);
+    std::istringstream is(bytes);
+    sim::BenchCacheFile back;
+    ASSERT_TRUE(sim::readBenchCache(is, back, "test"));
+    size_t quarantined = 0;
+    for (const auto &row : back.rows) {
+        if (!row.result.quarantined)
+            continue;
+        ++quarantined;
+        EXPECT_EQ(row.key.workload, "NoSuchWorkload");
+        EXPECT_FALSE(row.result.errorKind.empty());
+        EXPECT_FALSE(row.result.errorMessage.empty());
+    }
+    EXPECT_EQ(quarantined, 2u);
+    EXPECT_EQ(cacheBytes(back), bytes);
+
+    auto reports = sim::divergenceFromCache(back);
+    ASSERT_EQ(reports.size(), 2u); // VecAdd + NoSuchWorkload
+    bool sawFailed = false, sawOk = false;
+    for (const auto &r : reports) {
+        if (r.workload == "NoSuchWorkload") {
+            EXPECT_TRUE(r.failed);
+            EXPECT_TRUE(r.entries.empty());
+            sawFailed = true;
+        } else {
+            EXPECT_FALSE(r.failed);
+            sawOk = true;
+        }
+    }
+    EXPECT_TRUE(sawFailed);
+    EXPECT_TRUE(sawOk);
+
+    // A quarantined row never satisfies incremental reuse: the spec is
+    // re-attempted (and fails again here, staying quarantined).
+    sim::ShardRunOptions opts;
+    opts.reuse = &back;
+    opts.retryFailed = false;
+    auto retry = sim::runShard(sim::makeShardManifests(specs, 1)[0], opts);
+    EXPECT_EQ(retry.reused, 2u);     // the healthy VecAdd pair
+    EXPECT_EQ(retry.simulated, 2u);  // the poisoned pair re-attempted
+}
+
+TEST(ShardSweep, MissingHalfDegradesToFailedReport)
+{
+    workloads::WorkloadScale scale{0.25};
+    std::vector<sim::RunSpec> specs = {
+        {"VecAdd", IsaKind::HSAIL, GpuConfig{}, scale},
+    };
+    auto outcome = sim::runShard(sim::makeShardManifests(specs, 1)[0]);
+    auto reports = sim::divergenceFromCache(outcome.cache);
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_TRUE(reports[0].failed);
+    EXPECT_NE(reports[0].error.find("missing GCN3"), std::string::npos);
+}
+
+TEST(BenchCache, LoaderWarnsOnStaleVersionAndQuarantineDrops)
+{
+    std::vector<std::string> warnings;
+    setLogHook([&](const char *level, const std::string &msg) {
+        if (std::string(level) == "warn")
+            warnings.push_back(msg);
+    });
+
+    // Stale version header: loud, and the cache counts as absent.
+    {
+        std::istringstream is("last-bench-cache v4 scale=1\n"
+                              "VecAdd,HSAIL,1,123\n");
+        sim::BenchCacheFile out;
+        EXPECT_FALSE(sim::readBenchCache(is, out, "stale.csv"));
+        ASSERT_EQ(warnings.size(), 1u);
+        EXPECT_NE(warnings[0].find("stale.csv"), std::string::npos);
+        EXPECT_NE(warnings[0].find("version 4"), std::string::npos);
+    }
+
+    // Damaged row: loud, parsed rows discarded.
+    warnings.clear();
+    {
+        std::istringstream is("last-bench-cache v5 scale=1\n"
+                              "VecAdd,HSAIL,truncated\n");
+        sim::BenchCacheFile out;
+        EXPECT_FALSE(sim::readBenchCache(is, out, "damaged.csv"));
+        EXPECT_TRUE(out.rows.empty());
+        ASSERT_EQ(warnings.size(), 1u);
+        EXPECT_NE(warnings[0].find("damaged.csv"), std::string::npos);
+    }
+
+    // Quarantine rows: returned by the loader (the merge step needs
+    // them), dropped loudly by the figure-style consumer.
+    warnings.clear();
+    {
+        std::istringstream is(
+            "last-bench-cache v5 scale=1\n"
+            "quarantine,VecAdd,GCN3,0,42,DeadlockError,wedged, with "
+            "commas\n");
+        sim::BenchCacheFile out;
+        ASSERT_TRUE(sim::readBenchCache(is, out, "quar.csv"));
+        ASSERT_EQ(out.rows.size(), 1u);
+        EXPECT_TRUE(out.rows[0].result.quarantined);
+        EXPECT_EQ(out.rows[0].result.errorKind, "DeadlockError");
+        EXPECT_EQ(out.rows[0].result.errorMessage, "wedged, with commas");
+        EXPECT_TRUE(warnings.empty());
+
+        EXPECT_EQ(sim::dropQuarantinedRows(out, "quar.csv"), 1u);
+        EXPECT_TRUE(out.rows.empty());
+        ASSERT_EQ(warnings.size(), 1u);
+        EXPECT_NE(warnings[0].find("quarantined"), std::string::npos);
+        EXPECT_NE(warnings[0].find("VecAdd"), std::string::npos);
+    }
+
+    setLogHook(nullptr);
+}
+
+TEST(BenchCache, MergeRefusesMixedScalesAndFlagsConflicts)
+{
+    sim::BenchCacheFile a, b;
+    a.scale = 1.0;
+    b.scale = 0.5;
+    EXPECT_THROW(sim::mergeBenchCaches({a, b}), ConfigError);
+
+    // Conflicting duplicate rows (same key, different stats) warn and
+    // keep the first occurrence.
+    std::vector<std::string> warnings;
+    setLogHook([&](const char *level, const std::string &msg) {
+        if (std::string(level) == "warn")
+            warnings.push_back(msg);
+    });
+    sim::BenchCacheFile c, d;
+    c.scale = d.scale = 1.0;
+    sim::CachedRun row;
+    row.key = {"VecAdd", IsaKind::HSAIL, 0, 42};
+    row.result.workload = "VecAdd";
+    row.result.isa = IsaKind::HSAIL;
+    row.result.verified = true;
+    row.result.dynInsts = 100;
+    c.rows.push_back(row);
+    row.result.dynInsts = 999;
+    d.rows.push_back(row);
+    auto merged = sim::mergeBenchCaches({c, d});
+    ASSERT_EQ(merged.rows.size(), 1u);
+    EXPECT_EQ(merged.rows[0].result.dynInsts, 100u);
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find("conflicting duplicate"),
+              std::string::npos);
+    setLogHook(nullptr);
+}

@@ -197,13 +197,7 @@ cmdDiverge(std::vector<std::string> args)
 
     if (!jsonPath.empty()) {
         auto f = openOut(jsonPath);
-        f << "[\n";
-        for (size_t i = 0; i < reports.size(); ++i) {
-            obs::writeDivergenceJson(f, reports[i]);
-            if (i + 1 < reports.size())
-                f << ",\n";
-        }
-        f << "]\n";
+        obs::writeDivergenceJsonArray(f, reports);
     }
     return anyFailed ? 1 : 0;
 }

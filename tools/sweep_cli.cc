@@ -1,0 +1,268 @@
+/**
+ * @file
+ * `last_sweep` — the sharded sweep backend CLI (see DESIGN.md §4d).
+ *
+ *   last_sweep plan  --shards N [--scale F] [--seed S]
+ *                    [--lds-stride W] [--lds-pad W] [--out-dir D]
+ *   last_sweep run   MANIFEST.json [--cache FILE] [--out FILE]
+ *                    [--diverge FILE] [--jobs N] [--threshold T]
+ *                    [--no-retry]
+ *   last_sweep merge --out FILE [--diverge FILE] [--threshold T]
+ *                    PARTIAL.csv...
+ *
+ * plan:  split the canonical (workload x ISA) sweep matrix into N
+ *        deterministic `last-shard-v1` manifests (D/shard_<i>.json).
+ * run:   execute one shard on the work-stealing pool and write a
+ *        partial bench cache (`--out`) plus a partial
+ *        `last-divergence-v1` report (`--diverge`). With `--cache`,
+ *        incremental mode: specs whose (workload, ISA, scale, seed,
+ *        knob-digest) row already exists in that cache are served from
+ *        it instead of re-simulated.
+ * merge: combine partial caches into one cache + divergence report,
+ *        byte-identical to a single process covering the whole matrix
+ *        (any merge order, overlapping shards, and re-merging a merged
+ *        cache included).
+ *
+ * Exit code: 0 on success, 2 when the sweep completed but quarantined
+ * at least one spec (artifacts are still written, with quarantine
+ * marker rows), 1 on usage or I/O errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/divergence.hh"
+#include "sim/bench_cache.hh"
+#include "sim/shard.hh"
+
+using namespace last;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: last_sweep plan  --shards N [--scale F] [--seed S]\n"
+        "                        [--lds-stride W] [--lds-pad W] "
+        "[--out-dir D]\n"
+        "       last_sweep run   MANIFEST.json [--cache FILE] "
+        "[--out FILE]\n"
+        "                        [--diverge FILE] [--jobs N] "
+        "[--threshold T] [--no-retry]\n"
+        "       last_sweep merge --out FILE [--diverge FILE] "
+        "[--threshold T] PARTIAL.csv...\n");
+    std::exit(1);
+}
+
+/** Pull `--flag value` out of args (erasing it); @return defaulted. */
+std::string
+takeOption(std::vector<std::string> &args, const std::string &flag,
+           const std::string &dflt)
+{
+    for (size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == flag) {
+            std::string v = args[i + 1];
+            args.erase(args.begin() + i, args.begin() + i + 2);
+            return v;
+        }
+    }
+    return dflt;
+}
+
+bool
+takeFlag(std::vector<std::string> &args, const std::string &flag)
+{
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == flag) {
+            args.erase(args.begin() + i);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "last_sweep: cannot write %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    return f;
+}
+
+/** Load a bench cache, tolerating a missing file (empty cache). A
+ *  present-but-unusable cache warns via readBenchCache and counts as
+ *  empty too. @return true when usable rows were loaded. */
+bool
+loadCache(const std::string &path, sim::BenchCacheFile &cache)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    return sim::readBenchCache(in, cache, path);
+}
+
+int
+cmdPlan(std::vector<std::string> args)
+{
+    unsigned shards =
+        unsigned(std::stoul(takeOption(args, "--shards", "1")));
+    double scale = std::stod(takeOption(args, "--scale", "1.0"));
+    uint64_t seed = std::stoull(takeOption(args, "--seed", "0"));
+    int ldsStride = std::stoi(takeOption(args, "--lds-stride", "-1"));
+    int ldsPad = std::stoi(takeOption(args, "--lds-pad", "-1"));
+    std::string outDir = takeOption(args, "--out-dir", ".");
+    if (!args.empty() || shards == 0)
+        usage();
+
+    auto specs = sim::canonicalMatrix(scale, seed);
+    for (auto &s : specs) {
+        s.scale.ldsStrideWords = ldsStride;
+        s.scale.ldsPadWords = ldsPad;
+    }
+    auto manifests = sim::makeShardManifests(specs, shards);
+    for (const auto &m : manifests) {
+        std::string path = outDir + "/shard_" +
+                           std::to_string(m.shardIndex) + ".json";
+        auto f = openOut(path);
+        sim::writeShardManifest(f, m);
+        std::fprintf(stderr, "last_sweep: wrote %s (%zu specs)\n",
+                     path.c_str(), m.entries.size());
+    }
+    return 0;
+}
+
+int
+cmdRun(std::vector<std::string> args)
+{
+    std::string cachePath = takeOption(args, "--cache", "");
+    std::string outPath = takeOption(args, "--out", "");
+    std::string divergePath = takeOption(args, "--diverge", "");
+    unsigned jobs =
+        unsigned(std::stoul(takeOption(args, "--jobs", "0")));
+    double threshold = std::stod(takeOption(
+        args, "--threshold",
+        std::to_string(obs::DefaultDivergenceThreshold)));
+    bool noRetry = takeFlag(args, "--no-retry");
+    if (args.size() != 1)
+        usage();
+
+    std::ifstream mf(args[0]);
+    if (!mf) {
+        std::fprintf(stderr, "last_sweep: cannot read manifest %s\n",
+                     args[0].c_str());
+        return 1;
+    }
+    sim::ShardManifest m = sim::readShardManifest(mf);
+
+    sim::BenchCacheFile reuse;
+    sim::ShardRunOptions opts;
+    opts.jobs = jobs;
+    opts.retryFailed = !noRetry;
+    if (!cachePath.empty() && loadCache(cachePath, reuse))
+        opts.reuse = &reuse;
+
+    std::fprintf(stderr,
+                 "last_sweep: shard %u/%u — %zu specs on %u worker(s)"
+                 "%s\n",
+                 m.shardIndex, m.shardCount, m.entries.size(),
+                 jobs ? jobs : sim::defaultJobs(),
+                 opts.reuse ? " (incremental)" : "");
+    sim::ShardRunOutcome outcome = sim::runShard(m, opts);
+    std::fprintf(stderr,
+                 "last_sweep: %zu simulated, %zu reused, %zu "
+                 "quarantined\n",
+                 outcome.simulated, outcome.reused,
+                 outcome.quarantined);
+    if (!outcome.sweep.allOk())
+        std::fprintf(stderr, "%s", outcome.sweep.format().c_str());
+
+    if (!outPath.empty()) {
+        auto f = openOut(outPath);
+        sim::writeBenchCache(f, outcome.cache);
+    }
+    if (!divergePath.empty()) {
+        auto reports =
+            sim::divergenceFromCache(outcome.cache, threshold);
+        auto f = openOut(divergePath);
+        obs::writeDivergenceJsonArray(f, reports);
+    }
+    return outcome.quarantined ? 2 : 0;
+}
+
+int
+cmdMerge(std::vector<std::string> args)
+{
+    std::string outPath = takeOption(args, "--out", "");
+    std::string divergePath = takeOption(args, "--diverge", "");
+    double threshold = std::stod(takeOption(
+        args, "--threshold",
+        std::to_string(obs::DefaultDivergenceThreshold)));
+    if (outPath.empty() || args.empty())
+        usage();
+
+    std::vector<sim::BenchCacheFile> parts;
+    for (const std::string &path : args) {
+        sim::BenchCacheFile part;
+        if (!loadCache(path, part)) {
+            std::fprintf(stderr,
+                         "last_sweep: cannot load partial cache %s\n",
+                         path.c_str());
+            return 1;
+        }
+        parts.push_back(std::move(part));
+    }
+    sim::BenchCacheFile merged = sim::mergeBenchCaches(parts);
+
+    size_t quarantined = 0;
+    for (const auto &row : merged.rows)
+        quarantined += row.result.quarantined;
+    std::fprintf(stderr,
+                 "last_sweep: merged %zu partials -> %zu rows (%zu "
+                 "quarantined)\n",
+                 parts.size(), merged.rows.size(), quarantined);
+
+    {
+        auto f = openOut(outPath);
+        sim::writeBenchCache(f, merged);
+    }
+    if (!divergePath.empty()) {
+        auto reports = sim::divergenceFromCache(merged, threshold);
+        auto f = openOut(divergePath);
+        obs::writeDivergenceJsonArray(f, reports);
+    }
+    return quarantined ? 2 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    try {
+        if (cmd == "plan")
+            return cmdPlan(std::move(args));
+        if (cmd == "run")
+            return cmdRun(std::move(args));
+        if (cmd == "merge")
+            return cmdMerge(std::move(args));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "last_sweep: %s\n", e.what());
+        return 1;
+    }
+    usage();
+}
