@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "sim/bench_cache.hh"
 #include "sim/shard.hh"
@@ -91,8 +92,12 @@ loadOrCompute()
               outcome.quarantined, specs.size());
     }
     if (outcome.simulated) {
-        std::ofstream os(CacheFile);
-        sim::writeBenchCache(os, outcome.cache);
+        // Atomic replace: a figure binary killed mid-write must never
+        // leave a torn cache for the next run (or a concurrent shard
+        // worker) to trip over.
+        atomicWriteFile(CacheFile, [&](std::ostream &os) {
+            sim::writeBenchCache(os, outcome.cache);
+        });
     }
 
     // Manifest order is the canonical matrix: HSAIL then GCN3 per

@@ -34,4 +34,7 @@ cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null ||
 cmake --build build-perf -j --target last_obs >/dev/null ||
     fail "build"
 
+# --json output is written by last_obs through atomicWriteFile (temp +
+# fsync + rename), so killing this script mid-report can never leave a
+# torn JSON for a downstream consumer.
 exec "$repo/build-perf/tools/last_obs" diverge "$@"

@@ -1,0 +1,108 @@
+#include "common/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/error.hh"
+
+namespace last
+{
+
+namespace
+{
+
+[[noreturn]] void
+throwIo(const std::string &path, const char *op, int err)
+{
+    throw ConfigError(std::string("atomic write of ") + path + " failed: " +
+                          op + ": " + std::strerror(err),
+                      __FILE__, __LINE__);
+}
+
+// fsync the directory containing `path` so the rename itself is
+// durable. Best-effort: some filesystems refuse O_RDONLY directory
+// fsync; that weakens durability, not atomicity, so don't fail.
+void
+syncParentDir(const std::string &path)
+{
+    std::string dir = ".";
+    auto slash = path.find_last_of('/');
+    if (slash != std::string::npos)
+        dir = slash == 0 ? "/" : path.substr(0, slash);
+    int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
+void
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    // Same-directory temp so the rename never crosses a filesystem.
+    // The pid suffix keeps concurrent writers (e.g. an orphaned worker
+    // racing its replacement) from stomping each other's staging file;
+    // whoever renames last wins, and equal-content writers are benign.
+    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        throwIo(path, "open temp", errno);
+
+    const char *p = content.data();
+    size_t left = content.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            throwIo(path, "write", err);
+        }
+        p += n;
+        left -= static_cast<size_t>(n);
+    }
+
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throwIo(path, "fsync", err);
+    }
+    if (::close(fd) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        throwIo(path, "close", err);
+    }
+
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        throwIo(path, "rename", err);
+    }
+
+    syncParentDir(path);
+}
+
+void
+atomicWriteFile(const std::string &path,
+                const std::function<void(std::ostream &)> &producer)
+{
+    std::ostringstream os;
+    producer(os);
+    if (!os)
+        throwIo(path, "produce content", EIO);
+    atomicWriteFile(path, os.str());
+}
+
+} // namespace last

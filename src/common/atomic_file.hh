@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Crash-safe file replacement.
+ *
+ * Every artifact the sweep backend trusts across process lifetimes —
+ * `last-shard-v1` manifests, bench caches, `last-stats-v1` /
+ * `last-divergence-v1` JSON — must never be observable in a
+ * half-written state: the incremental-reuse path and the orchestrator
+ * resume path both decide what to (re)simulate by reading these files,
+ * so a torn write silently turns into wasted or, worse, wrong work.
+ *
+ * atomicWriteFile() gives all producers one durable primitive: the
+ * bytes are staged in a same-directory temp file
+ * (`<path>.tmp.<pid>`), fsync'd, renamed over the target, and the
+ * containing directory entry is fsync'd. A reader — or a crash at any
+ * instant, including SIGKILL mid-write — sees either the old complete
+ * file or the new complete file, never a mix, and concurrent writers
+ * of identical content race benignly (last rename wins, same bytes).
+ */
+
+#ifndef LAST_COMMON_ATOMIC_FILE_HH
+#define LAST_COMMON_ATOMIC_FILE_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace last
+{
+
+/**
+ * Durably replace `path` with `content` (see file comment for the
+ * staging/rename/fsync protocol).
+ * @throws ConfigError naming the path and failing operation on any
+ * I/O error; the temp file is unlinked before throwing.
+ */
+void atomicWriteFile(const std::string &path, const std::string &content);
+
+/**
+ * Same, with the content produced by a writer callback into an
+ * in-memory stream first. The repo's artifacts are small (kilobytes),
+ * so buffering the whole file trades nothing for the guarantee that
+ * the producer never touches the target path directly.
+ */
+void atomicWriteFile(const std::string &path,
+                     const std::function<void(std::ostream &)> &producer);
+
+} // namespace last
+
+#endif // LAST_COMMON_ATOMIC_FILE_HH

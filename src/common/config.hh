@@ -6,6 +6,7 @@
 #ifndef LAST_COMMON_CONFIG_HH
 #define LAST_COMMON_CONFIG_HH
 
+#include <chrono>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -124,6 +125,17 @@ struct GpuConfig
     uint64_t watchdogStallCycles = 1000000;
     uint64_t watchdogMaxCycles = 2000000000ull;
     /** @} */
+
+    /** Absolute wall-clock deadline for runToCompletion() (third
+     *  watchdog dimension, for schedulers: `last_sweep run
+     *  --timeout-ms` and the orchestrator's in-worker belt-and-braces
+     *  limit). Checked every 4096 ticks so the steady_clock read never
+     *  shows up in profiles; on expiry the run fails like any deadlock
+     *  (DeadlockError -> quarantine row), keeping artifacts
+     *  deterministic in *content shape* even though which runs time
+     *  out is inherently wall-clock dependent. Default (epoch) =
+     *  disabled. */
+    std::chrono::steady_clock::time_point wallDeadline{};
 
     /** Deterministic fault-injection plan (not owned; nullptr = no
      *  faults). See sim/faultinject.hh. */

@@ -1,0 +1,325 @@
+#include "common/json_in.hh"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "common/error.hh"
+
+namespace last::jsonin
+{
+
+namespace
+{
+
+[[noreturn]] void
+failAt(const std::string &source, const std::string &what, size_t offset)
+{
+    throw ConfigError(source + ": " + what + " at byte " +
+                          std::to_string(offset),
+                      __FILE__, __LINE__);
+}
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &src, const std::string &name)
+        : s(src), source(name)
+    {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        ws();
+        if (p != s.size())
+            fail("trailing garbage after JSON value");
+        return v;
+    }
+
+  private:
+    const std::string &s;
+    const std::string &source;
+    size_t p = 0;
+
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        failAt(source, what, p);
+    }
+
+    void
+    ws()
+    {
+        while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p])))
+            ++p;
+    }
+
+    char
+    peek()
+    {
+        if (p >= s.size())
+            fail("unexpected end of input");
+        return s[p];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++p;
+    }
+
+    bool
+    eat(char c)
+    {
+        if (p < s.size() && s[p] == c) {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        ws();
+        char c = peek();
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't' || c == 'f')
+            return boolean();
+        if (c == 'n') {
+            JsonValue v;
+            v.offset = p;
+            literal("null");
+            return v;
+        }
+        return number();
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *q = word; *q; ++q)
+            if (p >= s.size() || s[p++] != *q)
+                fail(std::string("bad literal (expected ") + word + ")");
+    }
+
+    JsonValue
+    boolean()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        v.offset = p;
+        if (peek() == 't') {
+            literal("true");
+            v.boolean = true;
+        } else {
+            literal("false");
+        }
+        return v;
+    }
+
+    JsonValue
+    number()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.offset = p;
+        size_t start = p;
+        if (eat('-')) {}
+        while (p < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[p])) || s[p] == '.' ||
+                s[p] == 'e' || s[p] == 'E' || s[p] == '+' ||
+                s[p] == '-'))
+            ++p;
+        if (p == start)
+            fail("expected a number");
+        v.text = s.substr(start, p - start);
+        return v;
+    }
+
+    JsonValue
+    string()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.offset = p;
+        expect('"');
+        while (true) {
+            if (p >= s.size())
+                fail("unterminated string");
+            char c = s[p++];
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                if (p >= s.size())
+                    fail("unterminated escape");
+                char e = s[p++];
+                switch (e) {
+                  case '"': v.text += '"'; break;
+                  case '\\': v.text += '\\'; break;
+                  case '/': v.text += '/'; break;
+                  case 'n': v.text += '\n'; break;
+                  case 'r': v.text += '\r'; break;
+                  case 't': v.text += '\t'; break;
+                  case 'b': v.text += '\b'; break;
+                  case 'f': v.text += '\f'; break;
+                  case 'u': {
+                    if (p + 4 > s.size())
+                        fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = s[p++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= unsigned(h - 'A' + 10);
+                        else
+                            fail("bad \\u escape");
+                    }
+                    // Our writers only ever escape control characters;
+                    // encode the code point as UTF-8 for completeness.
+                    if (code < 0x80) {
+                        v.text += char(code);
+                    } else if (code < 0x800) {
+                        v.text += char(0xc0 | (code >> 6));
+                        v.text += char(0x80 | (code & 0x3f));
+                    } else {
+                        v.text += char(0xe0 | (code >> 12));
+                        v.text += char(0x80 | ((code >> 6) & 0x3f));
+                        v.text += char(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default: fail("unknown escape");
+                }
+            } else {
+                v.text += c;
+            }
+        }
+        return v;
+    }
+
+    JsonValue
+    array()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        v.offset = p;
+        expect('[');
+        ws();
+        if (eat(']'))
+            return v;
+        while (true) {
+            v.items.push_back(value());
+            ws();
+            if (eat(']'))
+                return v;
+            expect(',');
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        v.offset = p;
+        expect('{');
+        ws();
+        if (eat('}'))
+            return v;
+        while (true) {
+            ws();
+            JsonValue key = string();
+            ws();
+            expect(':');
+            v.members.emplace_back(std::move(key.text), value());
+            ws();
+            if (eat('}'))
+                return v;
+            expect(',');
+        }
+    }
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text, const std::string &source)
+{
+    return JsonParser(text, source).parse();
+}
+
+const JsonValue &
+require(const JsonValue &obj, const std::string &key,
+        const std::string &source)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v)
+        failAt(source, "missing field '" + key + "'", obj.offset);
+    return *v;
+}
+
+uint64_t
+asU64(const JsonValue &v, const std::string &key, const std::string &source)
+{
+    if (v.kind != JsonValue::Kind::Number)
+        failAt(source, "field '" + key + "' is not a number", v.offset);
+    try {
+        return std::stoull(v.text);
+    } catch (const std::exception &) {
+        failAt(source, "field '" + key + "' is not a valid u64 ('" +
+                           v.text + "')",
+               v.offset);
+    }
+}
+
+int64_t
+asI64(const JsonValue &v, const std::string &key, const std::string &source)
+{
+    if (v.kind != JsonValue::Kind::Number)
+        failAt(source, "field '" + key + "' is not a number", v.offset);
+    try {
+        return std::stoll(v.text);
+    } catch (const std::exception &) {
+        failAt(source, "field '" + key + "' is not a valid i64 ('" +
+                           v.text + "')",
+               v.offset);
+    }
+}
+
+double
+asDouble(const JsonValue &v, const std::string &key,
+         const std::string &source)
+{
+    if (v.kind != JsonValue::Kind::Number)
+        failAt(source, "field '" + key + "' is not a number", v.offset);
+    try {
+        return std::stod(v.text);
+    } catch (const std::exception &) {
+        failAt(source, "field '" + key + "' is not a valid double ('" +
+                           v.text + "')",
+               v.offset);
+    }
+}
+
+std::string
+asString(const JsonValue &v, const std::string &key,
+         const std::string &source)
+{
+    if (v.kind != JsonValue::Kind::String)
+        failAt(source, "field '" + key + "' is not a string", v.offset);
+    return v.text;
+}
+
+} // namespace last::jsonin

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A minimal JSON reader shared by every schema the repo both produces
+ * and consumes (`last-shard-v1` manifests, the `last-journal-v1`
+ * orchestration journal). Grown out of the parser that used to live in
+ * sim/shard.cc once a second consumer appeared.
+ *
+ * Design points:
+ *  - numbers keep their raw literal so 64-bit seeds and knob digests
+ *    never round-trip through a double;
+ *  - every value remembers the byte offset it started at, and every
+ *    parse names its source (a path, usually), so torn or garbage
+ *    input fails loudly as `ConfigError` ("<source>: ... at byte
+ *    <offset>") instead of crashing, hanging, or half-loading;
+ *  - the numeric accessors wrap std::stoull/stod so a syntactically
+ *    number-shaped token that overflows still surfaces as ConfigError,
+ *    never a bare std::out_of_range.
+ */
+
+#ifndef LAST_COMMON_JSON_IN_HH
+#define LAST_COMMON_JSON_IN_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace last::jsonin
+{
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string text; ///< string value, or the raw number literal
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> members;
+    size_t offset = 0; ///< byte offset of the value's first character
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : members)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+/**
+ * Parse one complete JSON value; trailing non-whitespace is an error.
+ * @param source name used in error messages (file path, "<stdin>", …).
+ * @throws ConfigError on any syntax error, with source + byte offset.
+ */
+JsonValue parseJson(const std::string &text, const std::string &source);
+
+/** Field accessors. All throw ConfigError naming `source`, the field,
+ *  and the byte offset when the shape or range is wrong. */
+const JsonValue &require(const JsonValue &obj, const std::string &key,
+                         const std::string &source);
+uint64_t asU64(const JsonValue &v, const std::string &key,
+               const std::string &source);
+int64_t asI64(const JsonValue &v, const std::string &key,
+              const std::string &source);
+double asDouble(const JsonValue &v, const std::string &key,
+                const std::string &source);
+std::string asString(const JsonValue &v, const std::string &key,
+                     const std::string &source);
+
+} // namespace last::jsonin
+
+#endif // LAST_COMMON_JSON_IN_HH

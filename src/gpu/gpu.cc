@@ -228,9 +228,24 @@ Gpu::runToCompletion()
     Cycle lastProgress = start;
     const uint64_t stallLimit = cfg.watchdogStallCycles;
     const uint64_t budget = cfg.watchdogMaxCycles;
+    const bool hasWallDeadline =
+        cfg.wallDeadline != std::chrono::steady_clock::time_point{};
+    uint64_t wallPoll = 0;
     while (!idle()) {
         tick();
         Cycle now = eq.now();
+        // Wall-clock watchdog (opt-in; see GpuConfig::wallDeadline).
+        // Polled on the first tick and every 1024 after: cheap enough
+        // to never matter, tight enough that a shard under
+        // --timeout-ms dies within milliseconds of its deadline — and
+        // a kernel launched when the budget is already spent (short
+        // event loops never reaching a sparser poll mark) still trips
+        // it immediately.
+        if (hasWallDeadline && (wallPoll++ & 1023) == 0 &&
+            std::chrono::steady_clock::now() >= cfg.wallDeadline) {
+            throwDeadlock("wall-clock deadline exceeded (timeout)",
+                          lastProgress);
+        }
         if (progressLastTick) {
             lastProgress = now;
         } else if (stallLimit && now - lastProgress > stallLimit) {

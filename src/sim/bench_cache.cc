@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "obs/json.hh"
 
@@ -82,100 +83,137 @@ writeRow(std::ostream &os, const CachedRun &row)
     os << "end\n";
 }
 
+// --------------------------------------------------------------------
+// Strict parsing machinery (v6). The whole stream is buffered so every
+// line knows its byte offset; any malformation throws ConfigError
+// naming the source and that offset — the satellite contract for torn
+// input is "loud failure with path and byte offset", so none of these
+// paths may fall back to std exceptions or partial success.
+// --------------------------------------------------------------------
+
+[[noreturn]] void
+failCache(const std::string &source, const std::string &what,
+          size_t offset)
+{
+    throw ConfigError("bench cache " + source + ": " + what +
+                          " at byte " + std::to_string(offset),
+                      __FILE__, __LINE__);
+}
+
+/** Line iterator over a buffered file that tracks the byte offset of
+ *  each line and whether it carried its '\n' terminator (a missing
+ *  one on the last line is the signature of a torn write). */
+struct LineReader
+{
+    const std::string &s;
+    size_t pos = 0;
+    size_t lineOffset = 0;
+    bool terminated = true;
+
+    explicit LineReader(const std::string &text) : s(text) {}
+
+    bool
+    next(std::string &line)
+    {
+        if (pos >= s.size())
+            return false;
+        lineOffset = pos;
+        size_t nl = s.find('\n', pos);
+        if (nl == std::string::npos) {
+            line = s.substr(pos);
+            pos = s.size();
+            terminated = false;
+        } else {
+            line = s.substr(pos, nl - pos);
+            pos = nl + 1;
+            terminated = true;
+        }
+        return true;
+    }
+};
+
+/** Comma-separated field cursor for one line; all accessors throw
+ *  ConfigError (via failCache) instead of leaking std::stoull's
+ *  invalid_argument/out_of_range on garbage tokens. */
+struct FieldCursor
+{
+    std::istringstream ls;
+    const std::string &source;
+    size_t offset;
+
+    FieldCursor(const std::string &line, const std::string &src,
+                size_t off)
+        : ls(line), source(src), offset(off)
+    {}
+
+    std::string
+    next(const char *field)
+    {
+        std::string tok;
+        if (!std::getline(ls, tok, ','))
+            failCache(source,
+                      std::string("truncated cache row (missing field "
+                                  "'") + field + "')",
+                      offset);
+        return tok;
+    }
+
+    uint64_t
+    u64(const char *field)
+    {
+        std::string tok = next(field);
+        try {
+            if (tok.empty() || tok[0] == '-')
+                throw std::invalid_argument("negative or empty");
+            size_t used = 0;
+            uint64_t v = std::stoull(tok, &used);
+            if (used != tok.size())
+                throw std::invalid_argument("trailing junk");
+            return v;
+        } catch (const std::exception &) {
+            failCache(source,
+                      std::string("field '") + field +
+                          "' is not a u64 ('" + tok + "')",
+                      offset);
+        }
+    }
+
+    double
+    f64(const char *field)
+    {
+        std::string tok = next(field);
+        try {
+            size_t used = 0;
+            double v = std::stod(tok, &used);
+            if (used != tok.size())
+                throw std::invalid_argument("trailing junk");
+            return v;
+        } catch (const std::exception &) {
+            failCache(source,
+                      std::string("field '") + field +
+                          "' is not a number ('" + tok + "')",
+                      offset);
+        }
+    }
+
+    std::string
+    rest()
+    {
+        std::string tail;
+        std::getline(ls, tail); // rest of line, commas and all
+        return tail;
+    }
+};
+
 IsaKind
-parseIsaTag(const std::string &isa)
+parseIsaTag(const std::string &isa, const std::string &source,
+            size_t offset)
 {
     if (isa == "HSAIL")
         return IsaKind::HSAIL;
     if (isa == "GCN3")
         return IsaKind::GCN3;
-    throw std::runtime_error("bad ISA tag in cache row");
-}
-
-/**
- * Parse one cached row (result or quarantine marker). Returns false on
- * a clean end-of-file; throws on a truncated or garbled row.
- */
-bool
-readRow(std::istream &is, CachedRun &row)
-{
-    std::string line;
-    if (!std::getline(is, line) || line.empty())
-        return false;
-    std::istringstream ls(line);
-    std::string tok;
-    auto next = [&]() {
-        if (!std::getline(ls, tok, ','))
-            throw std::runtime_error("truncated cache row");
-        return tok;
-    };
-
-    AppResult &r = row.result;
-    std::string first = next();
-    if (first == "quarantine") {
-        row.key.workload = next();
-        row.key.isa = parseIsaTag(next());
-        row.key.seed = std::stoull(next());
-        row.key.knobDigest = std::stoull(next());
-        r = AppResult{};
-        r.workload = row.key.workload;
-        r.isa = row.key.isa;
-        r.quarantined = true;
-        r.errorKind = next();
-        std::getline(ls, r.errorMessage); // rest of line, commas and all
-        return true;
-    }
-
-    r.workload = first;
-    r.isa = parseIsaTag(next());
-    r.verified = std::stoi(next());
-    r.digest = std::stoull(next());
-    r.dynInsts = std::stoull(next());
-    r.valu = std::stoull(next());
-    r.salu = std::stoull(next());
-    r.vmem = std::stoull(next());
-    r.smem = std::stoull(next());
-    r.lds = std::stoull(next());
-    r.branch = std::stoull(next());
-    r.waitcnt = std::stoull(next());
-    r.misc = std::stoull(next());
-    r.cycles = std::stoull(next());
-    r.ipc = std::stod(next());
-    r.vrfBankConflicts = std::stoull(next());
-    r.reuseMedian = std::stod(next());
-    r.instFootprint = std::stoull(next());
-    r.ibFlushes = std::stoull(next());
-    r.readUniq = std::stod(next());
-    r.writeUniq = std::stod(next());
-    r.vrfUniq = std::stod(next());
-    r.dataFootprint = std::stoull(next());
-    r.simdUtil = std::stod(next());
-    r.l1iMisses = std::stoull(next());
-    r.l1iHits = std::stoull(next());
-    r.hazardViolations = std::stoull(next());
-    r.scoreboardStalls = std::stoull(next());
-    r.waitcntStalls = std::stoull(next());
-    r.ibEmptyStalls = std::stoull(next());
-    r.fuConflictStalls = std::stoull(next());
-    r.coalescedLines = std::stoull(next());
-    r.busyCycles = std::stoull(next());
-    row.key.workload = r.workload;
-    row.key.isa = r.isa;
-    row.key.seed = std::stoull(next());
-    row.key.knobDigest = std::stoull(next());
-    while (std::getline(is, line) && line != "end") {
-        std::istringstream lls(line);
-        std::string tag, kernel, cyc, insts;
-        std::getline(lls, tag, ',');
-        if (tag != "launch")
-            throw std::runtime_error("bad launch row in cache");
-        std::getline(lls, kernel, ',');
-        std::getline(lls, cyc, ',');
-        std::getline(lls, insts, ',');
-        r.launches.push_back(
-            {kernel, std::stoull(cyc), std::stoull(insts)});
-    }
-    return true;
+    failCache(source, "bad ISA tag '" + isa + "'", offset);
 }
 
 } // namespace
@@ -230,6 +268,163 @@ writeBenchCache(std::ostream &os, const BenchCacheFile &cache)
        << " scale=" << cache.scale << "\n";
     for (const CachedRun *row : ordered)
         writeRow(os, *row);
+    os << "eof," << ordered.size() << "\n";
+}
+
+void
+readBenchCacheStrict(std::istream &is, BenchCacheFile &out,
+                     const std::string &source)
+{
+    out = BenchCacheFile{};
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+
+    LineReader lr(text);
+    std::string line;
+    if (!lr.next(line))
+        failCache(source, "empty file", 0);
+
+    int ver = 0;
+    double scale = 0;
+    if (std::sscanf(line.c_str(), "last-bench-cache v%d scale=%lf",
+                    &ver, &scale) != 2)
+        failCache(source, "malformed header '" + line + "'", 0);
+    if (ver != BenchCacheVersion) {
+        // A version mismatch discards real simulation results, so it
+        // must be loud, not a silent miss.
+        failCache(source,
+                  "has version " + std::to_string(ver) + " (current v" +
+                      std::to_string(BenchCacheVersion) + ")",
+                  0);
+    }
+    if (!lr.terminated)
+        failCache(source, "unterminated header line (torn write?)", 0);
+    out.scale = scale;
+
+    bool sawEof = false;
+    while (lr.next(line)) {
+        const size_t off = lr.lineOffset;
+        if (!lr.terminated)
+            failCache(source, "unterminated final line (torn write?)",
+                      off);
+        if (line.empty())
+            failCache(source, "blank line inside cache", off);
+
+        if (line.compare(0, 4, "eof,") == 0) {
+            FieldCursor fc(line, source, off);
+            fc.next("eof");
+            uint64_t count = fc.u64("row count");
+            if (count != out.rows.size())
+                failCache(source,
+                          "eof trailer claims " + std::to_string(count) +
+                              " rows but " +
+                              std::to_string(out.rows.size()) +
+                              " were present — truncated or torn file",
+                          off);
+            sawEof = true;
+            if (lr.next(line))
+                failCache(source, "trailing bytes after eof trailer",
+                          lr.lineOffset);
+            break;
+        }
+
+        CachedRun row;
+        AppResult &r = row.result;
+        FieldCursor fc(line, source, off);
+        std::string first = fc.next("workload");
+        if (first == "quarantine") {
+            row.key.workload = fc.next("workload");
+            row.key.isa =
+                parseIsaTag(fc.next("isa"), source, off);
+            row.key.seed = fc.u64("seed");
+            row.key.knobDigest = fc.u64("knobs");
+            r.workload = row.key.workload;
+            r.isa = row.key.isa;
+            r.quarantined = true;
+            r.errorKind = fc.next("kind");
+            r.errorMessage = fc.rest();
+        } else {
+            r.workload = first;
+            r.isa = parseIsaTag(fc.next("isa"), source, off);
+            r.verified = int(fc.u64("verified"));
+            r.digest = fc.u64("digest");
+            r.dynInsts = fc.u64("dynInsts");
+            r.valu = fc.u64("valu");
+            r.salu = fc.u64("salu");
+            r.vmem = fc.u64("vmem");
+            r.smem = fc.u64("smem");
+            r.lds = fc.u64("lds");
+            r.branch = fc.u64("branch");
+            r.waitcnt = fc.u64("waitcnt");
+            r.misc = fc.u64("misc");
+            r.cycles = fc.u64("cycles");
+            r.ipc = fc.f64("ipc");
+            r.vrfBankConflicts = fc.u64("vrfBankConflicts");
+            r.reuseMedian = fc.f64("reuseMedian");
+            r.instFootprint = fc.u64("instFootprint");
+            r.ibFlushes = fc.u64("ibFlushes");
+            r.readUniq = fc.f64("readUniq");
+            r.writeUniq = fc.f64("writeUniq");
+            r.vrfUniq = fc.f64("vrfUniq");
+            r.dataFootprint = fc.u64("dataFootprint");
+            r.simdUtil = fc.f64("simdUtil");
+            r.l1iMisses = fc.u64("l1iMisses");
+            r.l1iHits = fc.u64("l1iHits");
+            r.hazardViolations = fc.u64("hazardViolations");
+            r.scoreboardStalls = fc.u64("scoreboardStalls");
+            r.waitcntStalls = fc.u64("waitcntStalls");
+            r.ibEmptyStalls = fc.u64("ibEmptyStalls");
+            r.fuConflictStalls = fc.u64("fuConflictStalls");
+            r.coalescedLines = fc.u64("coalescedLines");
+            r.busyCycles = fc.u64("busyCycles");
+            row.key.workload = r.workload;
+            row.key.isa = r.isa;
+            row.key.seed = fc.u64("seed");
+            row.key.knobDigest = fc.u64("knobs");
+
+            // launch rows until "end"
+            bool ended = false;
+            while (lr.next(line)) {
+                const size_t loff = lr.lineOffset;
+                if (!lr.terminated)
+                    failCache(source,
+                              "unterminated final line (torn write?)",
+                              loff);
+                if (line == "end") {
+                    ended = true;
+                    break;
+                }
+                FieldCursor lc(line, source, loff);
+                std::string tag = lc.next("tag");
+                if (tag != "launch")
+                    failCache(source,
+                              "expected 'launch' or 'end', got '" +
+                                  tag + "'",
+                              loff);
+                std::string kernel = lc.next("kernel");
+                uint64_t cyc = lc.u64("cycles");
+                uint64_t insts = lc.u64("insts");
+                r.launches.push_back({kernel, cyc, insts});
+            }
+            if (!ended)
+                failCache(source,
+                          "truncated result row (missing 'end')", off);
+        }
+
+        if (out.find(row.key))
+            failCache(source,
+                      "duplicate row for " + row.key.workload + "/" +
+                          isaName(row.key.isa) + " seed " +
+                          std::to_string(row.key.seed),
+                      off);
+        out.rows.push_back(std::move(row));
+    }
+
+    if (!sawEof)
+        failCache(source,
+                  "missing eof trailer — truncated or pre-v6 file",
+                  text.size());
 }
 
 bool
@@ -237,36 +432,18 @@ readBenchCache(std::istream &is, BenchCacheFile &out,
                const std::string &source)
 {
     out = BenchCacheFile{};
-    std::string header;
-    if (!std::getline(is, header))
-        return false;
-    int ver = 0;
-    double scale = 0;
-    std::sscanf(header.c_str(), "last-bench-cache v%d scale=%lf", &ver,
-                &scale);
-    if (ver != BenchCacheVersion) {
-        // The satellite contract: a version mismatch discards real
-        // simulation results, so it must be loud, not a silent miss.
-        warn("bench cache %s has version %d (current v%d); "
-             "discarding it — the sweep will re-simulate",
-             source.c_str(), ver, BenchCacheVersion);
-        return false;
-    }
-    out.scale = scale;
+    if (is.peek() == std::char_traits<char>::eof())
+        return false; // absent or empty stream: a miss, not damage
     try {
-        CachedRun row;
-        while (readRow(is, row)) {
-            out.rows.push_back(std::move(row));
-            row = CachedRun{};
-        }
-    } catch (const std::exception &e) {
-        warn("bench cache %s is damaged (%s); discarding all %zu "
-             "parsed rows — the sweep will re-simulate",
-             source.c_str(), e.what(), out.rows.size());
-        out.rows.clear();
+        readBenchCacheStrict(is, out, source);
+        return true;
+    } catch (const SimError &e) {
+        warn("bench cache %s rejected (%s); discarding %zu parsed "
+             "rows — the sweep will re-simulate",
+             source.c_str(), e.message().c_str(), out.rows.size());
+        out = BenchCacheFile{};
         return false;
     }
-    return true;
 }
 
 size_t

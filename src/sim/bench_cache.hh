@@ -10,8 +10,8 @@
  * artifacts are byte-identical to a single-process run" a structural
  * property instead of a test hope.
  *
- * Format (version 5):
- *  - header: `last-bench-cache v5 scale=<g>`
+ * Format (version 6):
+ *  - header: `last-bench-cache v6 scale=<g>`
  *  - one result row per (workload, ISA, seed, knob-digest) key holding
  *    every AppResult statistic, doubles in round-trip precision so a
  *    cached row reconstructs the in-memory result exactly;
@@ -20,7 +20,12 @@
  *    marker rows for specs whose simulation failed, so a shard's
  *    partial output records *what is missing and why*. Quarantine
  *    rows never satisfy an incremental-reuse lookup and the figure
- *    loader drops them loudly (see dropQuarantinedRows).
+ *    loader drops them loudly (see dropQuarantinedRows);
+ *  - trailer: `eof,<row count>` — v6's torn-write detector. A file
+ *    truncated at a row boundary parses cleanly row-by-row; the
+ *    trailer turns that silent partial load into a loud failure,
+ *    which the orchestrator's resume verification and the chaos
+ *    harness both rely on.
  *
  * Rows are always written in canonical key order (position in
  * workloads::allWorkloadNames(), HSAIL before GCN3, then seed, then
@@ -41,8 +46,10 @@ namespace last::sim
 {
 
 /** Bench-cache format version. v5: sharded-sweep era — full stat
- *  rows, key columns, quarantine markers, canonical order. */
-constexpr int BenchCacheVersion = 5;
+ *  rows, key columns, quarantine markers, canonical order. v6: adds
+ *  the `eof,<nrows>` trailer so truncation at a row boundary cannot
+ *  load as a silently-partial cache. */
+constexpr int BenchCacheVersion = 6;
 
 /** The incremental-reuse identity of one sweep entry. The scale is
  *  file-level (caches at different scales are different files), so the
@@ -90,7 +97,22 @@ struct BenchCacheFile
 void writeBenchCache(std::ostream &os, const BenchCacheFile &cache);
 
 /**
- * Parse a cache stream. On a stale version header or a damaged row,
+ * Strict cache parser: any malformation — stale version, garbled or
+ * truncated row, duplicate key, missing/contradicting `eof` trailer,
+ * an unterminated final line, bytes after the trailer — throws
+ * ConfigError naming `source` and the byte offset of the offending
+ * line. Never crashes, hangs, or returns a partial row set. This is
+ * the loader the orchestrator's resume verification uses: "does this
+ * partial cache verify" must be a yes/no question with no silent
+ * third answer.
+ */
+void readBenchCacheStrict(std::istream &is, BenchCacheFile &out,
+                          const std::string &source);
+
+/**
+ * Tolerant wrapper over readBenchCacheStrict for warm-start paths
+ * where a bad cache just means re-simulating: an empty/absent stream
+ * is a quiet miss (returns false), anything the strict parser rejects
  * warns loudly through the LogHook path (naming `source`) and returns
  * false with `out` cleared — a caller must treat that as "no cache",
  * never as silently-empty. Quarantine rows are returned (the merge

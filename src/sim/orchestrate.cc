@@ -1,0 +1,664 @@
+#include "sim/orchestrate.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/atomic_file.hh"
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace last::sim
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void
+failCfg(const std::string &msg)
+{
+    throw ConfigError(msg, __FILE__, __LINE__);
+}
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::string
+shardManifestPath(const OrchestrateOptions &opts, unsigned i)
+{
+    return opts.workDir + "/shard_" + std::to_string(i) + ".json";
+}
+
+std::string
+shardPartPath(const OrchestrateOptions &opts, unsigned i)
+{
+    return opts.workDir + "/part_" + std::to_string(i) + ".csv";
+}
+
+std::string
+journalPath(const OrchestrateOptions &opts)
+{
+    return opts.workDir + "/journal.jsonl";
+}
+
+} // namespace
+
+const char *
+exitClassName(ExitClass cls)
+{
+    switch (cls) {
+      case ExitClass::Clean: return "clean";
+      case ExitClass::Quarantine: return "quarantine";
+      case ExitClass::Failure: return "failure";
+      case ExitClass::Crash: return "crash";
+      case ExitClass::Timeout: return "timeout";
+    }
+    return "unknown";
+}
+
+std::string
+ExitStatus::describe() const
+{
+    std::string s = exitClassName(cls);
+    if (sig)
+        s += std::string(" (signal ") + std::to_string(sig) + ")";
+    else if (code >= 0)
+        s += std::string(" (exit ") + std::to_string(code) + ")";
+    return s;
+}
+
+ExitStatus
+classifyExit(int waitStatus, bool killedByDeadline)
+{
+    ExitStatus es;
+    if (WIFEXITED(waitStatus)) {
+        es.code = WEXITSTATUS(waitStatus);
+        es.cls = es.code == 0  ? ExitClass::Clean
+                 : es.code == 2 ? ExitClass::Quarantine
+                                : ExitClass::Failure;
+    } else if (WIFSIGNALED(waitStatus)) {
+        es.sig = WTERMSIG(waitStatus);
+        es.cls = ExitClass::Crash;
+    }
+    // The wait status of a worker we shot at its deadline says
+    // "SIGKILL crash"; our own intent is the better label.
+    if (killedByDeadline)
+        es.cls = ExitClass::Timeout;
+    return es;
+}
+
+uint64_t
+BackoffPolicy::delayMs(unsigned shard, unsigned attempt) const
+{
+    if (attempt == 0 || baseMs == 0)
+        return 0;
+    // Capped exponential: baseMs * 2^(attempt-1), saturating at capMs
+    // (and against shift overflow long before that matters).
+    unsigned exp = std::min(attempt - 1, 40u);
+    uint64_t raw = baseMs;
+    while (exp-- > 0) {
+        if (raw >= capMs / 2 + 1) {
+            raw = capMs;
+            break;
+        }
+        raw *= 2;
+    }
+    raw = std::min(raw, capMs);
+    // Deterministic jitter in [raw/2, raw]: reproducible, but failing
+    // shards never retry in lockstep.
+    uint64_t h = splitmix64(seed ^ (uint64_t(shard) << 32) ^ attempt);
+    uint64_t half = raw / 2;
+    return half + (half ? h % (raw - half + 1) : raw ? h % (raw + 1) : 0);
+}
+
+Journal::~Journal()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+void
+Journal::open(const std::string &path, bool truncate)
+{
+    if (fd >= 0)
+        ::close(fd);
+    int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+    fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0)
+        failCfg("cannot open journal " + path + ": " +
+                std::strerror(errno));
+    path_ = path;
+}
+
+void
+Journal::append(const std::string &jsonLine)
+{
+    if (fd < 0)
+        failCfg("journal append before open");
+    std::string line = jsonLine + "\n";
+    const char *p = line.data();
+    size_t left = line.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            failCfg("journal " + path_ + " write failed: " +
+                    std::strerror(errno));
+        }
+        p += n;
+        left -= size_t(n);
+    }
+    // The transition must be durable before the supervisor acts on it;
+    // fdatasync (not fsync) — the journal's length changes every
+    // append anyway, and data durability is what resume needs.
+    if (::fdatasync(fd) != 0)
+        failCfg("journal " + path_ + " fdatasync failed: " +
+                std::strerror(errno));
+}
+
+std::vector<jsonin::JsonValue>
+loadJournal(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        return {};
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    const std::string text = buf.str();
+
+    struct Line
+    {
+        size_t offset;
+        std::string text;
+        bool terminated;
+    };
+    std::vector<Line> lines;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+            lines.push_back({pos, text.substr(pos), false});
+            break;
+        }
+        lines.push_back({pos, text.substr(pos, nl - pos), true});
+        pos = nl + 1;
+    }
+
+    std::vector<jsonin::JsonValue> out;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const Line &ln = lines[i];
+        const bool last = i + 1 == lines.size();
+        if (!ln.terminated) {
+            // Only possible on the last line; the crash-mid-append
+            // signature. The journal loses its newest event, never an
+            // older one.
+            warn("journal %s has a torn final line at byte %zu; "
+                 "dropping it",
+                 path.c_str(), ln.offset);
+            break;
+        }
+        try {
+            out.push_back(jsonin::parseJson(ln.text, path));
+        } catch (const SimError &e) {
+            if (last) {
+                warn("journal %s has an unparseable final line (%s); "
+                     "dropping it",
+                     path.c_str(), e.message().c_str());
+                break;
+            }
+            throw ConfigError("journal " + path +
+                                  " is corrupt before its tail: " +
+                                  e.message(),
+                              __FILE__, __LINE__);
+        }
+    }
+    return out;
+}
+
+bool
+verifyShardCache(const std::string &path, const ShardManifest &m,
+                 std::string *why)
+{
+    auto no = [&](const std::string &reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
+    std::ifstream f(path);
+    if (!f)
+        return no("missing");
+    BenchCacheFile cache;
+    try {
+        readBenchCacheStrict(f, cache, path);
+    } catch (const SimError &e) {
+        return no(e.message());
+    }
+    if (cache.rows.size() != m.entries.size())
+        return no("row count " + std::to_string(cache.rows.size()) +
+                  " does not match the manifest's " +
+                  std::to_string(m.entries.size()));
+    if (!m.entries.empty() &&
+        cache.scale != m.entries[0].scaleFactor)
+        return no("scale mismatch");
+    for (const ShardEntry &e : m.entries) {
+        CacheKey key = specCacheKey(specFromEntry(e));
+        if (!cache.find(key))
+            return no("missing row for " + e.workload + "/" +
+                      isaName(e.isa));
+    }
+    return true;
+}
+
+std::string
+selfExePath()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        failCfg("cannot resolve /proc/self/exe");
+    buf[n] = '\0';
+    return buf;
+}
+
+namespace
+{
+
+enum class Phase { Pending, Running, Done, GaveUp };
+
+struct ShardState
+{
+    Phase phase = Phase::Pending;
+    unsigned attempts = 0;
+    pid_t pid = -1;
+    Clock::time_point deadline = Clock::time_point::max();
+    Clock::time_point notBefore{}; ///< backoff gate for the next spawn
+    bool deadlineKilled = false;
+    ExitClass lastClass = ExitClass::Failure;
+    std::string lastFailure;
+    bool quarantined = false;
+    bool skipped = false;
+};
+
+std::string
+journalHeader(const OrchestrateOptions &opts, size_t totalSpecs)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"" << JournalSchema
+       << "\",\"shard_count\":" << opts.shards
+       << ",\"total_specs\":" << totalSpecs
+       << ",\"scale\":" << obs::jsonNumber(opts.scale)
+       << ",\"seed\":" << opts.seed << "}";
+    return os.str();
+}
+
+std::string
+eventLine(const char *event, unsigned shard, unsigned attempt,
+          const std::string &extra = "")
+{
+    std::ostringstream os;
+    os << "{\"event\":\"" << event << "\",\"shard\":" << shard
+       << ",\"attempt\":" << attempt << extra << "}";
+    return os.str();
+}
+
+pid_t
+spawnWorker(const OrchestrateOptions &opts, const std::string &workerExe,
+            unsigned shard, unsigned attempt)
+{
+    std::vector<std::string> argv;
+    if (!opts.chaosExec.empty())
+        argv.push_back(opts.chaosExec);
+    argv.push_back(workerExe);
+    argv.push_back("run");
+    argv.push_back(shardManifestPath(opts, shard));
+    // The worker's own partial from an earlier attempt warm-starts the
+    // retry; a torn partial just warns and re-simulates (readBenchCache
+    // is the tolerant wrapper in the worker).
+    argv.push_back("--cache");
+    argv.push_back(shardPartPath(opts, shard));
+    argv.push_back("--out");
+    argv.push_back(shardPartPath(opts, shard));
+    argv.push_back("--jobs");
+    argv.push_back(std::to_string(opts.jobsPerWorker));
+
+    pid_t pid = ::fork();
+    if (pid < 0)
+        failCfg(std::string("fork failed: ") + std::strerror(errno));
+    if (pid == 0) {
+        // Child. The chaos wrapper (if any) reads these to decide
+        // whether this particular (shard, attempt) dies, hangs, or
+        // truncates its output.
+        ::setenv("LAST_CHAOS_SHARD", std::to_string(shard).c_str(), 1);
+        ::setenv("LAST_CHAOS_ATTEMPT", std::to_string(attempt).c_str(),
+                 1);
+        std::vector<char *> cargv;
+        cargv.reserve(argv.size() + 1);
+        for (std::string &a : argv)
+            cargv.push_back(a.data());
+        cargv.push_back(nullptr);
+        ::execv(cargv[0], cargv.data());
+        std::fprintf(stderr, "orchestrate: exec %s failed: %s\n",
+                     cargv[0], std::strerror(errno));
+        ::_exit(127);
+    }
+    return pid;
+}
+
+const char *
+gaveUpErrorKind(ExitClass cls)
+{
+    switch (cls) {
+      case ExitClass::Timeout: return "worker-timeout";
+      case ExitClass::Crash: return "worker-crash";
+      default: return "worker-failure";
+    }
+}
+
+} // namespace
+
+CampaignOutcome
+runCampaign(const OrchestrateOptions &opts)
+{
+    if (opts.shards == 0)
+        failCfg("orchestrate: shard count must be >= 1");
+    if (opts.outPath.empty())
+        failCfg("orchestrate: --out is required");
+    const std::string workerExe =
+        opts.workerExe.empty() ? selfExePath() : opts.workerExe;
+
+    // Plan. The manifests are deterministic, so rewriting them on
+    // resume reproduces the same bytes — and heals a torn manifest.
+    std::vector<RunSpec> specs = opts.matrix;
+    if (specs.empty()) {
+        specs = canonicalMatrix(opts.scale, opts.seed);
+        for (RunSpec &s : specs) {
+            s.scale.ldsStrideWords = opts.ldsStrideWords;
+            s.scale.ldsPadWords = opts.ldsPadWords;
+        }
+    }
+    std::vector<ShardManifest> manifests =
+        makeShardManifests(specs, opts.shards);
+
+    ::mkdir(opts.workDir.c_str(), 0755); // EEXIST is fine
+
+    // Resume sanity: the journal header must describe this campaign.
+    const std::string jpath = journalPath(opts);
+    if (opts.resume) {
+        auto lines = loadJournal(jpath);
+        if (!lines.empty()) {
+            const jsonin::JsonValue &h = lines[0];
+            std::string schema = jsonin::asString(
+                jsonin::require(h, "schema", jpath), "schema", jpath);
+            uint64_t shards = jsonin::asU64(
+                jsonin::require(h, "shard_count", jpath), "shard_count",
+                jpath);
+            uint64_t total = jsonin::asU64(
+                jsonin::require(h, "total_specs", jpath), "total_specs",
+                jpath);
+            uint64_t seed = jsonin::asU64(
+                jsonin::require(h, "seed", jpath), "seed", jpath);
+            if (schema != JournalSchema || shards != opts.shards ||
+                total != specs.size() || seed != opts.seed)
+                failCfg("journal " + jpath +
+                        " describes a different campaign (schema " +
+                        schema + ", " + std::to_string(shards) +
+                        " shards, " + std::to_string(total) +
+                        " specs, seed " + std::to_string(seed) +
+                        ") — refusing to resume over it");
+        }
+    }
+
+    for (const ShardManifest &m : manifests)
+        atomicWriteFile(shardManifestPath(opts, m.shardIndex),
+                        [&](std::ostream &os) {
+                            writeShardManifest(os, m);
+                        });
+
+    Journal journal;
+    journal.open(jpath, /*truncate=*/!opts.resume);
+    if (!opts.resume)
+        journal.append(journalHeader(opts, specs.size()));
+    else
+        journal.append(eventLine("resumed", 0, 0));
+
+    CampaignOutcome outcome;
+    std::vector<ShardState> st(opts.shards);
+
+    // Resume skip: the on-disk artifact, not journal narrative, is
+    // what earns a skip — a cache that verifies fully accounts for
+    // its shard no matter how the previous supervisor died.
+    if (opts.resume) {
+        for (unsigned i = 0; i < opts.shards; ++i) {
+            std::string why;
+            if (verifyShardCache(shardPartPath(opts, i), manifests[i],
+                                 &why)) {
+                st[i].phase = Phase::Done;
+                st[i].skipped = true;
+                ++outcome.skippedOnResume;
+                journal.append(eventLine("skipped", i, 0));
+                inform("orchestrate: shard %u cache verifies; "
+                       "skipping",
+                       i);
+            } else {
+                inform("orchestrate: shard %u needs work (%s)", i,
+                       why.c_str());
+            }
+        }
+    }
+
+    auto countRunning = [&]() {
+        unsigned n = 0;
+        for (const ShardState &s : st)
+            n += s.phase == Phase::Running;
+        return n;
+    };
+    auto anyLeft = [&]() {
+        for (const ShardState &s : st)
+            if (s.phase == Phase::Pending || s.phase == Phase::Running)
+                return true;
+        return false;
+    };
+
+    auto handleExit = [&](unsigned i, int waitStatus) {
+        ShardState &s = st[i];
+        ExitStatus es = classifyExit(waitStatus, s.deadlineKilled);
+        s.pid = -1;
+        s.lastClass = es.cls;
+
+        if (es.cls == ExitClass::Clean ||
+            es.cls == ExitClass::Quarantine) {
+            std::string why;
+            if (verifyShardCache(shardPartPath(opts, i), manifests[i],
+                                 &why)) {
+                s.phase = Phase::Done;
+                s.quarantined = es.cls == ExitClass::Quarantine;
+                journal.append(eventLine(
+                    "done", i, s.attempts,
+                    std::string(",\"quarantined\":") +
+                        (s.quarantined ? "true" : "false")));
+                inform("orchestrate: shard %u %s after attempt %u", i,
+                       es.describe().c_str(), s.attempts);
+                return;
+            }
+            // Exited happy but the artifact doesn't verify (torn or
+            // truncated output) — that's a failed attempt.
+            es.cls = ExitClass::Failure;
+            s.lastClass = ExitClass::Failure;
+            s.lastFailure = "output verification failed: " + why;
+        } else {
+            s.lastFailure = es.describe();
+        }
+
+        journal.append(eventLine(
+            "failed", i, s.attempts,
+            ",\"class\":\"" + std::string(exitClassName(es.cls)) +
+                "\",\"code\":" + std::to_string(es.code) +
+                ",\"signal\":" + std::to_string(es.sig) +
+                ",\"detail\":\"" + obs::jsonEscape(s.lastFailure) +
+                "\""));
+
+        if (opts.backoff.giveUp(s.attempts)) {
+            s.phase = Phase::GaveUp;
+            journal.append(eventLine("gaveup", i, s.attempts));
+            warn("orchestrate: shard %u gave up after %u attempts "
+                 "(%s); degrading to quarantine rows",
+                 i, s.attempts, s.lastFailure.c_str());
+        } else {
+            uint64_t delay = opts.backoff.delayMs(i, s.attempts);
+            s.phase = Phase::Pending;
+            s.notBefore =
+                Clock::now() + std::chrono::milliseconds(delay);
+            ++outcome.retries;
+            warn("orchestrate: shard %u attempt %u %s; retrying in "
+                 "%llu ms",
+                 i, s.attempts, s.lastFailure.c_str(),
+                 (unsigned long long)delay);
+        }
+    };
+
+    while (anyLeft()) {
+        Clock::time_point now = Clock::now();
+
+        // Spawn every eligible pending shard.
+        for (unsigned i = 0; i < opts.shards; ++i) {
+            ShardState &s = st[i];
+            if (s.phase != Phase::Pending || now < s.notBefore)
+                continue;
+            if (opts.maxParallel && countRunning() >= opts.maxParallel)
+                break;
+            ++s.attempts;
+            s.deadlineKilled = false;
+            s.pid = spawnWorker(opts, workerExe, i, s.attempts);
+            s.deadline = opts.workerTimeoutMs
+                             ? now + std::chrono::milliseconds(
+                                         opts.workerTimeoutMs)
+                             : Clock::time_point::max();
+            s.phase = Phase::Running;
+            journal.append(eventLine(
+                "running", i, s.attempts,
+                ",\"pid\":" + std::to_string(s.pid)));
+        }
+
+        // Poll running workers; enforce deadlines. A hung worker dies
+        // within one poll interval of its deadline: this loop runs at
+        // pollIntervalMs and the kill is unconditional once `now`
+        // passes the deadline.
+        for (unsigned i = 0; i < opts.shards; ++i) {
+            ShardState &s = st[i];
+            if (s.phase != Phase::Running)
+                continue;
+            int ws = 0;
+            pid_t r = ::waitpid(s.pid, &ws, WNOHANG);
+            if (r == s.pid) {
+                handleExit(i, ws);
+                continue;
+            }
+            if (r < 0) {
+                // Lost track of the child (shouldn't happen); count it
+                // as a crash so the retry machinery owns the mess. A
+                // raw status of SIGKILL reads as WIFSIGNALED(SIGKILL).
+                handleExit(i, SIGKILL);
+                continue;
+            }
+            if (Clock::now() >= s.deadline) {
+                ::kill(s.pid, SIGKILL);
+                s.deadlineKilled = true;
+                ::waitpid(s.pid, &ws, 0); // SIGKILL: reaps promptly
+                handleExit(i, ws);
+            }
+        }
+
+        if (anyLeft())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(opts.pollIntervalMs));
+    }
+
+    // Merge. Done shards contribute their verified caches; given-up
+    // shards degrade into synthesized quarantine rows so the merged
+    // artifact still accounts for every spec in the matrix.
+    std::vector<BenchCacheFile> parts;
+    parts.reserve(opts.shards);
+    for (unsigned i = 0; i < opts.shards; ++i) {
+        ShardOutcome so;
+        so.shard = i;
+        so.attempts = st[i].attempts;
+        so.skipped = st[i].skipped;
+        so.lastFailure = st[i].lastFailure;
+        if (st[i].phase == Phase::Done) {
+            so.done = true;
+            std::ifstream f(shardPartPath(opts, i));
+            BenchCacheFile part;
+            readBenchCacheStrict(f, part, shardPartPath(opts, i));
+            so.quarantined = false;
+            for (const CachedRun &row : part.rows)
+                so.quarantined |= row.result.quarantined;
+            parts.push_back(std::move(part));
+        } else {
+            so.gaveUp = true;
+            so.quarantined = true;
+            ++outcome.gaveUp;
+            BenchCacheFile part;
+            part.scale = manifests[i].entries.empty()
+                             ? 1.0
+                             : manifests[i].entries[0].scaleFactor;
+            for (const ShardEntry &e : manifests[i].entries) {
+                CachedRun row;
+                row.key = specCacheKey(specFromEntry(e));
+                AppResult &r = row.result;
+                r.workload = e.workload;
+                r.isa = e.isa;
+                r.quarantined = true;
+                r.errorKind = gaveUpErrorKind(st[i].lastClass);
+                r.errorMessage =
+                    "shard " + std::to_string(i) + " gave up after " +
+                    std::to_string(st[i].attempts) + " attempts (" +
+                    st[i].lastFailure + ")";
+                part.rows.push_back(std::move(row));
+            }
+            parts.push_back(std::move(part));
+        }
+        outcome.shards.push_back(std::move(so));
+    }
+
+    outcome.merged = mergeBenchCaches(parts);
+    for (const CachedRun &row : outcome.merged.rows)
+        outcome.quarantinedRows += row.result.quarantined;
+
+    atomicWriteFile(opts.outPath, [&](std::ostream &os) {
+        writeBenchCache(os, outcome.merged);
+    });
+    if (!opts.divergePath.empty()) {
+        auto reports =
+            divergenceFromCache(outcome.merged, opts.threshold);
+        atomicWriteFile(opts.divergePath, [&](std::ostream &os) {
+            obs::writeDivergenceJsonArray(os, reports);
+        });
+    }
+    journal.append("{\"event\":\"merged\",\"rows\":" +
+                   std::to_string(outcome.merged.rows.size()) +
+                   ",\"quarantined\":" +
+                   std::to_string(outcome.quarantinedRows) + "}");
+    return outcome;
+}
+
+} // namespace last::sim

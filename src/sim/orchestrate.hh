@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Crash-safe sweep orchestration: a supervisor that drives a sharded
+ * sweep campaign to completion across worker *processes*, surviving
+ * worker crashes, hangs, and torn writes (see DESIGN.md §4e).
+ *
+ * PR 6 built the deterministic sharded backend (`last_sweep
+ * plan/run/merge`); this layer makes a campaign of those workers
+ * operationally robust, the process-level analogue of what the
+ * forward-progress watchdog + quarantine machinery (PR 2) did for the
+ * simulated GPU:
+ *
+ *  - each shard runs as a supervised child process with a wall-clock
+ *    deadline; a hung worker is SIGKILLed at the deadline (within one
+ *    poll interval) and classified as a timeout;
+ *  - failed attempts (crash, nonzero exit, timeout, output that fails
+ *    verification) are retried with capped exponential backoff and
+ *    deterministic jitter (BackoffPolicy — a pure function, so the
+ *    policy is unit-testable without wall-clock);
+ *  - a shard that exhausts its attempts degrades into synthesized
+ *    quarantine rows ("worker-crash"/"worker-timeout"/...) instead of
+ *    aborting the campaign — exactly how an in-process spec failure
+ *    degrades into a quarantine row;
+ *  - every state transition (planned -> running(pid, attempt) ->
+ *    done/failed/gaveup) is appended to a fsync'd `last-journal-v1`
+ *    write-ahead journal, and every artifact is written through
+ *    atomicWriteFile(), so `orchestrate --resume` can re-attach to a
+ *    killed campaign, skip shards whose partial caches verify
+ *    (readBenchCacheStrict + key-set match against the manifest), and
+ *    re-run only the rest;
+ *  - the merged cache and divergence report are byte-identical to an
+ *    uninterrupted single-process run whenever no shard permanently
+ *    gave up — the §4d canonical-order argument extended across
+ *    crashes and resumes, enforced end-to-end by the chaos harness
+ *    (scripts/chaos_sweep.sh, tests/test_orchestrate.cc).
+ */
+
+#ifndef LAST_SIM_ORCHESTRATE_HH
+#define LAST_SIM_ORCHESTRATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json_in.hh"
+#include "obs/divergence.hh"
+#include "sim/bench_cache.hh"
+#include "sim/shard.hh"
+
+namespace last::sim
+{
+
+/** Journal schema identifier (first line of the JSONL journal). */
+constexpr const char *JournalSchema = "last-journal-v1";
+
+/** How a worker attempt ended, from the supervisor's point of view. */
+enum class ExitClass
+{
+    Clean,      ///< exit 0: shard completed, no quarantined specs
+    Quarantine, ///< exit 2: shard completed, some specs quarantined
+    Failure,    ///< any other exit code (usage / I/O / fatal)
+    Crash,      ///< killed by a signal it did not ask for
+    Timeout,    ///< supervisor killed it at the wall-clock deadline
+};
+
+const char *exitClassName(ExitClass cls);
+
+/** A classified wait(2) status. */
+struct ExitStatus
+{
+    ExitClass cls = ExitClass::Failure;
+    int code = -1; ///< exit code when WIFEXITED, else -1
+    int sig = 0;   ///< terminating signal when WIFSIGNALED, else 0
+
+    /** One-line description for logs and journal events. */
+    std::string describe() const;
+};
+
+/**
+ * Classify a raw waitpid() status. `killedByDeadline` is the
+ * supervisor's own knowledge that it SIGKILLed this worker at its
+ * deadline — the wait status alone cannot distinguish "hung and shot"
+ * from "crashed with SIGKILL from elsewhere".
+ */
+ExitStatus classifyExit(int waitStatus, bool killedByDeadline);
+
+/**
+ * Retry policy as a pure function: no wall-clock, no hidden state.
+ * delayMs(shard, attempt) is the backoff after the attempt-th failure
+ * (attempt >= 1) of that shard — capped exponential with
+ * deterministic jitter drawn uniformly from [d/2, d] (splitmix64 of
+ * seed/shard/attempt), so concurrent failing shards never retry in
+ * lockstep yet every delay is reproducible in tests.
+ */
+struct BackoffPolicy
+{
+    uint64_t baseMs = 250;
+    uint64_t capMs = 8000;
+    unsigned maxAttempts = 4; ///< attempts per shard before giving up
+    uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+    uint64_t delayMs(unsigned shard, unsigned attempt) const;
+    bool giveUp(unsigned attemptsMade) const
+    {
+        return attemptsMade >= maxAttempts;
+    }
+};
+
+/** Append-only fsync'd JSONL journal (`last-journal-v1`). Each line is
+ *  durable before the supervisor acts on the transition it records, so
+ *  the journal never claims less than what happened. */
+class Journal
+{
+  public:
+    Journal() = default;
+    ~Journal();
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /** Open (creating; truncating when `truncate`) for appending.
+     *  @throws ConfigError on I/O failure. */
+    void open(const std::string &path, bool truncate);
+    /** Append one JSON line + fdatasync. @throws ConfigError. */
+    void append(const std::string &jsonLine);
+    bool isOpen() const { return fd >= 0; }
+
+  private:
+    int fd = -1;
+    std::string path_;
+};
+
+/**
+ * Load a journal, tolerating a torn tail: a final line that is
+ * unterminated or unparseable (the signature of a crash mid-append)
+ * is dropped with a warn(); anything malformed *before* the tail
+ * throws ConfigError with path + byte offset. Returns the parsed
+ * line objects in order.
+ */
+std::vector<jsonin::JsonValue> loadJournal(const std::string &path);
+
+/**
+ * Verify a shard's partial cache on disk: it must parse strictly
+ * (readBenchCacheStrict), match the manifest's scale, and hold exactly
+ * one row per manifest entry, keyed by that entry's specCacheKey.
+ * @return true when the cache fully accounts for the shard;
+ * otherwise false with `why` (if non-null) explaining the failure.
+ * This — not journal state — is what --resume trusts: the artifact is
+ * the truth, the journal is the narrative.
+ */
+bool verifyShardCache(const std::string &path, const ShardManifest &m,
+                      std::string *why);
+
+struct OrchestrateOptions
+{
+    unsigned shards = 2;
+    double scale = 1.0;
+    uint64_t seed = 0;
+    int ldsStrideWords = -1;
+    int ldsPadWords = -1;
+
+    /** Campaign directory: manifests (shard_<i>.json), partial caches
+     *  (part_<i>.csv), and the journal (journal.jsonl) live here. */
+    std::string workDir = ".";
+    std::string outPath;     ///< merged cache (required)
+    std::string divergePath; ///< merged divergence report ("" = skip)
+    double threshold = obs::DefaultDivergenceThreshold;
+
+    unsigned jobsPerWorker = 0; ///< --jobs forwarded to workers
+    /** Wall-clock deadline per worker attempt; 0 = none. A worker
+     *  still alive this long after spawn is SIGKILLed and classified
+     *  Timeout. */
+    uint64_t workerTimeoutMs = 0;
+    uint64_t pollIntervalMs = 50;
+    /** Max concurrently-running workers; 0 = all eligible shards. */
+    unsigned maxParallel = 0;
+    BackoffPolicy backoff;
+
+    /** Re-attach to an existing campaign directory: sanity-check the
+     *  journal header, skip shards whose caches verify, re-run the
+     *  rest. Off: start fresh (journal truncated). */
+    bool resume = false;
+
+    /** Worker executable; "" = this process's own binary
+     *  (/proc/self/exe), which is correct when the supervisor is
+     *  `last_sweep orchestrate` itself. */
+    std::string workerExe;
+    /** Chaos hook: when set, workers exec this program instead, with
+     *  the real worker argv appended (argv[1...]), plus
+     *  LAST_CHAOS_SHARD / LAST_CHAOS_ATTEMPT in the environment — the
+     *  wrapper decides to exec the real worker, die, hang, or truncate
+     *  output. Test-only; see scripts/chaos_sweep.sh. */
+    std::string chaosExec;
+
+    /** Test override for the sweep matrix; empty = canonicalMatrix
+     *  (scale/seed/lds knobs above). Lets the orchestrator tests run
+     *  fake /bin/sh workers against synthetic matrices without
+     *  touching the real simulator. */
+    std::vector<RunSpec> matrix;
+};
+
+/** Per-shard summary of how the campaign treated it. */
+struct ShardOutcome
+{
+    unsigned shard = 0;
+    bool done = false;    ///< produced a verified cache
+    bool gaveUp = false;  ///< exhausted attempts; rows synthesized
+    bool skipped = false; ///< resume: pre-existing cache verified
+    unsigned attempts = 0;
+    bool quarantined = false; ///< any quarantine row in its cache
+    std::string lastFailure;  ///< last attempt's classification
+};
+
+struct CampaignOutcome
+{
+    BenchCacheFile merged;
+    std::vector<ShardOutcome> shards;
+    size_t quarantinedRows = 0; ///< in the merged cache
+    unsigned retries = 0;       ///< failed attempts that were retried
+    unsigned gaveUp = 0;        ///< shards degraded to quarantine rows
+    size_t skippedOnResume = 0;
+
+    /** Every shard produced a real, verified cache. */
+    bool allShardsDone() const { return gaveUp == 0; }
+};
+
+/**
+ * Run (or resume) a campaign: plan + write manifests, supervise
+ * workers to completion under the retry policy, merge the partial
+ * caches (synthesizing quarantine rows for given-up shards), and
+ * atomically write the merged cache + divergence report.
+ * @throws ConfigError on setup errors (unusable work dir, resume
+ * against a journal from a different campaign); per-shard failures
+ * never throw — they retry, then degrade.
+ */
+CampaignOutcome runCampaign(const OrchestrateOptions &opts);
+
+/** This process's executable path (/proc/self/exe), for re-invoking
+ *  ourselves as the worker. @throws ConfigError if unreadable. */
+std::string selfExePath();
+
+} // namespace last::sim
+
+#endif // LAST_SIM_ORCHESTRATE_HH

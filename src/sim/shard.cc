@@ -1,319 +1,18 @@
 #include "sim/shard.hh"
 
 #include <algorithm>
-#include <cctype>
+#include <chrono>
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
 
+#include "common/error.hh"
+#include "common/json_in.hh"
 #include "common/logging.hh"
 #include "obs/json.hh"
 
 namespace last::sim
 {
-
-namespace
-{
-
-// --------------------------------------------------------------------
-// A minimal JSON reader for the shard manifest. The repo's other JSON
-// surfaces are write-only (obs/json.hh); the manifest is the one
-// schema we both produce and consume, so it gets a small recursive-
-// descent parser here. Numbers keep their raw literal so 64-bit seeds
-// and digests never round-trip through a double.
-// --------------------------------------------------------------------
-
-struct JsonValue
-{
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    std::string text; ///< string value, or the raw number literal
-    std::vector<JsonValue> items;
-    std::vector<std::pair<std::string, JsonValue>> members;
-
-    const JsonValue *
-    find(const std::string &key) const
-    {
-        for (const auto &[k, v] : members)
-            if (k == key)
-                return &v;
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &src) : s(src) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = value();
-        ws();
-        if (p != s.size())
-            fail("trailing garbage after JSON value");
-        return v;
-    }
-
-  private:
-    const std::string &s;
-    size_t p = 0;
-
-    [[noreturn]] void
-    fail(const std::string &what)
-    {
-        throw std::runtime_error("manifest JSON: " + what +
-                                 " at offset " + std::to_string(p));
-    }
-
-    void
-    ws()
-    {
-        while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p])))
-            ++p;
-    }
-
-    char
-    peek()
-    {
-        if (p >= s.size())
-            fail("unexpected end of input");
-        return s[p];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++p;
-    }
-
-    bool
-    eat(char c)
-    {
-        if (p < s.size() && s[p] == c) {
-            ++p;
-            return true;
-        }
-        return false;
-    }
-
-    JsonValue
-    value()
-    {
-        ws();
-        char c = peek();
-        if (c == '{')
-            return object();
-        if (c == '[')
-            return array();
-        if (c == '"')
-            return string();
-        if (c == 't' || c == 'f')
-            return boolean();
-        if (c == 'n') {
-            literal("null");
-            return JsonValue{};
-        }
-        return number();
-    }
-
-    void
-    literal(const char *word)
-    {
-        for (const char *q = word; *q; ++q)
-            if (p >= s.size() || s[p++] != *q)
-                fail(std::string("bad literal (expected ") + word + ")");
-    }
-
-    JsonValue
-    boolean()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Bool;
-        if (peek() == 't') {
-            literal("true");
-            v.boolean = true;
-        } else {
-            literal("false");
-        }
-        return v;
-    }
-
-    JsonValue
-    number()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Number;
-        size_t start = p;
-        if (eat('-')) {}
-        while (p < s.size() &&
-               (std::isdigit(static_cast<unsigned char>(s[p])) || s[p] == '.' ||
-                s[p] == 'e' || s[p] == 'E' || s[p] == '+' ||
-                s[p] == '-'))
-            ++p;
-        if (p == start)
-            fail("expected a number");
-        v.text = s.substr(start, p - start);
-        return v;
-    }
-
-    JsonValue
-    string()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::String;
-        expect('"');
-        while (true) {
-            if (p >= s.size())
-                fail("unterminated string");
-            char c = s[p++];
-            if (c == '"')
-                break;
-            if (c == '\\') {
-                if (p >= s.size())
-                    fail("unterminated escape");
-                char e = s[p++];
-                switch (e) {
-                  case '"': v.text += '"'; break;
-                  case '\\': v.text += '\\'; break;
-                  case '/': v.text += '/'; break;
-                  case 'n': v.text += '\n'; break;
-                  case 'r': v.text += '\r'; break;
-                  case 't': v.text += '\t'; break;
-                  case 'b': v.text += '\b'; break;
-                  case 'f': v.text += '\f'; break;
-                  case 'u': {
-                    if (p + 4 > s.size())
-                        fail("truncated \\u escape");
-                    unsigned code = 0;
-                    for (int i = 0; i < 4; ++i) {
-                        char h = s[p++];
-                        code <<= 4;
-                        if (h >= '0' && h <= '9')
-                            code |= unsigned(h - '0');
-                        else if (h >= 'a' && h <= 'f')
-                            code |= unsigned(h - 'a' + 10);
-                        else if (h >= 'A' && h <= 'F')
-                            code |= unsigned(h - 'A' + 10);
-                        else
-                            fail("bad \\u escape");
-                    }
-                    // Manifests only ever escape control characters;
-                    // encode the code point as UTF-8 for completeness.
-                    if (code < 0x80) {
-                        v.text += char(code);
-                    } else if (code < 0x800) {
-                        v.text += char(0xc0 | (code >> 6));
-                        v.text += char(0x80 | (code & 0x3f));
-                    } else {
-                        v.text += char(0xe0 | (code >> 12));
-                        v.text += char(0x80 | ((code >> 6) & 0x3f));
-                        v.text += char(0x80 | (code & 0x3f));
-                    }
-                    break;
-                  }
-                  default: fail("unknown escape");
-                }
-            } else {
-                v.text += c;
-            }
-        }
-        return v;
-    }
-
-    JsonValue
-    array()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Array;
-        expect('[');
-        ws();
-        if (eat(']'))
-            return v;
-        while (true) {
-            v.items.push_back(value());
-            ws();
-            if (eat(']'))
-                return v;
-            expect(',');
-        }
-    }
-
-    JsonValue
-    object()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Object;
-        expect('{');
-        ws();
-        if (eat('}'))
-            return v;
-        while (true) {
-            ws();
-            JsonValue key = string();
-            ws();
-            expect(':');
-            v.members.emplace_back(std::move(key.text), value());
-            ws();
-            if (eat('}'))
-                return v;
-            expect(',');
-        }
-    }
-};
-
-const JsonValue &
-require(const JsonValue &obj, const std::string &key)
-{
-    const JsonValue *v = obj.find(key);
-    if (!v)
-        throw std::runtime_error("manifest JSON: missing field '" + key +
-                                 "'");
-    return *v;
-}
-
-uint64_t
-asU64(const JsonValue &v, const std::string &key)
-{
-    if (v.kind != JsonValue::Kind::Number)
-        throw std::runtime_error("manifest JSON: field '" + key +
-                                 "' is not a number");
-    return std::stoull(v.text);
-}
-
-int64_t
-asI64(const JsonValue &v, const std::string &key)
-{
-    if (v.kind != JsonValue::Kind::Number)
-        throw std::runtime_error("manifest JSON: field '" + key +
-                                 "' is not a number");
-    return std::stoll(v.text);
-}
-
-double
-asDouble(const JsonValue &v, const std::string &key)
-{
-    if (v.kind != JsonValue::Kind::Number)
-        throw std::runtime_error("manifest JSON: field '" + key +
-                                 "' is not a number");
-    return std::stod(v.text);
-}
-
-std::string
-asString(const JsonValue &v, const std::string &key)
-{
-    if (v.kind != JsonValue::Kind::String)
-        throw std::runtime_error("manifest JSON: field '" + key +
-                                 "' is not a string");
-    return v.text;
-}
-
-} // namespace
 
 RunSpec
 specFromEntry(const ShardEntry &e)
@@ -394,50 +93,65 @@ writeShardManifest(std::ostream &os, const ShardManifest &m)
 }
 
 ShardManifest
-readShardManifest(std::istream &is)
+readShardManifest(std::istream &is, const std::string &source)
 {
+    using jsonin::JsonValue;
+    using jsonin::asDouble;
+    using jsonin::asI64;
+    using jsonin::asString;
+    using jsonin::asU64;
+    using jsonin::require;
+
     std::ostringstream buf;
     buf << is.rdbuf();
     const std::string src = buf.str();
-    JsonValue root = JsonParser(src).parse();
+    auto fail = [&](const std::string &what, size_t offset) {
+        throw ConfigError(source + ": " + what + " at byte " +
+                              std::to_string(offset),
+                          __FILE__, __LINE__);
+    };
+    JsonValue root = jsonin::parseJson(src, source);
     if (root.kind != JsonValue::Kind::Object)
-        throw std::runtime_error("manifest JSON: top level is not an "
-                                 "object");
-    std::string schema = asString(require(root, "schema"), "schema");
+        fail("top level is not an object", root.offset);
+    std::string schema =
+        asString(require(root, "schema", source), "schema", source);
     if (schema != ShardSchema)
-        throw std::runtime_error("manifest schema is '" + schema +
-                                 "', expected '" + ShardSchema + "'");
+        fail("manifest schema is '" + schema + "', expected '" +
+                 ShardSchema + "'",
+             root.offset);
     ShardManifest m;
-    m.shardIndex =
-        unsigned(asU64(require(root, "shard_index"), "shard_index"));
-    m.shardCount =
-        unsigned(asU64(require(root, "shard_count"), "shard_count"));
-    m.totalSpecs =
-        size_t(asU64(require(root, "total_specs"), "total_specs"));
-    const JsonValue &entries = require(root, "entries");
+    m.shardIndex = unsigned(asU64(require(root, "shard_index", source),
+                                  "shard_index", source));
+    m.shardCount = unsigned(asU64(require(root, "shard_count", source),
+                                  "shard_count", source));
+    m.totalSpecs = size_t(asU64(require(root, "total_specs", source),
+                                "total_specs", source));
+    const JsonValue &entries = require(root, "entries", source);
     if (entries.kind != JsonValue::Kind::Array)
-        throw std::runtime_error("manifest JSON: 'entries' is not an "
-                                 "array");
+        fail("'entries' is not an array", entries.offset);
     for (const JsonValue &je : entries.items) {
         if (je.kind != JsonValue::Kind::Object)
-            throw std::runtime_error("manifest JSON: entry is not an "
-                                     "object");
+            fail("entry is not an object", je.offset);
         ShardEntry e;
-        e.index = size_t(asU64(require(je, "index"), "index"));
-        e.workload = asString(require(je, "workload"), "workload");
-        std::string isa = asString(require(je, "isa"), "isa");
+        e.index =
+            size_t(asU64(require(je, "index", source), "index", source));
+        e.workload =
+            asString(require(je, "workload", source), "workload", source);
+        std::string isa =
+            asString(require(je, "isa", source), "isa", source);
         if (isa == "HSAIL")
             e.isa = IsaKind::HSAIL;
         else if (isa == "GCN3")
             e.isa = IsaKind::GCN3;
         else
-            throw std::runtime_error("manifest JSON: bad isa '" + isa +
-                                     "'");
-        e.scaleFactor = asDouble(require(je, "scale"), "scale");
-        e.seed = asU64(require(je, "seed"), "seed");
-        e.ldsStrideWords =
-            int(asI64(require(je, "lds_stride"), "lds_stride"));
-        e.ldsPadWords = int(asI64(require(je, "lds_pad"), "lds_pad"));
+            fail("bad isa '" + isa + "'", je.offset);
+        e.scaleFactor =
+            asDouble(require(je, "scale", source), "scale", source);
+        e.seed = asU64(require(je, "seed", source), "seed", source);
+        e.ldsStrideWords = int(
+            asI64(require(je, "lds_stride", source), "lds_stride", source));
+        e.ldsPadWords =
+            int(asI64(require(je, "lds_pad", source), "lds_pad", source));
         m.entries.push_back(std::move(e));
     }
     return m;
@@ -482,6 +196,15 @@ runShard(const ShardManifest &m, const ShardRunOptions &opts)
         specs.reserve(toRun.size());
         for (size_t i : toRun)
             specs.push_back(specFromEntry(m.entries[i]));
+        if (opts.timeoutMs) {
+            // One shared absolute deadline for the whole shard: the
+            // budget bounds the shard, and any spec still ticking past
+            // it quarantines via the wall-clock watchdog.
+            auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(opts.timeoutMs);
+            for (RunSpec &s : specs)
+                s.cfg.wallDeadline = deadline;
+        }
         SweepOptions so;
         so.jobs = opts.jobs;
         so.retryFailed = opts.retryFailed;

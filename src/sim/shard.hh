@@ -88,9 +88,13 @@ std::vector<RunSpec> canonicalMatrix(double scaleFactor, uint64_t seed);
 /** Emit the `last-shard-v1` JSON for one manifest. */
 void writeShardManifest(std::ostream &os, const ShardManifest &m);
 
-/** Parse a `last-shard-v1` manifest.
- *  @throws std::runtime_error on malformed JSON or a wrong schema. */
-ShardManifest readShardManifest(std::istream &is);
+/** Parse a `last-shard-v1` manifest. `source` names the stream (a
+ *  path, usually) in error messages.
+ *  @throws ConfigError (a SimError) on malformed JSON, a wrong
+ *  schema, or a bad field — always carrying `source` and the byte
+ *  offset of the offence, never a crash or a silent partial load. */
+ShardManifest readShardManifest(std::istream &is,
+                                const std::string &source = "<manifest>");
 
 struct ShardRunOptions
 {
@@ -99,6 +103,13 @@ struct ShardRunOptions
     /** Incremental mode: entries whose key has a healthy row here are
      *  served from the cache instead of re-simulated. */
     const BenchCacheFile *reuse = nullptr;
+    /** Wall-clock budget for the whole shard (0 = none). Every
+     *  simulated entry gets GpuConfig::wallDeadline = now + this, so a
+     *  hung spec degrades to a quarantine row ("deadlock":
+     *  wall-clock deadline exceeded) instead of wedging the process —
+     *  the in-process half of the orchestrator's timeout story, and
+     *  what `last_sweep run --timeout-ms` exposes to schedulers. */
+    uint64_t timeoutMs = 0;
 };
 
 /** What one shard execution produced. */

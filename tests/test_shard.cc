@@ -17,7 +17,9 @@
 #include <sstream>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "obs/divergence.hh"
 #include "sim/bench_cache.hh"
 #include "sim/shard.hh"
@@ -348,8 +350,9 @@ TEST(BenchCache, LoaderWarnsOnStaleVersionAndQuarantineDrops)
     // Damaged row: loud, parsed rows discarded.
     warnings.clear();
     {
-        std::istringstream is("last-bench-cache v5 scale=1\n"
-                              "VecAdd,HSAIL,truncated\n");
+        std::istringstream is("last-bench-cache v6 scale=1\n"
+                              "VecAdd,HSAIL,truncated\n"
+                              "eof,1\n");
         sim::BenchCacheFile out;
         EXPECT_FALSE(sim::readBenchCache(is, out, "damaged.csv"));
         EXPECT_TRUE(out.rows.empty());
@@ -362,9 +365,10 @@ TEST(BenchCache, LoaderWarnsOnStaleVersionAndQuarantineDrops)
     warnings.clear();
     {
         std::istringstream is(
-            "last-bench-cache v5 scale=1\n"
+            "last-bench-cache v6 scale=1\n"
             "quarantine,VecAdd,GCN3,0,42,DeadlockError,wedged, with "
-            "commas\n");
+            "commas\n"
+            "eof,1\n");
         sim::BenchCacheFile out;
         ASSERT_TRUE(sim::readBenchCache(is, out, "quar.csv"));
         ASSERT_EQ(out.rows.size(), 1u);
@@ -380,6 +384,247 @@ TEST(BenchCache, LoaderWarnsOnStaleVersionAndQuarantineDrops)
         EXPECT_NE(warnings[0].find("VecAdd"), std::string::npos);
     }
 
+    setLogHook(nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Torn-input fuzz: a crashed (or SIGKILLed) writer can leave a loader
+// facing a file cut at ANY byte, or with flipped bytes from a bad disk.
+// Every such input must fail loudly — a SimError naming the offending
+// source and byte offset — never a crash, a hang, or a silent partial
+// load that would poison a resumed campaign.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** True when `msg` names the source and carries a byte offset. */
+bool
+loudFailure(const std::string &msg, const std::string &source)
+{
+    return msg.find(source) != std::string::npos &&
+           msg.find("at byte") != std::string::npos;
+}
+
+} // namespace
+
+TEST(TornInputFuzz, ManifestTruncatedAtEveryByteFailsLoudly)
+{
+    auto specs = smallMatrix();
+    for (auto &s : specs)
+        s.scale.seed = 0x0123456789abcdefull;
+    const std::string full =
+        manifestBytes(sim::makeShardManifests(specs, 2)[1]);
+
+    // The canonical reference parse of the complete bytes.
+    std::istringstream whole(full);
+    const std::string want =
+        manifestBytes(sim::readShardManifest(whole, "fuzz.json"));
+
+    for (size_t len = 0; len < full.size(); ++len) {
+        std::istringstream is(full.substr(0, len));
+        try {
+            sim::ShardManifest m = sim::readShardManifest(is, "fuzz.json");
+            // A prefix may parse only when it is still the complete
+            // document (e.g. the trailing newline cut off) — never a
+            // partial one.
+            EXPECT_EQ(manifestBytes(m), want) << "prefix " << len;
+        } catch (const SimError &e) {
+            EXPECT_TRUE(loudFailure(e.what(), "fuzz.json"))
+                << "prefix " << len << ": " << e.what();
+        } catch (const std::exception &e) {
+            ADD_FAILURE() << "prefix " << len
+                          << " escaped with a non-SimError: " << e.what();
+        }
+    }
+}
+
+TEST(TornInputFuzz, ManifestGarbageMutationsNeverCrash)
+{
+    auto specs = smallMatrix();
+    const std::string full =
+        manifestBytes(sim::makeShardManifests(specs, 1)[0]);
+
+    Rng rng(42);
+    for (int iter = 0; iter < 300; ++iter) {
+        std::string bytes = full;
+        size_t flips = 1 + rng.nextBounded(3);
+        for (size_t f = 0; f < flips; ++f)
+            bytes[rng.nextBounded(bytes.size())] = char(rng.nextBounded(256));
+        std::istringstream is(bytes);
+        try {
+            sim::ShardManifest m = sim::readShardManifest(is, "mut.json");
+            // A benign flip (e.g. a digit in a seed) may still parse;
+            // the result must at least re-serialize without incident.
+            (void)manifestBytes(m);
+        } catch (const SimError &e) {
+            EXPECT_NE(std::string(e.what()).find("mut.json"),
+                      std::string::npos)
+                << "iter " << iter << ": " << e.what();
+        } catch (const std::exception &e) {
+            ADD_FAILURE() << "iter " << iter
+                          << " escaped with a non-SimError: " << e.what();
+        }
+    }
+}
+
+TEST(TornInputFuzz, CacheTruncatedAtEveryByteIsRejected)
+{
+    // A real two-row cache (one ISA pair), cut at every byte: the
+    // strict loader must throw (the eof trailer makes every proper
+    // prefix detectably incomplete — including cuts at exact row
+    // boundaries, the old silent-partial-load hole), and the tolerant
+    // loader must warn once and report a miss, never a partial cache.
+    workloads::WorkloadScale scale{0.25};
+    std::vector<sim::RunSpec> specs = {
+        {"VecAdd", IsaKind::HSAIL, GpuConfig{}, scale},
+        {"VecAdd", IsaKind::GCN3, GpuConfig{}, scale},
+    };
+    auto outcome = sim::runShard(sim::makeShardManifests(specs, 1)[0]);
+    ASSERT_EQ(outcome.quarantined, 0u);
+    const std::string full = cacheBytes(outcome.cache);
+
+    size_t warnings = 0;
+    setLogHook([&](const char *level, const std::string &) {
+        warnings += std::string(level) == "warn";
+    });
+
+    for (size_t len = 0; len < full.size(); ++len) {
+        const std::string prefix = full.substr(0, len);
+        {
+            std::istringstream is(prefix);
+            sim::BenchCacheFile out;
+            try {
+                sim::readBenchCacheStrict(is, out, "trunc.csv");
+                ADD_FAILURE() << "prefix " << len << " parsed silently";
+            } catch (const SimError &e) {
+                EXPECT_TRUE(loudFailure(e.what(), "trunc.csv"))
+                    << "prefix " << len << ": " << e.what();
+            } catch (const std::exception &e) {
+                ADD_FAILURE() << "prefix " << len
+                              << " escaped with a non-SimError: "
+                              << e.what();
+            }
+        }
+        {
+            std::istringstream is(prefix);
+            sim::BenchCacheFile out;
+            EXPECT_FALSE(sim::readBenchCache(is, out, "trunc.csv"))
+                << "prefix " << len;
+            EXPECT_TRUE(out.rows.empty()) << "prefix " << len;
+        }
+    }
+    setLogHook(nullptr);
+    // Every non-empty prefix warned exactly once; the empty file is a
+    // quiet cache miss (a never-written cache is not an error).
+    EXPECT_EQ(warnings, full.size() - 1);
+
+    // Sanity: the untruncated bytes still load, both ways.
+    std::istringstream is(full);
+    sim::BenchCacheFile back;
+    sim::readBenchCacheStrict(is, back, "full.csv");
+    EXPECT_EQ(cacheBytes(back), full);
+}
+
+TEST(TornInputFuzz, CacheStructuralDamageIsRejected)
+{
+    struct Case {
+        const char *label;
+        const char *text;
+        const char *needle; // expected substring of the error
+    };
+    const Case cases[] = {
+        {"duplicate row",
+         "last-bench-cache v6 scale=1\n"
+         "quarantine,VecAdd,GCN3,0,42,DeadlockError,boom\n"
+         "quarantine,VecAdd,GCN3,0,42,DeadlockError,boom\n"
+         "eof,2\n",
+         "duplicate"},
+        {"trailer count mismatch",
+         "last-bench-cache v6 scale=1\n"
+         "quarantine,VecAdd,GCN3,0,42,DeadlockError,boom\n"
+         "eof,3\n",
+         "eof"},
+        {"missing trailer",
+         "last-bench-cache v6 scale=1\n"
+         "quarantine,VecAdd,GCN3,0,42,DeadlockError,boom\n",
+         "eof"},
+        {"bytes after trailer",
+         "last-bench-cache v6 scale=1\n"
+         "eof,0\n"
+         "quarantine,VecAdd,GCN3,0,42,DeadlockError,late\n",
+         "eof"},
+        {"garbage numeric field",
+         "last-bench-cache v6 scale=1\n"
+         "quarantine,VecAdd,GCN3,zz,42,DeadlockError,boom\n"
+         "eof,1\n",
+         "u64"},
+        {"negative count",
+         "last-bench-cache v6 scale=1\n"
+         "quarantine,VecAdd,GCN3,-1,42,DeadlockError,boom\n"
+         "eof,1\n",
+         "u64"},
+        {"unknown isa tag",
+         "last-bench-cache v6 scale=1\n"
+         "quarantine,VecAdd,AVX512,0,42,DeadlockError,boom\n"
+         "eof,1\n",
+         "ISA"},
+        {"blank line",
+         "last-bench-cache v6 scale=1\n"
+         "\n"
+         "eof,0\n",
+         "blank"},
+    };
+    for (const Case &c : cases) {
+        std::istringstream is(c.text);
+        sim::BenchCacheFile out;
+        try {
+            sim::readBenchCacheStrict(is, out, "damage.csv");
+            ADD_FAILURE() << c.label << " parsed silently";
+        } catch (const SimError &e) {
+            const std::string what = e.what();
+            EXPECT_TRUE(loudFailure(what, "damage.csv"))
+                << c.label << ": " << what;
+            EXPECT_NE(what.find(c.needle), std::string::npos)
+                << c.label << ": " << what;
+        } catch (const std::exception &e) {
+            ADD_FAILURE() << c.label
+                          << " escaped with a non-SimError: " << e.what();
+        }
+    }
+}
+
+TEST(TornInputFuzz, CacheGarbageMutationsNeverCrash)
+{
+    workloads::WorkloadScale scale{0.25};
+    std::vector<sim::RunSpec> specs = {
+        {"VecAdd", IsaKind::HSAIL, GpuConfig{}, scale},
+        {"VecAdd", IsaKind::GCN3, GpuConfig{}, scale},
+    };
+    auto outcome = sim::runShard(sim::makeShardManifests(specs, 1)[0]);
+    const std::string full = cacheBytes(outcome.cache);
+
+    setLogHook([](const char *, const std::string &) {});
+    Rng rng(7);
+    for (int iter = 0; iter < 300; ++iter) {
+        std::string bytes = full;
+        size_t flips = 1 + rng.nextBounded(4);
+        for (size_t f = 0; f < flips; ++f)
+            bytes[rng.nextBounded(bytes.size())] = char(rng.nextBounded(256));
+        std::istringstream is(bytes);
+        sim::BenchCacheFile out;
+        try {
+            sim::readBenchCacheStrict(is, out, "mut.csv");
+            // A benign flip (inside an error message, say) may parse.
+        } catch (const SimError &e) {
+            EXPECT_NE(std::string(e.what()).find("mut.csv"),
+                      std::string::npos)
+                << "iter " << iter << ": " << e.what();
+        } catch (const std::exception &e) {
+            ADD_FAILURE() << "iter " << iter
+                          << " escaped with a non-SimError: " << e.what();
+        }
+    }
     setLogHook(nullptr);
 }
 

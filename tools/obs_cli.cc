@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hh"
 #include "obs/divergence.hh"
 #include "obs/stats_export.hh"
 #include "obs/trace.hh"
@@ -83,15 +84,14 @@ takeOption(std::vector<std::string> &args, const std::string &flag,
     return dflt;
 }
 
-std::ofstream
-openOut(const std::string &path)
+/** Atomically write a report produced by `fn`: a crash (or SIGKILL)
+ *  mid-write can never leave a half-written JSON/CSV behind for a
+ *  downstream consumer to trip over. */
+void
+writeAtomic(const std::string &path,
+            const std::function<void(std::ostream &)> &fn)
 {
-    std::ofstream f(path);
-    if (!f) {
-        std::fprintf(stderr, "last_obs: cannot write %s\n", path.c_str());
-        std::exit(1);
-    }
-    return f;
+    atomicWriteFile(path, fn);
 }
 
 int
@@ -122,8 +122,9 @@ cmdTrace(std::vector<std::string> args)
     if (out.empty()) {
         sink.writeChromeTrace(std::cout, meta);
     } else {
-        auto f = openOut(out);
-        sink.writeChromeTrace(f, meta);
+        writeAtomic(out, [&](std::ostream &os) {
+            sink.writeChromeTrace(os, meta);
+        });
         std::fprintf(stderr,
                      "last_obs: %llu events (%llu dropped) across %zu "
                      "tracks -> %s\n",
@@ -154,12 +155,14 @@ cmdStats(std::vector<std::string> args)
         args[0], isa, GpuConfig{}, {scale},
         [&](runtime::Runtime &rt) {
             if (!jsonPath.empty()) {
-                auto f = openOut(jsonPath);
-                obs::writeStatsJson(f, rt, meta);
+                writeAtomic(jsonPath, [&](std::ostream &os) {
+                    obs::writeStatsJson(os, rt, meta);
+                });
             }
             if (!csvPath.empty()) {
-                auto f = openOut(csvPath);
-                obs::writeStatsCsv(f, rt, meta);
+                writeAtomic(csvPath, [&](std::ostream &os) {
+                    obs::writeStatsCsv(os, rt, meta);
+                });
             }
             if (jsonPath.empty() && csvPath.empty())
                 obs::writeStatsJson(std::cout, rt, meta);
@@ -196,8 +199,9 @@ cmdDiverge(std::vector<std::string> args)
     }
 
     if (!jsonPath.empty()) {
-        auto f = openOut(jsonPath);
-        obs::writeDivergenceJsonArray(f, reports);
+        writeAtomic(jsonPath, [&](std::ostream &os) {
+            obs::writeDivergenceJsonArray(os, reports);
+        });
     }
     return anyFailed ? 1 : 0;
 }

@@ -1,14 +1,22 @@
 /**
  * @file
- * `last_sweep` — the sharded sweep backend CLI (see DESIGN.md §4d).
+ * `last_sweep` — the sharded sweep backend CLI (see DESIGN.md §4d/§4e).
  *
- *   last_sweep plan  --shards N [--scale F] [--seed S]
- *                    [--lds-stride W] [--lds-pad W] [--out-dir D]
- *   last_sweep run   MANIFEST.json [--cache FILE] [--out FILE]
- *                    [--diverge FILE] [--jobs N] [--threshold T]
- *                    [--no-retry]
- *   last_sweep merge --out FILE [--diverge FILE] [--threshold T]
- *                    PARTIAL.csv...
+ *   last_sweep plan        --shards N [--scale F] [--seed S]
+ *                          [--lds-stride W] [--lds-pad W] [--out-dir D]
+ *   last_sweep run         MANIFEST.json [--cache FILE] [--out FILE]
+ *                          [--diverge FILE] [--jobs N] [--threshold T]
+ *                          [--no-retry] [--timeout-ms MS]
+ *   last_sweep merge       --out FILE [--diverge FILE] [--threshold T]
+ *                          PARTIAL.csv...
+ *   last_sweep orchestrate --out FILE [--shards N] [--work-dir D]
+ *                          [--diverge FILE] [--scale F] [--seed S]
+ *                          [--lds-stride W] [--lds-pad W] [--jobs N]
+ *                          [--threshold T] [--timeout-ms MS]
+ *                          [--poll-ms MS] [--max-parallel N]
+ *                          [--backoff-ms MS] [--backoff-cap-ms MS]
+ *                          [--max-attempts N] [--resume]
+ *                          [--worker EXE] [--chaos-exec WRAPPER]
  *
  * plan:  split the canonical (workload x ISA) sweep matrix into N
  *        deterministic `last-shard-v1` manifests (D/shard_<i>.json).
@@ -17,15 +25,33 @@
  *        `last-divergence-v1` report (`--diverge`). With `--cache`,
  *        incremental mode: specs whose (workload, ISA, scale, seed,
  *        knob-digest) row already exists in that cache are served from
- *        it instead of re-simulated.
+ *        it instead of re-simulated. With `--timeout-ms`, every
+ *        simulated spec gets a wall-clock deadline (the in-process
+ *        watchdog); a spec still ticking past it quarantines as a
+ *        "deadlock" row instead of wedging the process.
  * merge: combine partial caches into one cache + divergence report,
  *        byte-identical to a single process covering the whole matrix
  *        (any merge order, overlapping shards, and re-merging a merged
  *        cache included).
+ * orchestrate: plan + supervise one `run` child process per shard to
+ *        completion under failure (crash/hang/torn output), with
+ *        per-worker wall-clock deadlines, capped exponential backoff
+ *        retries, a fsync'd `last-journal-v1` journal, and atomic
+ *        artifact writes. `--resume` re-attaches to a killed
+ *        campaign, skipping shards whose caches verify. See DESIGN.md
+ *        §4e and scripts/chaos_sweep.sh.
  *
- * Exit code: 0 on success, 2 when the sweep completed but quarantined
- * at least one spec (artifacts are still written, with quarantine
- * marker rows), 1 on usage or I/O errors.
+ * All artifacts are written through atomicWriteFile(): readers (and
+ * crashes at any instant) see the old file or the new file, never a
+ * torn hybrid.
+ *
+ * Exit codes (README has the full table):
+ *   0  success, nothing quarantined
+ *   1  usage, I/O, or setup errors
+ *   2  completed, but at least one spec (or shard, for orchestrate)
+ *      is represented by quarantine rows in the artifacts
+ *   128+N  killed by signal N (the shell's convention — what the
+ *      orchestrator's supervisor classifies as a crash)
  */
 
 #include <cstdio>
@@ -35,8 +61,10 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hh"
 #include "obs/divergence.hh"
 #include "sim/bench_cache.hh"
+#include "sim/orchestrate.hh"
 #include "sim/shard.hh"
 
 using namespace last;
@@ -56,8 +84,19 @@ usage()
         "[--out FILE]\n"
         "                        [--diverge FILE] [--jobs N] "
         "[--threshold T] [--no-retry]\n"
+        "                        [--timeout-ms MS]\n"
         "       last_sweep merge --out FILE [--diverge FILE] "
-        "[--threshold T] PARTIAL.csv...\n");
+        "[--threshold T] PARTIAL.csv...\n"
+        "       last_sweep orchestrate --out FILE [--shards N] "
+        "[--work-dir D]\n"
+        "                        [--diverge FILE] [--scale F] "
+        "[--seed S] [--jobs N]\n"
+        "                        [--timeout-ms MS] [--poll-ms MS] "
+        "[--max-parallel N]\n"
+        "                        [--backoff-ms MS] "
+        "[--backoff-cap-ms MS] [--max-attempts N]\n"
+        "                        [--resume] [--worker EXE] "
+        "[--chaos-exec WRAPPER]\n");
     std::exit(1);
 }
 
@@ -88,16 +127,13 @@ takeFlag(std::vector<std::string> &args, const std::string &flag)
     return false;
 }
 
-std::ofstream
-openOut(const std::string &path)
+/** Atomically write an artifact produced by `fn` (temp + fsync +
+ *  rename — a crash mid-write never leaves a torn file behind). */
+void
+writeAtomic(const std::string &path,
+            const std::function<void(std::ostream &)> &fn)
 {
-    std::ofstream f(path);
-    if (!f) {
-        std::fprintf(stderr, "last_sweep: cannot write %s\n",
-                     path.c_str());
-        std::exit(1);
-    }
-    return f;
+    atomicWriteFile(path, fn);
 }
 
 /** Load a bench cache, tolerating a missing file (empty cache). A
@@ -134,8 +170,9 @@ cmdPlan(std::vector<std::string> args)
     for (const auto &m : manifests) {
         std::string path = outDir + "/shard_" +
                            std::to_string(m.shardIndex) + ".json";
-        auto f = openOut(path);
-        sim::writeShardManifest(f, m);
+        writeAtomic(path, [&](std::ostream &os) {
+            sim::writeShardManifest(os, m);
+        });
         std::fprintf(stderr, "last_sweep: wrote %s (%zu specs)\n",
                      path.c_str(), m.entries.size());
     }
@@ -153,6 +190,8 @@ cmdRun(std::vector<std::string> args)
     double threshold = std::stod(takeOption(
         args, "--threshold",
         std::to_string(obs::DefaultDivergenceThreshold)));
+    uint64_t timeoutMs =
+        std::stoull(takeOption(args, "--timeout-ms", "0"));
     bool noRetry = takeFlag(args, "--no-retry");
     if (args.size() != 1)
         usage();
@@ -163,12 +202,13 @@ cmdRun(std::vector<std::string> args)
                      args[0].c_str());
         return 1;
     }
-    sim::ShardManifest m = sim::readShardManifest(mf);
+    sim::ShardManifest m = sim::readShardManifest(mf, args[0]);
 
     sim::BenchCacheFile reuse;
     sim::ShardRunOptions opts;
     opts.jobs = jobs;
     opts.retryFailed = !noRetry;
+    opts.timeoutMs = timeoutMs;
     if (!cachePath.empty() && loadCache(cachePath, reuse))
         opts.reuse = &reuse;
 
@@ -188,14 +228,16 @@ cmdRun(std::vector<std::string> args)
         std::fprintf(stderr, "%s", outcome.sweep.format().c_str());
 
     if (!outPath.empty()) {
-        auto f = openOut(outPath);
-        sim::writeBenchCache(f, outcome.cache);
+        writeAtomic(outPath, [&](std::ostream &os) {
+            sim::writeBenchCache(os, outcome.cache);
+        });
     }
     if (!divergePath.empty()) {
         auto reports =
             sim::divergenceFromCache(outcome.cache, threshold);
-        auto f = openOut(divergePath);
-        obs::writeDivergenceJsonArray(f, reports);
+        writeAtomic(divergePath, [&](std::ostream &os) {
+            obs::writeDivergenceJsonArray(os, reports);
+        });
     }
     return outcome.quarantined ? 2 : 0;
 }
@@ -232,16 +274,62 @@ cmdMerge(std::vector<std::string> args)
                  "quarantined)\n",
                  parts.size(), merged.rows.size(), quarantined);
 
-    {
-        auto f = openOut(outPath);
-        sim::writeBenchCache(f, merged);
-    }
+    writeAtomic(outPath, [&](std::ostream &os) {
+        sim::writeBenchCache(os, merged);
+    });
     if (!divergePath.empty()) {
         auto reports = sim::divergenceFromCache(merged, threshold);
-        auto f = openOut(divergePath);
-        obs::writeDivergenceJsonArray(f, reports);
+        writeAtomic(divergePath, [&](std::ostream &os) {
+            obs::writeDivergenceJsonArray(os, reports);
+        });
     }
     return quarantined ? 2 : 0;
+}
+
+int
+cmdOrchestrate(std::vector<std::string> args)
+{
+    sim::OrchestrateOptions o;
+    o.shards = unsigned(std::stoul(takeOption(args, "--shards", "2")));
+    o.scale = std::stod(takeOption(args, "--scale", "1.0"));
+    o.seed = std::stoull(takeOption(args, "--seed", "0"));
+    o.ldsStrideWords =
+        std::stoi(takeOption(args, "--lds-stride", "-1"));
+    o.ldsPadWords = std::stoi(takeOption(args, "--lds-pad", "-1"));
+    o.workDir = takeOption(args, "--work-dir", ".");
+    o.outPath = takeOption(args, "--out", "");
+    o.divergePath = takeOption(args, "--diverge", "");
+    o.threshold = std::stod(takeOption(
+        args, "--threshold",
+        std::to_string(obs::DefaultDivergenceThreshold)));
+    o.jobsPerWorker =
+        unsigned(std::stoul(takeOption(args, "--jobs", "0")));
+    o.workerTimeoutMs =
+        std::stoull(takeOption(args, "--timeout-ms", "0"));
+    o.pollIntervalMs =
+        std::stoull(takeOption(args, "--poll-ms", "50"));
+    o.maxParallel =
+        unsigned(std::stoul(takeOption(args, "--max-parallel", "0")));
+    o.backoff.baseMs =
+        std::stoull(takeOption(args, "--backoff-ms", "250"));
+    o.backoff.capMs =
+        std::stoull(takeOption(args, "--backoff-cap-ms", "8000"));
+    o.backoff.maxAttempts =
+        unsigned(std::stoul(takeOption(args, "--max-attempts", "4")));
+    o.resume = takeFlag(args, "--resume");
+    o.workerExe = takeOption(args, "--worker", "");
+    o.chaosExec = takeOption(args, "--chaos-exec", "");
+    if (!args.empty() || o.outPath.empty() || o.shards == 0)
+        usage();
+
+    sim::CampaignOutcome outcome = sim::runCampaign(o);
+    std::fprintf(
+        stderr,
+        "last_sweep: campaign done — %zu rows (%zu quarantined), "
+        "%u retries, %u shard(s) gave up, %zu skipped on resume\n",
+        outcome.merged.rows.size(), outcome.quarantinedRows,
+        outcome.retries, outcome.gaveUp, outcome.skippedOnResume);
+    return outcome.quarantinedRows ? 2 : 0;
 }
 
 } // namespace
@@ -260,6 +348,8 @@ main(int argc, char **argv)
             return cmdRun(std::move(args));
         if (cmd == "merge")
             return cmdMerge(std::move(args));
+        if (cmd == "orchestrate")
+            return cmdOrchestrate(std::move(args));
     } catch (const std::exception &e) {
         std::fprintf(stderr, "last_sweep: %s\n", e.what());
         return 1;
