@@ -15,17 +15,21 @@
 #  3. Component microbenchmarks (bench/micro_components) covering the
 #     rewritten paths, including the skewed-duration scheduler pair
 #     (BM_ParallelInvokeSkewedStatic vs ...Steal) — the work-stealing
-#     pool must beat static chunking on the skewed batch.
+#     pool must beat static chunking on the skewed batch — and the
+#     execution-engine pair (BM_ExecuteValuLoop / BM_DispatchChain,
+#     Arg 0 = predecoded handlers, Arg 1 = virtual reference) — the
+#     predecoded engine must beat virtual dispatch on both.
 #
 # It also proves statistic identity: the freshly generated cache files
 # (fig01_summary's and last_sweep's) must be byte-identical to the
 # committed last_bench_cache.csv. A perf "win" that changes a statistic
 # is a bug, and this script fails on it.
 #
-# Usage: scripts/bench_perf.sh [--quick] [--check BASELINE.json] [OUT.json]
+# Usage: scripts/bench_perf.sh [--quick] [--check BASELINES] [OUT.json]
 #   --quick   1 sweep rep + short microbench time (CI smoke)
-#   --check   compare the measured sweep against BASELINE.json and fail
-#             if it regressed by more than 25%
+#   --check   comma-separated list of committed BENCH_<n>.json files;
+#             the measured sweep is gated against the BEST (fastest)
+#             of them and fails if it regressed by more than 25%
 #   OUT.json  where to write results (default: stdout)
 set -u
 
@@ -152,6 +156,22 @@ if [ "$(awk -v s="$steal_ms" -v t="$static_ms" 'BEGIN{print (s < t) ? 1 : 0}')" 
 fi
 echo "bench_perf: skewed scheduler OK (static ${static_ms} ms, steal ${steal_ms} ms)" >&2
 
+# The execution-engine gate: the predecoded direct-threaded engine
+# (Arg 0) must beat the legacy virtual-dispatch reference (Arg 1) on
+# both the homogeneous VALU loop and the heterogeneous dispatch chain.
+for eng_bm in BM_ExecuteValuLoop BM_DispatchChain; do
+    pre_ns=$(jq -r --arg n "$eng_bm/0" '[.benchmarks[]
+        | select(.name == $n) | .real_time][0]' "$micro_json")
+    ref_ns=$(jq -r --arg n "$eng_bm/1" '[.benchmarks[]
+        | select(.name == $n) | .real_time][0]' "$micro_json")
+    [ "$pre_ns" != "null" ] && [ "$ref_ns" != "null" ] ||
+        fail "$eng_bm engine pair missing from micro_components output"
+    if [ "$(awk -v p="$pre_ns" -v r="$ref_ns" 'BEGIN{print (p < r) ? 1 : 0}')" != "1" ]; then
+        fail "predecoded engine (${pre_ns} ns) not faster than virtual dispatch (${ref_ns} ns) on $eng_bm"
+    fi
+    echo "bench_perf: $eng_bm OK (predecoded ${pre_ns} ns, reference ${ref_ns} ns)" >&2
+done
+
 # --- 5. Emit the baseline JSON. -------------------------------------
 result=$(jq -n \
     --argjson sweep_ms "$best_ms" \
@@ -162,7 +182,7 @@ result=$(jq -n \
     --argjson shard_warm_ms "$shard_warm_ms" \
     --slurpfile micro "$micro_json" \
     '{
-        schema: "last-bench-perf v2",
+        schema: "last-bench-perf v3",
         sweep: {
             description: "fig01_summary populating a fresh result cache (all workloads, both ISAs)",
             wall_ms_best: $sweep_ms,
@@ -188,15 +208,29 @@ else
 fi
 
 # --- 6. Optional regression gate. -----------------------------------
+# --check takes a comma-separated list of committed baselines; the
+# gate runs against the fastest of them, so a PR that lands a speedup
+# ratchets the bar for every later PR instead of resetting it.
 if [ -n "$check_file" ]; then
-    [ -f "$check_file" ] || fail "baseline $check_file not found"
-    base_ms=$(jq -r '.sweep.wall_ms_best' "$check_file")
-    # >25% slower than the committed baseline fails the gate. Absolute
-    # wall-clock varies across machines; the gate is meant to catch
-    # order-of-magnitude slips (an accidental O(n^2) path), not noise.
+    base_ms=""
+    old_ifs=$IFS
+    IFS=,
+    for f in $check_file; do
+        IFS=$old_ifs
+        [ -f "$f" ] || fail "baseline $f not found"
+        ms=$(jq -r '.sweep.wall_ms_best' "$f")
+        [ "$ms" != "null" ] || fail "baseline $f has no sweep.wall_ms_best"
+        [ -z "$base_ms" ] || [ "$ms" -lt "$base_ms" ] && base_ms=$ms
+        IFS=,
+    done
+    IFS=$old_ifs
+    # >25% slower than the best committed baseline fails the gate.
+    # Absolute wall-clock varies across machines; the gate is meant to
+    # catch order-of-magnitude slips (an accidental O(n^2) path), not
+    # noise.
     limit=$((base_ms + base_ms / 4))
     if [ "$best_ms" -gt "$limit" ]; then
-        fail "sweep ${best_ms} ms exceeds baseline ${base_ms} ms by >25% (limit ${limit} ms)"
+        fail "sweep ${best_ms} ms exceeds best baseline ${base_ms} ms by >25% (limit ${limit} ms)"
     fi
     echo "bench_perf: regression gate OK (${best_ms} ms <= ${limit} ms)"
 fi

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Predecoded execution metadata: the direct-threaded engine's view of
+ * one static instruction.
+ *
+ * The per-dynamic-instruction cost of the original engine was a
+ * virtual execute() call into a nested format/opcode switch, plus
+ * repeated virtual fuType()/sizeBytes()/latency() calls and
+ * std::vector<RegOperand> walks in the issue stage. Predecode runs
+ * once per static instruction (lazily, at first use of a sealed
+ * kernel; see KernelCode::execMetas) and flattens everything the hot
+ * path needs into this POD record:
+ *
+ *  - `handler`: a flat function pointer resolved from the opcode, so
+ *    dispatch is one indirect call with no switch chain. Each ISA
+ *    picks it in its predecode() override (src/hsail/exec.cc,
+ *    src/gcn3/exec.cc); handlers for the hot op classes iterate
+ *    active lanes ctz-style with branchless, autovectorizable lane
+ *    kernels. The legacy virtual path stays available behind
+ *    GpuConfig::execReference and must produce bit-identical results
+ *    (enforced by tests/test_exec_engine.cc).
+ *  - flags/fu/size/latClass: the virtual metadata, pre-flattened.
+ *  - `ops`: the RegOperand list copied into a fixed array (same
+ *    order), for the hazard probe / scoreboard / bank-conflict walks.
+ *  - vecRd/vecWr: the vector operand registers width-expanded in
+ *    operand order — exactly the sequence probeVectorOperands used to
+ *    derive from regOps() per dynamic instruction. Order matters: the
+ *    reuse-distance probe is order-dependent within an instruction.
+ *  - c0/c1/imm: predigested ISA constants (s_waitcnt thresholds,
+ *    s_nop wait states) so the CU never downcasts mid-issue.
+ *
+ * The record deliberately keeps a pointer to the Instruction: cold
+ * fields (branch targets, reconvergence offsets, disassembly) stay
+ * there, and the reference path needs the virtual execute().
+ */
+
+#ifndef LAST_ARCH_EXEC_META_HH
+#define LAST_ARCH_EXEC_META_HH
+
+#include <cstdint>
+
+#include "arch/instruction.hh"
+#include "common/config.hh"
+
+namespace last::arch
+{
+
+struct WfState;
+struct ExecMeta;
+
+/** Direct-threaded handler: functionally execute `m.inst` for all
+ *  active lanes of `wf` (bit-identical to `m.inst->execute(wf)`). */
+using ExecHandler = void (*)(const ExecMeta &m, WfState &wf);
+
+/** Latency class, resolved to cycles against a GpuConfig at issue
+ *  time (the config's latency knobs are sweep parameters, so cycles
+ *  cannot be baked in at predecode). Mirrors Instruction::latency. */
+enum class LatClass : uint8_t
+{
+    VAlu,    ///< cfg.valuLatency
+    VAluF64, ///< cfg.valuLatencyF64 (F64 or transcendental)
+    SAlu,    ///< cfg.saluLatency
+    Branch,  ///< cfg.branchLatency
+    Lds,     ///< cfg.ldsLatency
+    Mem,     ///< 0: timing comes from the memory system
+    Special, ///< 1
+};
+
+struct ExecMeta
+{
+    /** Bounds for the fixed operand arrays. The widest real cases:
+     *  V_ADDC_U32 carries 5 RegOperands (dst + 2 srcs + implicit VCC
+     *  use and def); an HSAIL f64 ALU op touches 8 expanded vector
+     *  registers (2-wide dst + three 2-wide sources). predecode
+     *  panics if a new instruction ever exceeds these. */
+    static constexpr unsigned MaxOps = 8;
+    static constexpr unsigned MaxVecRd = 8;
+    static constexpr unsigned MaxVecWr = 4;
+
+    ExecHandler handler = nullptr;
+    const Instruction *inst = nullptr;
+
+    uint32_t flags = 0;             ///< InstFlags, pre-flattened
+    FuType fu = FuType::Special;
+    LatClass latClass = LatClass::Special;
+    uint8_t size = 0;               ///< encoded bytes (4..12)
+
+    /** regOps(), copied in order. */
+    uint8_t numOps = 0;
+    RegOperand ops[MaxOps];
+
+    /** Vector operand registers, width-expanded, in operand order
+     *  (reads: isDef == false; writes: isDef == true). Duplicates are
+     *  preserved — V_MAC_F32 legitimately lists its dst both ways. */
+    uint8_t numVecRd = 0;
+    uint8_t numVecWr = 0;
+    uint16_t vecRd[MaxVecRd];
+    uint16_t vecWr[MaxVecWr];
+
+    /** @{ Predigested ISA constants. GCN3: c0/c1 are the s_waitcnt
+     *  vmcnt/lgkmcnt thresholds; imm is the SOPP immediate (s_nop
+     *  wait states). Unused elsewhere. */
+    uint32_t c0 = 0;
+    uint32_t c1 = 0;
+    uint32_t imm = 0;
+    /** @} */
+
+    bool is(InstFlags f) const { return (flags & f) != 0; }
+
+    /** Result latency in cycles; bit-identical to
+     *  Instruction::latency(cfg) (asserted per instruction by
+     *  tests/test_exec_engine.cc). */
+    unsigned
+    latency(const GpuConfig &cfg) const
+    {
+        switch (latClass) {
+          case LatClass::VAlu: return cfg.valuLatency;
+          case LatClass::VAluF64: return cfg.valuLatencyF64;
+          case LatClass::SAlu: return cfg.saluLatency;
+          case LatClass::Branch: return cfg.branchLatency;
+          case LatClass::Lds: return cfg.ldsLatency;
+          case LatClass::Mem: return 0;
+          case LatClass::Special: return 1;
+        }
+        return 1;
+    }
+};
+
+} // namespace last::arch
+
+#endif // LAST_ARCH_EXEC_META_HH

@@ -25,6 +25,7 @@ namespace last::arch
 {
 
 struct WfState;
+struct ExecMeta;
 
 /** Functional unit an instruction issues to. */
 enum class FuType
@@ -97,8 +98,21 @@ class Instruction
     virtual ~Instruction() = default;
 
     /** Functionally execute for all active lanes; set wf.nextPc and,
-     *  for memory ops, push a MemAccess descriptor onto wf. */
+     *  for memory ops, push a MemAccess descriptor onto wf. This is
+     *  the reference engine; the direct-threaded engine (exec_meta.hh)
+     *  must match it bit for bit. */
     virtual void execute(WfState &wf) const = 0;
+
+    /**
+     * Second half of predecode: pick the direct-threaded handler and
+     * fill ISA-specific ExecMeta fields. The caller
+     * (KernelCode::execMetas) has already flattened the ISA-neutral
+     * metadata (flags/fu/size/latency class/operand arrays) into `m`.
+     * The default implementation installs a handler that falls back to
+     * the virtual execute(); ISAs override to install specialized
+     * active-lane kernels for their hot op classes.
+     */
+    virtual void predecode(ExecMeta &m) const;
 
     /** Assembly-like rendering, used by examples/tests. */
     virtual std::string disassemble() const = 0;

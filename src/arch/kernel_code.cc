@@ -63,6 +63,77 @@ KernelCode::setCodeBase(Addr b) const
              (unsigned long long)b);
 }
 
+const std::vector<ExecMeta> &
+KernelCode::execMetas() const
+{
+    panic_if(!isSealed, "predecode of unsealed kernel %s",
+             kernelName.c_str());
+    std::call_once(metasOnce, [this] { buildMetas(); });
+    return metas;
+}
+
+void
+KernelCode::buildMetas() const
+{
+    metas.resize(insts.size());
+    for (size_t i = 0; i < insts.size(); ++i) {
+        const Instruction &in = *insts[i];
+        ExecMeta &m = metas[i];
+        m.inst = &in;
+        m.flags = in.flags();
+        m.fu = in.fuType();
+        m.size = uint8_t(sizeOf(i));
+
+        switch (m.fu) {
+          case FuType::VAlu:
+            m.latClass = (m.is(IsF64) || m.is(IsTrans))
+                             ? LatClass::VAluF64
+                             : LatClass::VAlu;
+            break;
+          case FuType::SAlu: m.latClass = LatClass::SAlu; break;
+          case FuType::Branch: m.latClass = LatClass::Branch; break;
+          case FuType::Lds: m.latClass = LatClass::Lds; break;
+          case FuType::VMem:
+          case FuType::SMem: m.latClass = LatClass::Mem; break;
+          case FuType::Special: m.latClass = LatClass::Special; break;
+        }
+
+        const auto &ops = in.regOps();
+        panic_if(ops.size() > ExecMeta::MaxOps,
+                 "%s: %zu operands exceed ExecMeta::MaxOps",
+                 in.disassemble().c_str(), ops.size());
+        m.numOps = uint8_t(ops.size());
+        for (size_t k = 0; k < ops.size(); ++k)
+            m.ops[k] = ops[k];
+
+        // Width-expanded vector register lists, preserving operand
+        // order (the reuse-distance probe is order-sensitive) and
+        // duplicates (V_MAC_F32 lists its dst as both use and def).
+        for (const auto &op : ops) {
+            if (op.cls != RegClass::Vector)
+                continue;
+            for (unsigned w = 0; w < op.width; ++w) {
+                if (op.isDef) {
+                    panic_if(m.numVecWr >= ExecMeta::MaxVecWr,
+                             "%s: too many vector defs",
+                             in.disassemble().c_str());
+                    m.vecWr[m.numVecWr++] = uint16_t(op.idx + w);
+                } else {
+                    panic_if(m.numVecRd >= ExecMeta::MaxVecRd,
+                             "%s: too many vector uses",
+                             in.disassemble().c_str());
+                    m.vecRd[m.numVecRd++] = uint16_t(op.idx + w);
+                }
+            }
+        }
+
+        in.predecode(m);
+        panic_if(!m.handler, "%s: predecode installed no handler",
+                 in.disassemble().c_str());
+    }
+    metasBuilt = true;
+}
+
 size_t
 KernelCode::indexAt(Addr offset) const
 {

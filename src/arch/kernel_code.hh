@@ -10,9 +10,11 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "arch/exec_meta.hh"
 #include "arch/instruction.hh"
 #include "common/config.hh"
 #include "common/types.hh"
@@ -49,6 +51,33 @@ class KernelCode
 
     /** Byte offset of instruction idx within the code object. */
     Addr offsetOf(size_t idx) const { return offsets[idx]; }
+
+    /** Encoded size in bytes of instruction idx, from the sealed
+     *  offset table — no virtual call. */
+    unsigned
+    sizeOf(size_t idx) const
+    {
+        Addr end = idx + 1 < offsets.size() ? offsets[idx + 1]
+                                            : totalBytes;
+        return unsigned(end - offsets[idx]);
+    }
+
+    /**
+     * Predecoded execution metadata, one record per instruction in
+     * stream order (parallel to inst()). Built lazily on first use and
+     * cached for the lifetime of the kernel — artifacts live in the
+     * process-wide ArtifactCache, so predecode cost is paid once per
+     * static kernel no matter how many sweep runs execute it.
+     * Thread-safe: concurrent sweep runs share const artifacts, hence
+     * call_once. Panics if the kernel is not sealed.
+     */
+    const std::vector<ExecMeta> &execMetas() const;
+
+    /** True once execMetas() has built the predecode cache. Passes
+     *  that rewrite instructions post-seal (register remapping) must
+     *  run before predecode — the cached operand lists would go
+     *  silently stale otherwise — and use this to assert that. */
+    bool predecoded() const { return metasBuilt; }
 
     /** Instruction index at byte offset (must be a valid boundary). */
     size_t indexAt(Addr offset) const;
@@ -93,7 +122,14 @@ class KernelCode
     /** Logically part of construction (see setCodeBase), hence
      *  mutable on an otherwise-immutable shared artifact. */
     mutable std::atomic<Addr> base{0};
+    /** Lazily-built predecode cache; same shared-artifact argument as
+     *  `base` for mutability. */
+    mutable std::vector<ExecMeta> metas;
+    mutable std::once_flag metasOnce;
+    mutable bool metasBuilt = false;
     bool isSealed = false;
+
+    void buildMetas() const;
 };
 
 } // namespace last::arch

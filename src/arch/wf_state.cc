@@ -6,15 +6,6 @@ namespace last::arch
 {
 
 uint64_t
-WfState::activeMask() const
-{
-    if (isa == IsaKind::GCN3)
-        return exec;
-    panic_if(rs.empty(), "HSAIL wavefront with empty reconvergence stack");
-    return rs.back().mask;
-}
-
-uint64_t
 WfState::readVreg64(unsigned idx, unsigned lane) const
 {
     return uint64_t(vregs[idx][lane]) |

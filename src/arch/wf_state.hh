@@ -25,6 +25,7 @@
 
 #include "arch/instruction.hh"
 #include "common/config.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "memory/functional_memory.hh"
 #include "memory/lds.hh"
@@ -149,7 +150,15 @@ struct WfState
      *  count statistics (always true; placeholder for extensions). */
 
     /** @{ Mask helpers. */
-    uint64_t activeMask() const;
+    uint64_t
+    activeMask() const
+    {
+        if (isa == IsaKind::GCN3)
+            return exec;
+        panic_if(rs.empty(),
+                 "HSAIL wavefront with empty reconvergence stack");
+        return rs.back().mask;
+    }
     static uint64_t laneBit(unsigned lane) { return 1ull << lane; }
     bool laneActive(unsigned lane) const
     {

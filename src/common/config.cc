@@ -1,5 +1,7 @@
 #include "common/config.hh"
 
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 namespace last
@@ -9,6 +11,24 @@ const char *
 isaName(IsaKind isa)
 {
     return isa == IsaKind::HSAIL ? "HSAIL" : "GCN3";
+}
+
+bool
+GpuConfig::defaultExecReference()
+{
+    // Resolved once: the switch selects an engine for the whole
+    // process; per-run overrides go through the GpuConfig field.
+    static const bool def = [] {
+#ifdef LAST_EXEC_REFERENCE_DEFAULT
+        bool v = true;
+#else
+        bool v = false;
+#endif
+        if (const char *env = std::getenv("LAST_EXEC_REFERENCE"))
+            v = *env && std::strcmp(env, "0") != 0;
+        return v;
+    }();
+    return def;
 }
 
 std::string

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
+#include "arch/exec_meta.hh"
 #include "common/bitfield.hh"
 #include "common/logging.hh"
 #include "finalizer/abi.hh"
-#include "gcn3/inst.hh"
 
 namespace last::cu
 {
@@ -17,11 +17,11 @@ namespace
 /** Issue-class nibble for InstIssue trace events (computed only when
  *  tracing; mirrors the Figure 5 classification switch below). */
 obs::InstClass
-traceClassOf(const arch::Instruction &inst)
+traceClassOf(const arch::ExecMeta &m)
 {
-    if (inst.is(arch::IsWaitcnt))
+    if (m.is(arch::IsWaitcnt))
         return obs::InstClass::Waitcnt;
-    switch (inst.fuType()) {
+    switch (m.fu) {
       case arch::FuType::VAlu: return obs::InstClass::VAlu;
       case arch::FuType::SAlu: return obs::InstClass::SAlu;
       case arch::FuType::VMem: return obs::InstClass::VMem;
@@ -97,6 +97,8 @@ ComputeUnit::ageListLink(Wavefront &wf)
     // always the youngest: append at the tail and the list stays
     // sorted by Wavefront::olderThan without any search.
     assert(!ageTail || Wavefront::olderThan(*ageTail, wf));
+    if (wf.slot < 64)
+        liveSlotMask |= 1ull << wf.slot;
     wf.agePrev = ageTail;
     wf.ageNext = nullptr;
     if (ageTail)
@@ -109,6 +111,8 @@ ComputeUnit::ageListLink(Wavefront &wf)
 void
 ComputeUnit::ageListUnlink(Wavefront &wf)
 {
+    if (wf.slot < 64)
+        liveSlotMask &= ~(1ull << wf.slot);
     if (wf.agePrev)
         wf.agePrev->ageNext = wf.ageNext;
     else
@@ -122,8 +126,7 @@ ComputeUnit::ageListUnlink(Wavefront &wf)
 
 unsigned
 ComputeUnit::chargeBankConflicts(const Wavefront &wf,
-                                 const arch::Instruction &inst,
-                                 Cycle now)
+                                 const arch::ExecMeta &m, Cycle now)
 {
     if (vrfBankUseCycle[wf.simd] != now) {
         vrfBankUse[wf.simd].fill(0);
@@ -131,7 +134,8 @@ ComputeUnit::chargeBankConflicts(const Wavefront &wf,
     }
     auto &use = vrfBankUse[wf.simd];
     unsigned conflicts = 0;
-    for (const auto &op : inst.regOps()) {
+    for (unsigned i = 0; i < m.numOps; ++i) {
+        const auto &op = m.ops[i];
         if (op.cls != arch::RegClass::Vector)
             continue;
         for (unsigned w = 0; w < op.width; ++w) {
@@ -289,23 +293,19 @@ ComputeUnit::nextProgressCycle(Cycle now) const
             return now;
         if (!wf.runnable() || wf.ibCount == 0)
             continue; // barrier release / fetch fill: event driven
-        const auto &inst = code->inst(wf.pcIdx);
+        const arch::ExecMeta &m = wf.metas[wf.pcIdx];
         Cycle start = std::max(now, wf.blockedUntil);
-        if (inst.fuType() != arch::FuType::Special)
-            start = std::max(start, fuBusyUntil[fuIndex(wf, inst)]);
+        if (m.fu != arch::FuType::Special)
+            start = std::max(start, fuBusyUntil[fuIndex(wf, m)]);
         if (wf.st.isa == IsaKind::HSAIL) {
             // Scoreboard: the issue cycle is bounded by the operand
             // ready times (mirrors depsReady()).
-            for (const auto &op : inst.regOps()) {
-                if (op.cls != arch::RegClass::Vector)
-                    continue;
-                for (unsigned w = 0; w < op.width; ++w)
-                    start = std::max(start, wf.vregReady[op.idx + w]);
-            }
-        } else if (inst.is(arch::IsWaitcnt)) {
-            const auto &wc = static_cast<const gcn3::Gcn3Inst &>(inst);
-            if (wf.st.vmCnt > wc.vmThreshold() ||
-                wf.st.lgkmCnt > wc.lgkmThreshold())
+            for (unsigned i = 0; i < m.numVecRd; ++i)
+                start = std::max(start, wf.vregReady[m.vecRd[i]]);
+            for (unsigned i = 0; i < m.numVecWr; ++i)
+                start = std::max(start, wf.vregReady[m.vecWr[i]]);
+        } else if (m.is(arch::IsWaitcnt)) {
+            if (wf.st.vmCnt > m.c0 || wf.st.lgkmCnt > m.c1)
                 continue; // unblocked by an event-queue decrement
         }
         t = std::min(t, start);
@@ -332,10 +332,10 @@ ComputeUnit::chargeSkippedCycles(Cycle now, Cycle k)
             ibEmptyStalls += double(end - lo);
             continue;
         }
-        const auto &inst = wf.st.code->inst(wf.pcIdx);
+        const arch::ExecMeta &m = wf.metas[wf.pcIdx];
         Cycle fu_free = lo;
-        if (inst.fuType() != arch::FuType::Special)
-            fu_free = std::max(lo, fuBusyUntil[fuIndex(wf, inst)]);
+        if (m.fu != arch::FuType::Special)
+            fu_free = std::max(lo, fuBusyUntil[fuIndex(wf, m)]);
         if (fu_free > lo)
             fuConflictStalls += double(std::min(end, fu_free) - lo);
         if (fu_free >= end)
@@ -409,63 +409,96 @@ ComputeUnit::dumpWavefronts(unsigned cuIndex,
     }
 }
 
+bool
+ComputeUnit::tryFetch(Wavefront *wf, Cycle now)
+{
+    if (wf->st.done || wf->fetchInFlight)
+        return false;
+    const auto *code = wf->st.code;
+    if (wf->ibNextIdx >= code->numInsts())
+        return false;
+    if (wf->ibCount + cfg.fetchWidth > cfg.ibEntries)
+        return false;
+
+    // Fetch one line's worth of instructions starting at the
+    // next-fetch offset. sizeOf() reads the sealed offsets table — no
+    // virtual sizeBytes() per scanned instruction.
+    Addr addr = code->codeBase() + wf->ibNextFetch;
+    Addr line_end = (addr / 64 + 1) * 64;
+    unsigned fetched = 0;
+    size_t idx = wf->ibNextIdx;
+    Addr off = wf->ibNextFetch;
+    while (idx < code->numInsts() && fetched < cfg.fetchWidth &&
+           code->codeBase() + off < line_end) {
+        off += code->sizeOf(idx);
+        ++idx;
+        ++fetched;
+    }
+
+    Cycle done = l1i->access(addr, false, now);
+    progressLastTick = true;
+    wf->fetchInFlight = true;
+    uint64_t gen = wf->gen;
+    size_t start_idx = wf->ibNextIdx;
+    eq.schedule(done, [wf, gen, fetched, idx, off, start_idx]() {
+        if (wf->gen != gen)
+            return;
+        wf->fetchInFlight = false;
+        // A flush may have redirected fetch while this request was
+        // in flight; drop the stale fill.
+        if (wf->ibNextIdx != start_idx)
+            return;
+        wf->ibCount += fetched;
+        wf->ibNextIdx = idx;
+        wf->ibNextFetch = off;
+    });
+    return true;
+}
+
 void
 ComputeUnit::fetchStage(Cycle now)
 {
     // One fetch initiated per cycle (the L1I is shared per cluster;
-    // its latency/misses come from the cache model).
+    // its latency/misses come from the cache model). The round-robin
+    // scan visits only slots holding live wavefronts: two ctz passes
+    // over liveSlotMask (bits >= fetchRr, then the wrapped remainder)
+    // reproduce the old (fetchRr + k) % n order exactly.
     unsigned n = unsigned(slots.size());
-    for (unsigned k = 0; k < n; ++k) {
-        Wavefront *wf = slots[(fetchRr + k) % n].get();
-        if (!wf->active || wf->st.done || wf->fetchInFlight)
-            continue;
-        const auto *code = wf->st.code;
-        if (wf->ibNextIdx >= code->numInsts())
-            continue;
-        if (wf->ibCount + cfg.fetchWidth > cfg.ibEntries)
-            continue;
-
-        // Fetch one line's worth of instructions starting at the
-        // next-fetch offset.
-        Addr addr = code->codeBase() + wf->ibNextFetch;
-        Addr line_end = (addr / 64 + 1) * 64;
-        unsigned fetched = 0;
-        size_t idx = wf->ibNextIdx;
-        Addr off = wf->ibNextFetch;
-        while (idx < code->numInsts() && fetched < cfg.fetchWidth &&
-               code->codeBase() + off < line_end) {
-            off += code->inst(idx).sizeBytes();
-            ++idx;
-            ++fetched;
+    if (n <= 64) {
+        uint64_t live = liveSlotMask;
+        uint64_t hi = live & (fetchRr < 64 ? ~0ull << fetchRr : 0);
+        for (uint64_t m = hi; m; m &= m - 1) {
+            unsigned s = findLsb(m);
+            if (tryFetch(slots[s].get(), now)) {
+                fetchRr = (s + 1) % n;
+                return;
+            }
         }
-
-        Cycle done = l1i->access(addr, false, now);
-        progressLastTick = true;
-        wf->fetchInFlight = true;
-        uint64_t gen = wf->gen;
-        size_t start_idx = wf->ibNextIdx;
-        eq.schedule(done, [wf, gen, fetched, idx, off, start_idx]() {
-            if (wf->gen != gen)
+        for (uint64_t m = live & ~hi; m; m &= m - 1) {
+            unsigned s = findLsb(m);
+            if (tryFetch(slots[s].get(), now)) {
+                fetchRr = (s + 1) % n;
                 return;
-            wf->fetchInFlight = false;
-            // A flush may have redirected fetch while this request was
-            // in flight; drop the stale fill.
-            if (wf->ibNextIdx != start_idx)
-                return;
-            wf->ibCount += fetched;
-            wf->ibNextIdx = idx;
-            wf->ibNextFetch = off;
-        });
-        fetchRr = (fetchRr + k + 1) % n;
-        break;
+            }
+        }
+        return;
+    }
+    for (unsigned k = 0; k < n; ++k) {
+        unsigned s = (fetchRr + k) % n;
+        Wavefront *wf = slots[s].get();
+        if (!wf->active)
+            continue;
+        if (tryFetch(wf, now)) {
+            fetchRr = (s + 1) % n;
+            return;
+        }
     }
 }
 
 unsigned
-ComputeUnit::fuIndex(const Wavefront &wf,
-                     const arch::Instruction &inst) const
+ComputeUnit::fuIndex(const Wavefront &wf, const arch::ExecMeta &m) const
 {
-    switch (inst.fuType()) {
+    switch (m.fu) {
       case arch::FuType::VAlu: return wf.simd;
       case arch::FuType::SAlu:
       case arch::FuType::SMem:
@@ -478,76 +511,72 @@ ComputeUnit::fuIndex(const Wavefront &wf,
 }
 
 bool
-ComputeUnit::depsReady(Wavefront &wf, const arch::Instruction &inst,
-                       Cycle now)
+ComputeUnit::depsReady(Wavefront &wf, const arch::ExecMeta &m, Cycle now)
 {
     arch::WfState &st = wf.st;
     if (st.isa == IsaKind::HSAIL) {
         // Simulator scoreboard: every operand (read or write) must be
         // ready. The real GPU has no such logic.
-        for (const auto &op : inst.regOps()) {
-            for (unsigned w = 0; w < op.width; ++w) {
-                if (op.cls == arch::RegClass::Vector &&
-                    wf.vregReady[op.idx + w] > now)
-                    return false;
-            }
-        }
+        for (unsigned i = 0; i < m.numVecRd; ++i)
+            if (wf.vregReady[m.vecRd[i]] > now)
+                return false;
+        for (unsigned i = 0; i < m.numVecWr; ++i)
+            if (wf.vregReady[m.vecWr[i]] > now)
+                return false;
         return true;
     }
 
-    // GCN3: only an s_waitcnt gates issue.
-    if (inst.is(arch::IsWaitcnt)) {
-        const auto &wc = static_cast<const gcn3::Gcn3Inst &>(inst);
-        if (st.vmCnt > wc.vmThreshold() ||
-            st.lgkmCnt > wc.lgkmThreshold())
-            return false;
-    }
+    // GCN3: only an s_waitcnt gates issue (thresholds predigested
+    // into c0/c1 so no downcast happens per stalled cycle).
+    if (m.is(arch::IsWaitcnt) &&
+        (st.vmCnt > m.c0 || st.lgkmCnt > m.c1))
+        return false;
     return true;
 }
 
 void
-ComputeUnit::probeVectorOperands(Wavefront &wf,
-                                 const arch::Instruction &inst,
+ComputeUnit::probeVectorOperands(Wavefront &wf, const arch::ExecMeta &m,
                                  bool defs)
 {
     arch::WfState &st = wf.st;
     uint64_t mask = st.activeMask();
     unsigned lanes = popCount(mask);
 
-    for (const auto &op : inst.regOps()) {
-        if (op.cls != arch::RegClass::Vector || op.isDef != defs)
-            continue;
+    // vecRd/vecWr are the vector operands width-expanded in operand
+    // order at predecode — the exact register sequence the old
+    // regOps() double loop visited. Order matters: the reuse-distance
+    // probe is order-dependent within an instruction.
+    const uint16_t *regs = defs ? m.vecWr : m.vecRd;
+    unsigned nregs = defs ? m.numVecWr : m.numVecRd;
+    for (unsigned i = 0; i < nregs; ++i) {
+        unsigned reg = regs[i];
         // A wide operand must fit inside the allocated register file;
         // the builder/finalizer guarantee this, the probe relies on it.
-        assert(size_t(op.idx) + op.width <= wf.lastVregTouch.size());
-        for (unsigned w = 0; w < op.width; ++w) {
-            unsigned reg = op.idx + w;
+        assert(size_t(reg) < wf.lastVregTouch.size());
 
-            // Reuse distance (count each access once, on the read
-            // pass for srcs and write pass for defs).
-            uint64_t &last = wf.lastVregTouch[reg];
-            if (last != UINT64_MAX)
-                vregReuseDist.sample(wf.dynInstCount - last);
-            last = wf.dynInstCount;
+        // Reuse distance (count each access once, on the read
+        // pass for srcs and write pass for defs).
+        uint64_t &last = wf.lastVregTouch[reg];
+        if (last != UINT64_MAX)
+            vregReuseDist.sample(wf.dynInstCount - last);
+        last = wf.dynInstCount;
 
-            // Lane-value uniqueness: exact distinct-value count over
-            // the active lanes via the scratch hash (identical to
-            // sort+unique, without the copy or the ordering work).
-            if (lanes == 0)
-                continue;
-            unsigned uniq = laneUniq.count(st.vregs[reg].data(), mask);
-            double ratio = double(uniq) / double(lanes);
-            if (defs)
-                vrfWriteUniq.sample(ratio);
-            else
-                vrfReadUniq.sample(ratio);
-        }
+        // Lane-value uniqueness: exact distinct-value count over
+        // the active lanes via the scratch hash (identical to
+        // sort+unique, without the copy or the ordering work).
+        if (lanes == 0)
+            continue;
+        unsigned uniq = laneUniq.count(st.vregs[reg].data(), mask);
+        double ratio = double(uniq) / double(lanes);
+        if (defs)
+            vrfWriteUniq.sample(ratio);
+        else
+            vrfReadUniq.sample(ratio);
     }
 }
 
 Cycle
-ComputeUnit::memAccessLatency(Wavefront &wf, const arch::MemAccess &acc,
-                              Cycle now)
+ComputeUnit::memAccessLatency(const arch::MemAccess &acc, Cycle now)
 {
     using Kind = arch::MemAccess::Kind;
     switch (acc.kind) {
@@ -620,16 +649,16 @@ ComputeUnit::issueStage(Cycle now)
             ++ibEmptyStalls;
             continue;
         }
-        const auto &inst = wf->st.code->inst(wf->pcIdx);
+        const arch::ExecMeta &m = wf->metas[wf->pcIdx];
         // Special instructions (nop/waitcnt/barrier/endpgm) are
         // handled by the sequencer and occupy no functional unit.
-        bool needs_fu = inst.fuType() != arch::FuType::Special;
-        unsigned fu = fuIndex(*wf, inst);
+        bool needs_fu = m.fu != arch::FuType::Special;
+        unsigned fu = fuIndex(*wf, m);
         if (needs_fu && (fuIssued[fu] || fuBusyUntil[fu] > now)) {
             ++fuConflictStalls;
             continue;
         }
-        if (!depsReady(*wf, inst, now)) {
+        if (!depsReady(*wf, m, now)) {
             if (wf->st.isa == IsaKind::HSAIL)
                 ++scoreboardStalls;
             else
@@ -646,13 +675,12 @@ ComputeUnit::issueStage(Cycle now)
         }
         if (needs_fu)
             fuIssued[fu] = true;
-        issueInst(*wf, inst, now);
+        issueInst(*wf, m, now);
     }
 }
 
 void
-ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
-                       Cycle now)
+ComputeUnit::issueInst(Wavefront &wf, const arch::ExecMeta &m, Cycle now)
 {
     arch::WfState &st = wf.st;
     progressLastTick = true;
@@ -667,10 +695,10 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
 
     // --- classification (Figure 5) ---
     ++dynInsts;
-    if (inst.is(arch::IsWaitcnt)) {
+    if (m.is(arch::IsWaitcnt)) {
         ++waitcntInsts;
     } else {
-        switch (inst.fuType()) {
+        switch (m.fu) {
           case arch::FuType::VAlu: ++valuInsts; break;
           case arch::FuType::SAlu: ++saluInsts; break;
           case arch::FuType::VMem: ++vmemInsts; break;
@@ -683,7 +711,8 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
 
     // --- GCN3 hazard probe ---
     if (st.isa == IsaKind::GCN3) {
-        for (const auto &op : inst.regOps()) {
+        for (unsigned i = 0; i < m.numOps; ++i) {
+            const auto &op = m.ops[i];
             for (unsigned w = 0; w < op.width; ++w) {
                 Cycle ready = op.cls == arch::RegClass::Vector
                     ? wf.vregReady[op.idx + w]
@@ -697,15 +726,15 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
     }
 
     // --- probes ---
-    bool vector_op = inst.fuType() == arch::FuType::VAlu ||
-                     inst.fuType() == arch::FuType::VMem ||
-                     inst.fuType() == arch::FuType::Lds;
+    bool vector_op = m.fu == arch::FuType::VAlu ||
+                     m.fu == arch::FuType::VMem ||
+                     m.fu == arch::FuType::Lds;
     unsigned conflict_cycles = 0;
     if (vector_op) {
-        if (inst.fuType() == arch::FuType::VAlu)
+        if (m.fu == arch::FuType::VAlu)
             valuUtilization.sample(popCount(st.activeMask()) / 64.0);
-        conflict_cycles = chargeBankConflicts(wf, inst, now);
-        probeVectorOperands(wf, inst, false);
+        conflict_cycles = chargeBankConflicts(wf, m, now);
+        probeVectorOperands(wf, m, false);
     }
 
     // --- execute ---
@@ -717,8 +746,16 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
     if (st.isa == IsaKind::HSAIL)
         rs_before = st.rs.size();
     st.pc = st.code->offsetOf(wf.pcIdx);
-    st.pendingAccess.reset();
-    inst.execute(st);
+    // Dispatch: one indirect call through the predecoded handler, or
+    // the legacy virtual path when the reference engine is selected
+    // (bit-identical either way; tests/test_exec_engine.cc). A memory
+    // access, if any, is built in place in st.pendingAccess and
+    // consumed by reference below — reset happens after use, so the
+    // executors never pay for a 600-byte MemAccess copy.
+    if (!cfg.execReference)
+        m.handler(m, st);
+    else
+        m.inst->execute(st);
     ++wf.dynInstCount;
     ++wf.wg->launch->instsIssued;
     // A diverging branch pushed an RS entry inside execute: record the
@@ -728,37 +765,36 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
         rsDepth.sample(st.rs.size());
 
     if (vector_op)
-        probeVectorOperands(wf, inst, true);
+        probeVectorOperands(wf, m, true);
 
     // --- functional unit occupancy (bank conflicts add gather
     // cycles) ---
-    unsigned fu = fuIndex(wf, inst);
-    if (inst.fuType() == arch::FuType::VAlu) {
+    unsigned fu = fuIndex(wf, m);
+    if (m.fu == arch::FuType::VAlu) {
         // A 64-lane WF occupies its 16-lane SIMD for 4 cycles.
         fuBusyUntil[fu] = now + cfg.wavefrontSize / cfg.simdWidth +
                           conflict_cycles;
-    } else if (inst.fuType() != arch::FuType::Special && fu < FuVMem) {
+    } else if (m.fu != arch::FuType::Special && fu < FuVMem) {
         fuBusyUntil[fu] =
             std::max(fuBusyUntil[fu], now + 1 + conflict_cycles);
     }
 
-    // s_nop wait states block this WF's next issue.
-    if (st.isa == IsaKind::GCN3 && inst.is(arch::IsNop)) {
-        const auto &nop = static_cast<const gcn3::Gcn3Inst &>(inst);
-        wf.blockedUntil = now + nop.soppImm() + 1;
-    }
+    // s_nop wait states block this WF's next issue (wait-state count
+    // predigested into m.imm at predecode).
+    if (st.isa == IsaKind::GCN3 && m.is(arch::IsNop))
+        wf.blockedUntil = now + m.imm + 1;
 
     // --- result latency / memory timing ---
     Cycle result_ready = now + 1;
     if (st.pendingAccess) {
-        const arch::MemAccess acc = *st.pendingAccess;
-        st.pendingAccess.reset();
-        Cycle done = memAccessLatency(wf, acc, now);
+        const arch::MemAccess &acc = *st.pendingAccess;
+        Cycle done = memAccessLatency(acc, now);
         result_ready = done;
         // Memory results gate dependents on both ISAs: the HSAIL
         // scoreboard stalls on them; for GCN3 they feed the hazard
         // probe (the waitcnt contract must cover them).
-        for (const auto &op : inst.regOps()) {
+        for (unsigned i = 0; i < m.numOps; ++i) {
+            const auto &op = m.ops[i];
             if (!op.isDef)
                 continue;
             for (unsigned w = 0; w < op.width; ++w) {
@@ -781,14 +817,16 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
                 });
             }
         }
+        st.pendingAccess.reset();
     } else if (st.isa == IsaKind::HSAIL) {
         // ALU latency feeds the HSAIL scoreboard. GCN3 hardware has
         // no scoreboard: pipelined operand forwarding covers
         // vector-to-vector dependences, and the finalizer's s_nop
         // insertion covers the documented scalar-side wait states.
-        Cycle done = now + inst.latency(cfg);
+        Cycle done = now + m.latency(cfg);
         result_ready = done;
-        for (const auto &op : inst.regOps()) {
+        for (unsigned i = 0; i < m.numOps; ++i) {
+            const auto &op = m.ops[i];
             if (!op.isDef)
                 continue;
             for (unsigned w = 0; w < op.width; ++w) {
@@ -806,10 +844,10 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::Instruction &inst,
         trace->emit(obs::TraceKind::InstIssue, now, result_ready - now,
                     wf.slot,
                     (uint64_t(st.pc) << 4) |
-                        uint64_t(traceClassOf(inst)));
+                        uint64_t(traceClassOf(m)));
 
     // --- control-flow resolution ---
-    Addr seq_next = st.pc + inst.sizeBytes();
+    Addr seq_next = st.pc + m.size;
     Addr new_pc = st.nextPc;
     unsigned flushes = new_pc != seq_next ? 1 : 0;
     if (st.isa == IsaKind::HSAIL) {

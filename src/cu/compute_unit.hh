@@ -156,15 +156,15 @@ class ComputeUnit : public stats::Group
     struct FreeSlotOrder;
 
     void fetchStage(Cycle now);
+    /** Initiate a fetch for `wf` if it is eligible this cycle.
+     *  @return true iff a fetch was started (ends the fetch scan). */
+    bool tryFetch(Wavefront *wf, Cycle now);
     void issueStage(Cycle now);
-    bool depsReady(Wavefront &wf, const arch::Instruction &inst,
-                   Cycle now);
-    void issueInst(Wavefront &wf, const arch::Instruction &inst,
-                   Cycle now);
-    void probeVectorOperands(Wavefront &wf,
-                             const arch::Instruction &inst, bool defs);
-    Cycle memAccessLatency(Wavefront &wf, const arch::MemAccess &acc,
-                           Cycle now);
+    bool depsReady(Wavefront &wf, const arch::ExecMeta &m, Cycle now);
+    void issueInst(Wavefront &wf, const arch::ExecMeta &m, Cycle now);
+    void probeVectorOperands(Wavefront &wf, const arch::ExecMeta &m,
+                             bool defs);
+    Cycle memAccessLatency(const arch::MemAccess &acc, Cycle now);
     void finishWavefront(Wavefront &wf);
     void releaseBarrier(WgInstance &wg);
 
@@ -197,6 +197,12 @@ class ComputeUnit : public stats::Group
     Wavefront *ageHead = nullptr;
     Wavefront *ageTail = nullptr;
 
+    /** Bit per slot holding a live wavefront (maintained alongside the
+     *  age list): the fetch stage's round-robin scan walks set bits
+     *  via count-trailing-zeros instead of testing all 40 slots every
+     *  cycle. Only used when the CU has <= 64 slots. */
+    uint64_t liveSlotMask = 0;
+
     /** Reused issue-order scratch: the runnable snapshot the issue
      *  stage arbitrates over (capacity reserved once; no per-tick
      *  allocation). */
@@ -223,8 +229,7 @@ class ComputeUnit : public stats::Group
     static constexpr unsigned FuLds = 7;
     static constexpr unsigned NumFu = 8;
 
-    unsigned fuIndex(const Wavefront &wf,
-                     const arch::Instruction &inst) const;
+    unsigned fuIndex(const Wavefront &wf, const arch::ExecMeta &m) const;
 
     /** Per-SIMD, per-cycle VRF bank usage: vector operands of every
      *  instruction issued this cycle (VALU on the SIMD itself, plus
@@ -234,8 +239,7 @@ class ComputeUnit : public stats::Group
     std::vector<Cycle> vrfBankUseCycle;
 
     unsigned chargeBankConflicts(const Wavefront &wf,
-                                 const arch::Instruction &inst,
-                                 Cycle now);
+                                 const arch::ExecMeta &m, Cycle now);
 };
 
 } // namespace last::cu

@@ -41,6 +41,44 @@ class LaneUniqCounter
     unsigned
     count(const uint32_t *lanes, uint64_t mask)
     {
+        // Fast paths for the two row shapes that dominate real
+        // kernels: broadcast rows (uniform scalars and immediates,
+        // exactly 1 distinct value) and strictly ascending rows
+        // (thread ids, induction-derived addresses, all distinct).
+        // One linear pass classifies the row and bails as soon as it
+        // is neither; mixed rows fall through to the exact hash.
+        if (mask == ~0ull) {
+            // Full-mask rows take a branch-free contiguous scan the
+            // compiler can vectorize; mixed rows cost one wasted pass
+            // before the hash, which the hash itself dwarfs.
+            uint32_t v0 = lanes[0];
+            bool all_eq = true, ascending = true;
+            for (unsigned l = 1; l < 64; ++l) {
+                all_eq &= lanes[l] == v0;
+                ascending &= lanes[l] > lanes[l - 1];
+            }
+            if (all_eq)
+                return 1;
+            if (ascending)
+                return 64;
+        } else if (mask) {
+            unsigned first = findLsb(mask);
+            uint32_t v0 = lanes[first];
+            uint32_t prev = v0;
+            bool all_eq = true, ascending = true;
+            for (uint64_t m = mask & (mask - 1); m; m &= m - 1) {
+                uint32_t v = lanes[findLsb(m)];
+                all_eq = all_eq && v == v0;
+                ascending = ascending && v > prev;
+                prev = v;
+                if (!all_eq && !ascending)
+                    break;
+            }
+            if (all_eq)
+                return 1;
+            if (ascending)
+                return popCount(mask);
+        }
         ++gen;
         unsigned uniq = 0;
         for (uint64_t m = mask; m; m &= m - 1) {

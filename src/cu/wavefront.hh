@@ -45,6 +45,14 @@ class Wavefront
     /** Architectural state (registers, pc, RS, waitcnt counters). */
     arch::WfState st;
 
+    /** Predecoded metadata for st.code's instructions, indexed like
+     *  code->inst(): metas[pcIdx] is the issue stage's whole view of
+     *  the next instruction (handler, flags, operands, latency class).
+     *  Cached raw out of KernelCode::execMetas() on attach; the vector
+     *  is immutable once built, so the pointer stays valid for the
+     *  kernel's lifetime in the artifact cache. */
+    const arch::ExecMeta *metas = nullptr;
+
     unsigned slot;          ///< WF slot within the CU
     unsigned simd;          ///< SIMD engine this WF issues to
     uint64_t dispatchSeq = 0; ///< for oldest-first arbitration
@@ -112,6 +120,7 @@ class Wavefront
     attach(const arch::KernelCode *code, unsigned nvregs)
     {
         st.code = code;
+        metas = code->execMetas().data();
         st.vregs.assign(nvregs, arch::LaneVec{});
         vregReady.assign(nvregs, 0);
         sregReady.assign(128, 0);

@@ -449,6 +449,10 @@ class Translator
         a.finalizeLabels();
         out->seal();
         gcn3::resolveBranchTargets(*out);
+        // Predecode while the kernel is being built: the finalized
+        // artifact is cached process-wide (sim/artifact_cache.hh), so
+        // every subsequent sweep point reuses the handler table too.
+        out->execMetas();
 
         out->vregsUsed =
             std::max<unsigned>(alloc.vgprsUsed, vTempBase + NumVTemps);

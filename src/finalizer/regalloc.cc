@@ -264,6 +264,11 @@ void
 compactIlRegisters(hsail::IlKernel &il)
 {
     arch::KernelCode &code = *il.code;
+    // Remapping rewrites every instruction's operand list; a predecode
+    // cache built before this point would keep the old registers.
+    panic_if(code.predecoded(),
+             "register compaction after predecode in kernel %s",
+             code.name().c_str());
     size_t nregs = code.vregsUsed;
     if (nregs == 0)
         return;
@@ -296,6 +301,9 @@ compactIlRegisters(hsail::IlKernel &il)
     for (auto &r : il.regions)
         r.condReg = remap[r.condReg];
     code.vregsUsed = res.vgprsUsed;
+    // Registers are final now: predecode here so the artifact cache
+    // amortizes the handler table along with the kernel.
+    code.execMetas();
 }
 
 } // namespace last::finalizer

@@ -127,6 +127,9 @@ class Gcn3Inst : public arch::Instruction
     arch::FuType fuType() const override;
     unsigned sizeBytes() const override;
 
+    /** Install the direct-threaded handler (src/gcn3/exec.cc). */
+    void predecode(arch::ExecMeta &m) const override;
+
     Gcn3Op op() const { return opc; }
     Format format() const { return opFormat(opc); }
 
@@ -146,6 +149,10 @@ class Gcn3Inst : public arch::Instruction
     uint32_t soppImm() const { return simm; }
 
   private:
+    /** The direct-threaded handlers (exec.cc) read operand fields and
+     *  reuse the private executors non-virtually on cold paths. */
+    friend struct Gcn3Exec;
+
     explicit Gcn3Inst(Gcn3Op op);
 
     void finalizeOperands();

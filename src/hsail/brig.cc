@@ -180,6 +180,7 @@ decodeBrig(const BrigBlob &blob)
     }
     code->seal();
     annotateReconvergence(*code);
+    code->execMetas(); // predecode with the artifact, not at first run
     return code;
 }
 

@@ -421,6 +421,9 @@ KernelBuilder::build()
     code->ldsBytesPerWg = ldsBytes;
     code->seal();
     annotateReconvergence(*code);
+    // Predecode happens later: the HLC's register compaction
+    // (finalizer::compactIlRegisters) still rewrites operands, and
+    // warms the metas itself once the registers are final.
 
     IlKernel k;
     k.code = std::move(code);

@@ -1,0 +1,574 @@
+/**
+ * @file
+ * Direct-threaded execution handlers for HSAIL.
+ *
+ * HsailInst::predecode resolves each static instruction to one of the
+ * flat handlers below. The hot ALU op classes get templated,
+ * branchless lane kernels instantiated per (opcode, data type) and
+ * iterate only the active lanes (ctz over the mask, the probes.hh
+ * idiom), with a full-row loop when all 64 lanes are live so the
+ * compiler can autovectorize. Cold or wide (64-bit) ops fall back to
+ * the unchanged reference executors, called non-virtually.
+ *
+ * Correctness contract: every handler is bit-identical to the
+ * corresponding piece of HsailInst::execute() — same per-lane scalar
+ * expressions (hence the same IEEE results), same ascending lane
+ * order for memory side effects, same MemAccess contents. The
+ * differential suite in tests/test_exec_engine.cc runs every workload
+ * both ways and compares field for field.
+ */
+
+#include <bit>
+#include <cmath>
+
+#include "arch/exec_meta.hh"
+#include "common/logging.hh"
+#include "hsail/inst.hh"
+
+namespace last::hsail
+{
+
+namespace
+{
+
+float asF32(uint32_t b) { return std::bit_cast<float>(b); }
+uint32_t fromF32(float f) { return std::bit_cast<uint32_t>(f); }
+
+/** Operands a templated ALU kernel reads (reference: laneAlu). */
+constexpr unsigned
+aluArity(Opcode op)
+{
+    switch (op) {
+      case Opcode::Abs:
+      case Opcode::Neg:
+      case Opcode::Not:
+      case Opcode::Mov:
+        return 1;
+      case Opcode::Mad:
+      case Opcode::Fma:
+      case Opcode::Bfe:
+      case Opcode::CMov:
+        return 3;
+      default:
+        return 2;
+    }
+}
+
+/**
+ * One lane of a 32-bit ALU op. The expressions are copied verbatim
+ * from HsailInst::laneAlu (with the uint64 zero-extensions collapsed,
+ * which cannot change any 32-bit result) — do not "simplify" them.
+ */
+template <Opcode OP, DataType DT>
+inline uint32_t
+lane32(uint32_t a, [[maybe_unused]] uint32_t b, [[maybe_unused]] uint32_t c)
+{
+    if constexpr (OP == Opcode::Add) {
+        if constexpr (DT == DataType::F32)
+            return fromF32(asF32(a) + asF32(b));
+        else
+            return a + b;
+    } else if constexpr (OP == Opcode::Sub) {
+        if constexpr (DT == DataType::F32)
+            return fromF32(asF32(a) - asF32(b));
+        else
+            return a - b;
+    } else if constexpr (OP == Opcode::Mul) {
+        if constexpr (DT == DataType::F32)
+            return fromF32(asF32(a) * asF32(b));
+        else
+            return a * b;
+    } else if constexpr (OP == Opcode::MulHi) {
+        return uint32_t((uint64_t(a) * uint64_t(b)) >> 32);
+    } else if constexpr (OP == Opcode::Mad) {
+        if constexpr (DT == DataType::F32)
+            return fromF32(asF32(a) * asF32(b) + asF32(c));
+        else
+            return a * b + c;
+    } else if constexpr (OP == Opcode::Fma) {
+        if constexpr (DT == DataType::F32)
+            return fromF32(std::fma(asF32(a), asF32(b), asF32(c)));
+        else
+            return a * b + c;
+    } else if constexpr (OP == Opcode::Min) {
+        if constexpr (DT == DataType::F32)
+            return fromF32(std::fmin(asF32(a), asF32(b)));
+        else if constexpr (DT == DataType::S32)
+            return uint32_t(std::min(int32_t(a), int32_t(b)));
+        else
+            return std::min(a, b);
+    } else if constexpr (OP == Opcode::Max) {
+        if constexpr (DT == DataType::F32)
+            return fromF32(std::fmax(asF32(a), asF32(b)));
+        else if constexpr (DT == DataType::S32)
+            return uint32_t(std::max(int32_t(a), int32_t(b)));
+        else
+            return std::max(a, b);
+    } else if constexpr (OP == Opcode::Abs) {
+        if constexpr (DT == DataType::F32)
+            return fromF32(std::fabs(asF32(a)));
+        else
+            return uint32_t(std::abs(int32_t(a)));
+    } else if constexpr (OP == Opcode::Neg) {
+        if constexpr (DT == DataType::F32)
+            return fromF32(-asF32(a));
+        else
+            return uint32_t(-int32_t(a));
+    } else if constexpr (OP == Opcode::And) {
+        return a & b;
+    } else if constexpr (OP == Opcode::Or) {
+        return a | b;
+    } else if constexpr (OP == Opcode::Xor) {
+        return a ^ b;
+    } else if constexpr (OP == Opcode::Not) {
+        return ~a;
+    } else if constexpr (OP == Opcode::Shl) {
+        return a << (b & 31);
+    } else if constexpr (OP == Opcode::Shr) {
+        return a >> (b & 31);
+    } else if constexpr (OP == Opcode::AShr) {
+        return uint32_t(int32_t(a) >> (b & 31));
+    } else if constexpr (OP == Opcode::Bfe) {
+        unsigned off = b & 31;
+        unsigned width = c & 31;
+        uint32_t mask = width == 0 ? 0xffffffffu : ((1u << width) - 1);
+        return (a >> off) & mask;
+    } else if constexpr (OP == Opcode::CMov) {
+        return a ? b : c;
+    } else if constexpr (OP == Opcode::Mov) {
+        return a;
+    } else {
+        static_assert(OP == Opcode::Mov, "no lane kernel for opcode");
+        return 0;
+    }
+}
+
+template <CmpOp C, typename T>
+inline bool
+docmp(T x, T y)
+{
+    switch (C) {
+      case CmpOp::Eq: return x == y;
+      case CmpOp::Ne: return x != y;
+      case CmpOp::Lt: return x < y;
+      case CmpOp::Le: return x <= y;
+      case CmpOp::Gt: return x > y;
+      case CmpOp::Ge: return x >= y;
+    }
+    return false;
+}
+
+template <CmpOp C, DataType DT>
+inline uint32_t
+laneCmp32(uint32_t a, uint32_t b)
+{
+    bool r;
+    if constexpr (DT == DataType::F32)
+        r = docmp<C>(asF32(a), asF32(b));
+    else if constexpr (DT == DataType::S32)
+        r = docmp<C>(int32_t(a), int32_t(b));
+    else
+        r = docmp<C>(a, b); // uint32: same order as the u64 reference
+    return r ? 1u : 0u;
+}
+
+} // namespace
+
+struct HsailExec
+{
+    using Meta = arch::ExecMeta;
+    using Wf = arch::WfState;
+
+    static const HsailInst &
+    inst(const Meta &m)
+    {
+        return static_cast<const HsailInst &>(*m.inst);
+    }
+
+    /** @{ Trivial control handlers (reference: execute() switch). */
+    static void
+    nopH(const Meta &, Wf &wf)
+    {
+        wf.nextPc = wf.pc + HsailInst::EncodedBytes;
+    }
+
+    static void
+    retH(const Meta &, Wf &wf)
+    {
+        wf.nextPc = wf.pc + HsailInst::EncodedBytes;
+        wf.done = true;
+    }
+
+    static void
+    barrierH(const Meta &, Wf &wf)
+    {
+        wf.nextPc = wf.pc + HsailInst::EncodedBytes;
+        wf.atBarrier = true;
+    }
+
+    static void
+    brH(const Meta &m, Wf &wf)
+    {
+        wf.nextPc = inst(m).targetOffset();
+    }
+    /** @} */
+
+    /** Conditional branch; mirrors executeBranch lane for lane. */
+    static void
+    cbrH(const Meta &m, Wf &wf)
+    {
+        const HsailInst &I = inst(m);
+        Addr fallthrough = wf.pc + HsailInst::EncodedBytes;
+        Addr target = I.targetOffset();
+
+        uint64_t active = wf.activeMask();
+        bool if_zero = I.branchIfZero();
+        const uint32_t *cond = wf.vregs[I.srcRegs[0].idx].data();
+        uint64_t taken = 0;
+        for (uint64_t rest = active; rest; rest &= rest - 1) {
+            unsigned lane = unsigned(std::countr_zero(rest));
+            if ((cond[lane] != 0) != if_zero)
+                taken |= 1ull << lane;
+        }
+        uint64_t not_taken = active & ~taken;
+
+        if (taken == 0) {
+            wf.nextPc = fallthrough;
+        } else if (not_taken == 0) {
+            wf.nextPc = target;
+        } else {
+            panic_if(I.rpcOff == InvalidAddr,
+                     "divergent branch without ipdom analysis");
+            wf.rs.back().pc = I.rpcOff;
+            wf.rs.push_back({fallthrough, I.rpcOff, not_taken});
+            wf.rs.push_back({target, I.rpcOff, taken});
+            wf.nextPc = target;
+        }
+    }
+
+    /**
+     * Memory; mirrors executeMem with two changes that cannot alter
+     * results: the MemAccess is built in place inside wf.pendingAccess
+     * (emplace() value-initializes it exactly like the reference's
+     * local `MemAccess acc;`, and the CU consumes it by reference —
+     * no 600-byte copies either way), and lane loops are ctz-driven
+     * in the same ascending order the reference's 0..63 scan visits,
+     * so overlapping stores and atomics land identically.
+     */
+    static void
+    memH(const Meta &m, Wf &wf)
+    {
+        using arch::MemAccess;
+        const HsailInst &I = inst(m);
+        wf.nextPc = wf.pc + HsailInst::EncodedBytes;
+
+        uint64_t mask = wf.activeMask();
+        unsigned bytes = typeBytes(I.dtype);
+        MemAccess &acc = wf.pendingAccess.emplace();
+        acc.bytesPerLane = bytes;
+        acc.mask = mask;
+
+        if (I.seg == Segment::Kernarg || I.seg == Segment::Arg) {
+            Addr addr = wf.kernargBase + I.imm;
+            uint64_t val = 0;
+            wf.memory->read(addr, &val, bytes);
+            for (uint64_t rest = mask; rest; rest &= rest - 1) {
+                unsigned lane = unsigned(std::countr_zero(rest));
+                if (bytes == 8)
+                    wf.writeVreg64(I.dstReg.idx, lane, val);
+                else
+                    wf.writeVreg(I.dstReg.idx, lane, uint32_t(val));
+            }
+            acc.kind = MemAccess::Kind::KernargDirect;
+            acc.scalarAddr = addr;
+            acc.scalarBytes = bytes;
+            return;
+        }
+
+        if (I.seg == Segment::Group) {
+            acc.kind = (I.opc == Opcode::St) ? MemAccess::Kind::LdsStore
+                                             : MemAccess::Kind::LdsLoad;
+            const bool has_off = I.srcRegs[0].valid();
+            for (uint64_t rest = mask; rest; rest &= rest - 1) {
+                unsigned lane = unsigned(std::countr_zero(rest));
+                Addr off = I.imm;
+                if (has_off)
+                    off += wf.readVreg(I.srcRegs[0].idx, lane);
+                acc.laneAddrs[lane] = off;
+                if (I.opc == Opcode::St) {
+                    wf.lds->write32(off,
+                                    wf.readVreg(I.srcRegs[1].idx, lane));
+                    if (bytes == 8)
+                        wf.lds->write32(
+                            off + 4,
+                            wf.readVreg(I.srcRegs[1].idx + 1, lane));
+                } else {
+                    wf.writeVreg(I.dstReg.idx, lane, wf.lds->read32(off));
+                    if (bytes == 8)
+                        wf.writeVreg(I.dstReg.idx + 1, lane,
+                                     wf.lds->read32(off + 4));
+                }
+            }
+            return;
+        }
+
+        acc.kind = (I.opc == Opcode::St) ? MemAccess::Kind::VectorStore
+                                         : MemAccess::Kind::VectorLoad;
+        for (uint64_t rest = mask; rest; rest &= rest - 1) {
+            unsigned lane = unsigned(std::countr_zero(rest));
+            Addr addr;
+            switch (I.seg) {
+              case Segment::Global:
+              case Segment::Readonly:
+                addr = wf.readVreg64(I.srcRegs[0].idx, lane) + I.imm;
+                break;
+              case Segment::Private:
+                addr = wf.privateBase +
+                       uint64_t(wf.globalId(lane)) * wf.privateStridePerWi +
+                       (I.srcRegs[0].valid()
+                            ? wf.readVreg(I.srcRegs[0].idx, lane) : 0) +
+                       I.imm;
+                break;
+              case Segment::Spill:
+                addr = wf.spillBase +
+                       uint64_t(wf.globalId(lane)) * wf.spillStridePerWi +
+                       (I.srcRegs[0].valid()
+                            ? wf.readVreg(I.srcRegs[0].idx, lane) : 0) +
+                       I.imm;
+                break;
+              default:
+                panic("unhandled segment");
+            }
+            acc.laneAddrs[lane] = addr;
+
+            if (I.opc == Opcode::St) {
+                if (bytes == 8) {
+                    uint64_t v = wf.readVreg64(I.srcRegs[1].idx, lane);
+                    wf.memory->write(addr, &v, 8);
+                } else {
+                    uint32_t v = wf.readVreg(I.srcRegs[1].idx, lane);
+                    wf.memory->write(addr, &v, 4);
+                }
+            } else if (I.opc == Opcode::AtomicAdd) {
+                uint32_t old = wf.memory->read<uint32_t>(addr);
+                uint32_t add = wf.readVreg(I.srcRegs[1].idx, lane);
+                wf.memory->write<uint32_t>(addr, old + add);
+                if (I.dstReg.valid())
+                    wf.writeVreg(I.dstReg.idx, lane, old);
+            } else {
+                if (bytes == 8) {
+                    uint64_t v = 0;
+                    wf.memory->read(addr, &v, 8);
+                    wf.writeVreg64(I.dstReg.idx, lane, v);
+                } else {
+                    uint32_t v = 0;
+                    wf.memory->read(addr, &v, 4);
+                    wf.writeVreg(I.dstReg.idx, lane, v);
+                }
+            }
+        }
+    }
+
+    /** Cold/wide ALU fallback: the unchanged reference executor,
+     *  called without the virtual hop. */
+    static void
+    aluGenericH(const Meta &m, Wf &wf)
+    {
+        const HsailInst &I = inst(m);
+        wf.nextPc = wf.pc + HsailInst::EncodedBytes;
+        I.executeAlu(wf);
+    }
+
+    /** movimm: broadcast the immediate into the active lanes. */
+    static void
+    movImmH(const Meta &m, Wf &wf)
+    {
+        const HsailInst &I = inst(m);
+        wf.nextPc = wf.pc + HsailInst::EncodedBytes;
+        uint64_t mask = wf.activeMask();
+        uint32_t *d = wf.vregs[I.dstReg.idx].data();
+        const uint32_t v = uint32_t(I.imm);
+        if (mask == ~0ull) {
+            for (unsigned l = 0; l < WavefrontSize; ++l)
+                d[l] = v;
+        } else {
+            for (uint64_t rest = mask; rest; rest &= rest - 1)
+                d[unsigned(std::countr_zero(rest))] = v;
+        }
+    }
+
+    /** 32-bit ALU op, one instantiation per (opcode, type). */
+    template <Opcode OP, DataType DT>
+    static void
+    aluH(const Meta &m, Wf &wf)
+    {
+        const HsailInst &I = inst(m);
+        wf.nextPc = wf.pc + HsailInst::EncodedBytes;
+        uint64_t mask = wf.activeMask();
+
+        constexpr unsigned N = aluArity(OP);
+        uint32_t *d = wf.vregs[I.dstReg.idx].data();
+        const uint32_t *a = wf.vregs[I.srcRegs[0].idx].data();
+        const uint32_t *b = a;
+        const uint32_t *c = a;
+        if constexpr (N >= 2)
+            b = wf.vregs[I.srcRegs[1].idx].data();
+        if constexpr (N >= 3)
+            c = wf.vregs[I.srcRegs[2].idx].data();
+
+        if (mask == ~0ull) {
+            for (unsigned l = 0; l < WavefrontSize; ++l)
+                d[l] = lane32<OP, DT>(a[l], b[l], c[l]);
+        } else {
+            for (uint64_t rest = mask; rest; rest &= rest - 1) {
+                unsigned l = unsigned(std::countr_zero(rest));
+                d[l] = lane32<OP, DT>(a[l], b[l], c[l]);
+            }
+        }
+    }
+
+    /** 32-bit compare, one instantiation per (cmp op, type). */
+    template <CmpOp C, DataType DT>
+    static void
+    cmpH(const Meta &m, Wf &wf)
+    {
+        const HsailInst &I = inst(m);
+        wf.nextPc = wf.pc + HsailInst::EncodedBytes;
+        uint64_t mask = wf.activeMask();
+
+        uint32_t *d = wf.vregs[I.dstReg.idx].data();
+        const uint32_t *a = wf.vregs[I.srcRegs[0].idx].data();
+        const uint32_t *b = wf.vregs[I.srcRegs[1].idx].data();
+
+        if (mask == ~0ull) {
+            for (unsigned l = 0; l < WavefrontSize; ++l)
+                d[l] = laneCmp32<C, DT>(a[l], b[l]);
+        } else {
+            for (uint64_t rest = mask; rest; rest &= rest - 1) {
+                unsigned l = unsigned(std::countr_zero(rest));
+                d[l] = laneCmp32<C, DT>(a[l], b[l]);
+            }
+        }
+    }
+
+    template <DataType DT>
+    static arch::ExecHandler
+    pickAluDt(Opcode op)
+    {
+        switch (op) {
+          case Opcode::Add: return &aluH<Opcode::Add, DT>;
+          case Opcode::Sub: return &aluH<Opcode::Sub, DT>;
+          case Opcode::Mul: return &aluH<Opcode::Mul, DT>;
+          case Opcode::MulHi: return &aluH<Opcode::MulHi, DT>;
+          case Opcode::Mad: return &aluH<Opcode::Mad, DT>;
+          case Opcode::Fma: return &aluH<Opcode::Fma, DT>;
+          case Opcode::Min: return &aluH<Opcode::Min, DT>;
+          case Opcode::Max: return &aluH<Opcode::Max, DT>;
+          case Opcode::Abs: return &aluH<Opcode::Abs, DT>;
+          case Opcode::Neg: return &aluH<Opcode::Neg, DT>;
+          case Opcode::And: return &aluH<Opcode::And, DT>;
+          case Opcode::Or: return &aluH<Opcode::Or, DT>;
+          case Opcode::Xor: return &aluH<Opcode::Xor, DT>;
+          case Opcode::Not: return &aluH<Opcode::Not, DT>;
+          case Opcode::Shl: return &aluH<Opcode::Shl, DT>;
+          case Opcode::Shr: return &aluH<Opcode::Shr, DT>;
+          case Opcode::AShr: return &aluH<Opcode::AShr, DT>;
+          case Opcode::Bfe: return &aluH<Opcode::Bfe, DT>;
+          case Opcode::CMov: return &aluH<Opcode::CMov, DT>;
+          case Opcode::Mov: return &aluH<Opcode::Mov, DT>;
+          default: return nullptr; // Div/Rem/Sqrt/Cvt/specials: generic
+        }
+    }
+
+    template <DataType DT>
+    static arch::ExecHandler
+    pickCmpDt(CmpOp c)
+    {
+        switch (c) {
+          case CmpOp::Eq: return &cmpH<CmpOp::Eq, DT>;
+          case CmpOp::Ne: return &cmpH<CmpOp::Ne, DT>;
+          case CmpOp::Lt: return &cmpH<CmpOp::Lt, DT>;
+          case CmpOp::Le: return &cmpH<CmpOp::Le, DT>;
+          case CmpOp::Gt: return &cmpH<CmpOp::Gt, DT>;
+          case CmpOp::Ge: return &cmpH<CmpOp::Ge, DT>;
+        }
+        return nullptr;
+    }
+
+    static arch::ExecHandler
+    pick(const HsailInst &I)
+    {
+        auto srcs_valid = [&](unsigned n) {
+            for (unsigned s = 0; s < n; ++s)
+                if (!I.srcRegs[s].valid())
+                    return false;
+            return true;
+        };
+
+        switch (I.opc) {
+          case Opcode::Ld:
+          case Opcode::St:
+          case Opcode::AtomicAdd:
+            return &memH;
+          case Opcode::Br: return &brH;
+          case Opcode::CBr: return &cbrH;
+          case Opcode::Barrier: return &barrierH;
+          case Opcode::Ret: return &retH;
+          case Opcode::Nop: return &nopH;
+          case Opcode::MovImm:
+            return (typeRegs(I.dtype) == 1 && I.dstReg.valid())
+                       ? &movImmH : &aluGenericH;
+          case Opcode::Cmp: {
+            if (typeRegs(I.dtype) == 1 && I.dstReg.valid() &&
+                srcs_valid(2)) {
+                arch::ExecHandler h = nullptr;
+                switch (I.dtype) {
+                  case DataType::B32:
+                    h = pickCmpDt<DataType::B32>(I.cmpop); break;
+                  case DataType::U32:
+                    h = pickCmpDt<DataType::U32>(I.cmpop); break;
+                  case DataType::S32:
+                    h = pickCmpDt<DataType::S32>(I.cmpop); break;
+                  case DataType::F32:
+                    h = pickCmpDt<DataType::F32>(I.cmpop); break;
+                  default: break;
+                }
+                if (h)
+                    return h;
+            }
+            return &aluGenericH;
+          }
+          default: {
+            // The templated kernels assume every register they touch
+            // is present; anything irregular takes the generic path,
+            // which handles missing operands like the reference does.
+            if (typeRegs(I.dtype) == 1 && I.dstReg.valid() &&
+                srcs_valid(aluArity(I.opc))) {
+                arch::ExecHandler h = nullptr;
+                switch (I.dtype) {
+                  case DataType::B32:
+                    h = pickAluDt<DataType::B32>(I.opc); break;
+                  case DataType::U32:
+                    h = pickAluDt<DataType::U32>(I.opc); break;
+                  case DataType::S32:
+                    h = pickAluDt<DataType::S32>(I.opc); break;
+                  case DataType::F32:
+                    h = pickAluDt<DataType::F32>(I.opc); break;
+                  default: break;
+                }
+                if (h)
+                    return h;
+            }
+            return &aluGenericH;
+          }
+        }
+    }
+};
+
+void
+HsailInst::predecode(arch::ExecMeta &m) const
+{
+    m.handler = HsailExec::pick(*this);
+}
+
+} // namespace last::hsail

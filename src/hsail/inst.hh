@@ -70,6 +70,9 @@ class HsailInst : public arch::Instruction
     arch::FuType fuType() const override;
     unsigned sizeBytes() const override { return EncodedBytes; }
 
+    /** Install the direct-threaded handler (src/hsail/exec.cc). */
+    void predecode(arch::ExecMeta &m) const override;
+
     Opcode op() const { return opc; }
     DataType type() const { return dtype; }
     DataType srcType() const { return srcDtype; }
@@ -98,6 +101,10 @@ class HsailInst : public arch::Instruction
     void remapRegs(const std::vector<uint16_t> &remap);
 
   private:
+    /** The direct-threaded handlers (exec.cc) read operand fields and
+     *  reuse the private executors non-virtually on cold paths. */
+    friend struct HsailExec;
+
     void finalizeOperands();
     void clearOperands();
 

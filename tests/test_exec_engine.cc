@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Differential suite for the predecoded direct-threaded execution
+ * engine (DESIGN.md §4f): the engine is a pure performance
+ * transformation, so every workload run through the predecoded
+ * handlers must be *field-for-field identical* — every statistic,
+ * digest, and launch record — to the same run through the legacy
+ * virtual-dispatch reference (GpuConfig::execReference), and the
+ * bench-cache rows serialized from the two runs must be byte-identical
+ * files. A third test pins the predecode contract itself: every
+ * ExecMeta record must agree with the virtual methods it replaces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/exec_meta.hh"
+#include "arch/kernel_code.hh"
+#include "finalizer/finalizer.hh"
+#include "finalizer/regalloc.hh"
+#include "helpers.hh"
+#include "runtime/runtime.hh"
+#include "sim/bench_cache.hh"
+#include "sim/parallel.hh"
+
+using namespace last;
+
+namespace
+{
+
+/** Field-for-field AppResult comparison (all Figure/Table stats);
+ *  mirrors the sweep-identity check in test_parallel.cc. */
+void
+expectResultsEqual(const sim::AppResult &a, const sim::AppResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.isa, b.isa);
+    EXPECT_EQ(a.verified, b.verified);
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.dynInsts, b.dynInsts);
+    EXPECT_EQ(a.valu, b.valu);
+    EXPECT_EQ(a.salu, b.salu);
+    EXPECT_EQ(a.vmem, b.vmem);
+    EXPECT_EQ(a.smem, b.smem);
+    EXPECT_EQ(a.lds, b.lds);
+    EXPECT_EQ(a.branch, b.branch);
+    EXPECT_EQ(a.waitcnt, b.waitcnt);
+    EXPECT_EQ(a.misc, b.misc);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.vrfBankConflicts, b.vrfBankConflicts);
+    EXPECT_DOUBLE_EQ(a.reuseMedian, b.reuseMedian);
+    EXPECT_EQ(a.instFootprint, b.instFootprint);
+    EXPECT_EQ(a.ibFlushes, b.ibFlushes);
+    EXPECT_DOUBLE_EQ(a.readUniq, b.readUniq);
+    EXPECT_DOUBLE_EQ(a.writeUniq, b.writeUniq);
+    EXPECT_DOUBLE_EQ(a.vrfUniq, b.vrfUniq);
+    EXPECT_EQ(a.dataFootprint, b.dataFootprint);
+    EXPECT_DOUBLE_EQ(a.simdUtil, b.simdUtil);
+    EXPECT_EQ(a.l1iMisses, b.l1iMisses);
+    EXPECT_EQ(a.l1iHits, b.l1iHits);
+    EXPECT_EQ(a.hazardViolations, b.hazardViolations);
+    EXPECT_EQ(a.scoreboardStalls, b.scoreboardStalls);
+    EXPECT_EQ(a.waitcntStalls, b.waitcntStalls);
+    EXPECT_EQ(a.ibEmptyStalls, b.ibEmptyStalls);
+    EXPECT_EQ(a.fuConflictStalls, b.fuConflictStalls);
+    EXPECT_EQ(a.coalescedLines, b.coalescedLines);
+    EXPECT_EQ(a.busyCycles, b.busyCycles);
+    ASSERT_EQ(a.launches.size(), b.launches.size());
+    for (size_t i = 0; i < a.launches.size(); ++i) {
+        EXPECT_EQ(a.launches[i].kernel, b.launches[i].kernel);
+        EXPECT_EQ(a.launches[i].cycles, b.launches[i].cycles);
+        EXPECT_EQ(a.launches[i].instsIssued, b.launches[i].instsIssued);
+    }
+}
+
+/** The engine-differential matrix: Table 5 representatives plus every
+ *  stress shape (atomics, LDS swizzles, nested divergence,
+ *  multi-dispatch pipelines) at both ISA levels, with `execReference`
+ *  forced to the requested engine. */
+std::vector<sim::RunSpec>
+engineSweep(bool reference)
+{
+    workloads::WorkloadScale scale{0.25};
+    GpuConfig cfg;
+    cfg.execReference = reference;
+    std::vector<sim::RunSpec> specs;
+    for (const char *w : {"VecAdd", "ArrayBW", "BitonicSort", "atomicred",
+                          "ldsswizzle", "bfsgraph", "pipeline"}) {
+        specs.push_back({w, IsaKind::HSAIL, cfg, scale});
+        specs.push_back({w, IsaKind::GCN3, cfg, scale});
+    }
+    return specs;
+}
+
+} // namespace
+
+TEST(ExecEngine, MatchesReferenceFieldForField)
+{
+    auto fast = engineSweep(false);
+    auto ref = engineSweep(true);
+    auto fastRes = sim::runMany(fast);
+    auto refRes = sim::runMany(ref);
+    ASSERT_EQ(fastRes.size(), refRes.size());
+    for (size_t i = 0; i < fastRes.size(); ++i) {
+        SCOPED_TRACE(fast[i].workload + "/" +
+                     std::string(isaName(fast[i].isa)));
+        expectResultsEqual(fastRes[i], refRes[i]);
+    }
+}
+
+TEST(ExecEngine, BenchCacheRowsByteIdentical)
+{
+    // The sweep backend caches AppResults; an engine that changed any
+    // stat in any way the field comparison missed (serialization
+    // precision, row ordering) would surface here as a byte diff.
+    auto fast = engineSweep(false);
+    auto ref = engineSweep(true);
+    auto fastRes = sim::runMany(fast);
+    auto refRes = sim::runMany(ref);
+    ASSERT_EQ(fastRes.size(), refRes.size());
+
+    auto serialize = [](const std::vector<sim::RunSpec> &specs,
+                        const std::vector<sim::AppResult> &results) {
+        sim::BenchCacheFile cache;
+        cache.scale = specs.front().scale.factor;
+        for (size_t i = 0; i < specs.size(); ++i)
+            cache.rows.push_back(
+                {sim::specCacheKey(specs[i]), results[i]});
+        std::ostringstream os;
+        sim::writeBenchCache(os, cache);
+        return os.str();
+    };
+    EXPECT_EQ(serialize(fast, fastRes), serialize(ref, refRes));
+}
+
+TEST(ExecEngine, PredecodedMetaAgreesWithInstruction)
+{
+    // The predecode contract: every ExecMeta field the timing model
+    // consumes must agree with the virtual method it replaced, for
+    // every instruction of both ISA levels, across latency configs.
+    GpuConfig cfgs[2];
+    cfgs[1].valuLatency += 3;
+    cfgs[1].dramLatency += 100;
+    cfgs[1].ldsLatency += 2;
+    cfgs[1].saluLatency += 1;
+    cfgs[1].branchLatency += 2;
+
+    auto checkKernel = [&](const arch::KernelCode &code) {
+        const auto &metas = code.execMetas();
+        ASSERT_EQ(metas.size(), code.numInsts());
+        for (size_t i = 0; i < metas.size(); ++i) {
+            const arch::ExecMeta &m = metas[i];
+            const arch::Instruction &in = code.inst(i);
+            SCOPED_TRACE(code.name() + ": " + in.disassemble());
+            EXPECT_EQ(m.inst, &in);
+            EXPECT_NE(m.handler, nullptr);
+            EXPECT_EQ(m.flags, in.flags());
+            EXPECT_EQ(m.fu, in.fuType());
+            EXPECT_EQ(unsigned(m.size), in.sizeBytes());
+            EXPECT_EQ(unsigned(m.size), code.sizeOf(i));
+            for (const GpuConfig &cfg : cfgs)
+                EXPECT_EQ(m.latency(cfg), in.latency(cfg));
+            EXPECT_EQ(m.numOps, in.regOps().size());
+            for (size_t k = 0; k < in.regOps().size(); ++k) {
+                EXPECT_EQ(m.ops[k].idx, in.regOps()[k].idx);
+                EXPECT_EQ(m.ops[k].width, in.regOps()[k].width);
+                EXPECT_EQ(m.ops[k].cls, in.regOps()[k].cls);
+                EXPECT_EQ(m.ops[k].isDef, in.regOps()[k].isDef);
+            }
+        }
+    };
+
+    runtime::Runtime rt;
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        auto il = last::test::randomKernel(seed);
+        finalizer::compactIlRegisters(il);
+        checkKernel(*il.code);
+        auto gcn = finalizer::finalize(il, rt.config());
+        checkKernel(*gcn);
+    }
+}
