@@ -1,0 +1,245 @@
+#include "common/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.hh"
+
+namespace last::net
+{
+
+namespace
+{
+
+[[noreturn]] void
+failEp(const Endpoint &ep, const std::string &what)
+{
+    throw ConfigError(ep.describe() + ": " + what + ": " +
+                          std::strerror(errno),
+                      __FILE__, __LINE__);
+}
+
+/** sockaddr_un for `path`, rejecting paths that do not fit (silent
+ *  truncation would bind a different file than the one we unlink). */
+sockaddr_un
+unixAddr(const Endpoint &ep)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (ep.path.size() >= sizeof(addr.sun_path))
+        throw ConfigError(ep.describe() + ": socket path longer than " +
+                              std::to_string(sizeof(addr.sun_path) - 1) +
+                              " bytes",
+                          __FILE__, __LINE__);
+    std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+    return addr;
+}
+
+sockaddr_in
+tcpAddr(const Endpoint &ep)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(ep.port);
+    if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1)
+        throw ConfigError(ep.describe() + ": bad IPv4 address '" +
+                              ep.host + "'",
+                          __FILE__, __LINE__);
+    return addr;
+}
+
+} // namespace
+
+std::string
+Endpoint::describe() const
+{
+    if (kind == Kind::Unix)
+        return "unix:" + path;
+    return "tcp:" + host + ":" + std::to_string(port);
+}
+
+void
+ListenSocket::listenOn(const Endpoint &ep)
+{
+    closeAndUnlink();
+    if (ep.kind == Endpoint::Kind::Unix) {
+        sockaddr_un addr = unixAddr(ep);
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            failEp(ep, "socket");
+        ::unlink(ep.path.c_str()); // stale file from a crashed daemon
+        if (::bind(fd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) < 0) {
+            ::close(fd_);
+            fd_ = -1;
+            failEp(ep, "bind");
+        }
+        unixPath_ = ep.path;
+    } else {
+        sockaddr_in addr = tcpAddr(ep);
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            failEp(ep, "socket");
+        int one = 1;
+        ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) < 0) {
+            ::close(fd_);
+            fd_ = -1;
+            failEp(ep, "bind");
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            boundPort_ = ntohs(bound.sin_port);
+    }
+    if (::listen(fd_, 64) < 0) {
+        int saved = errno;
+        closeAndUnlink();
+        errno = saved;
+        failEp(ep, "listen");
+    }
+}
+
+int
+ListenSocket::acceptConn()
+{
+    while (fd_ >= 0) {
+        int c = ::accept(fd_, nullptr, nullptr);
+        if (c >= 0)
+            return c;
+        if (errno == EINTR)
+            continue;
+        return -1; // shut down (or unrecoverable): the stop signal
+    }
+    return -1;
+}
+
+void
+ListenSocket::interrupt()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+ListenSocket::closeAndUnlink()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    if (!unixPath_.empty()) {
+        ::unlink(unixPath_.c_str());
+        unixPath_.clear();
+    }
+    boundPort_ = 0;
+}
+
+LineConn::ReadStatus
+LineConn::readLine(std::string &line, size_t maxBytes)
+{
+    bool discarding = false;
+    while (true) {
+        size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            if (discarding || nl > maxBytes) {
+                buf_.erase(0, nl + 1);
+                return ReadStatus::Oversized;
+            }
+            line.assign(buf_, 0, nl);
+            buf_.erase(0, nl + 1);
+            return ReadStatus::Line;
+        }
+        if (discarding || buf_.size() > maxBytes) {
+            // Too long without a newline: drop what we have and keep
+            // consuming until the terminator so framing survives —
+            // bounded memory no matter how long the line runs.
+            discarding = true;
+            buf_.clear();
+        }
+
+        char chunk[4096];
+        ssize_t n;
+        do {
+            n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0)
+            return ReadStatus::Eof;
+        buf_.append(chunk, size_t(n));
+    }
+}
+
+bool
+LineConn::writeAll(const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += size_t(n);
+    }
+    return true;
+}
+
+void
+LineConn::shutdownConn()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+LineConn::closeConn()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+int
+connectEndpoint(const Endpoint &ep)
+{
+    int fd;
+    if (ep.kind == Endpoint::Kind::Unix) {
+        sockaddr_un addr = unixAddr(ep);
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            failEp(ep, "socket");
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) < 0) {
+            int saved = errno;
+            ::close(fd);
+            errno = saved;
+            failEp(ep, "connect");
+        }
+    } else {
+        sockaddr_in addr = tcpAddr(ep);
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            failEp(ep, "socket");
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) < 0) {
+            int saved = errno;
+            ::close(fd);
+            errno = saved;
+            failEp(ep, "connect");
+        }
+    }
+    return fd;
+}
+
+} // namespace last::net

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Minimal POSIX socket + line-framing helpers for the sweep server
+ * (`last_serve`, DESIGN.md §4g).
+ *
+ * The `last-serve-v1` protocol is line-delimited: one request per
+ * '\n'-terminated line, one response per line (SCHEMAS.md has the
+ * envelope). These helpers own exactly the transport concerns the
+ * protocol layer must not care about:
+ *  - listening on either a Unix-domain socket (a filesystem path) or a
+ *    loopback TCP port (port 0 = kernel-assigned, reported back —
+ *    what tests and the smoke harness use to avoid collisions);
+ *  - buffered line reads with an explicit byte cap, so an oversized —
+ *    or endless, newline-free — request line surfaces as a structured
+ *    `Oversized` status after resynchronizing on the next newline,
+ *    never as unbounded memory growth or a desynced stream;
+ *  - full-buffer writes with MSG_NOSIGNAL (a client hanging up
+ *    mid-response must not SIGPIPE the daemon).
+ *
+ * Everything throws ConfigError (common/error.hh) on setup errors,
+ * naming the endpoint; runtime I/O failures degrade to Eof/false so a
+ * bad client only ever costs its own connection.
+ */
+
+#ifndef LAST_COMMON_SOCKET_HH
+#define LAST_COMMON_SOCKET_HH
+
+#include <cstdint>
+#include <string>
+
+namespace last::net
+{
+
+/** Where a server listens or a client connects. */
+struct Endpoint
+{
+    enum class Kind { Unix, Tcp };
+    Kind kind = Kind::Unix;
+    std::string path;              ///< Unix: socket path
+    std::string host = "127.0.0.1"; ///< Tcp: numeric address
+    uint16_t port = 0;             ///< Tcp: port (0 = ephemeral)
+
+    /** "unix:<path>" or "tcp:<host>:<port>" for messages. */
+    std::string describe() const;
+};
+
+/**
+ * A listening socket bound to an Endpoint. Unix paths are unlinked
+ * before bind (a stale socket file from a crashed daemon must not
+ * block restart) and again on close, so a clean shutdown leaves no
+ * filesystem residue — the smoke harness checks exactly that.
+ */
+class ListenSocket
+{
+  public:
+    ListenSocket() = default;
+    ~ListenSocket() { closeAndUnlink(); }
+    ListenSocket(const ListenSocket &) = delete;
+    ListenSocket &operator=(const ListenSocket &) = delete;
+
+    /** Bind + listen. @throws ConfigError naming the endpoint. */
+    void listenOn(const Endpoint &ep);
+
+    /** Block for one connection. @return the connected fd, or -1 once
+     *  the socket has been shut down (the clean-stop signal). */
+    int acceptConn();
+
+    /** Unblock any acceptConn() in flight (async-signal-safe enough
+     *  for a signal handler: one shutdown(2) call). */
+    void interrupt();
+
+    /** Close the fd and unlink the Unix path, if any. */
+    void closeAndUnlink();
+
+    /** The TCP port actually bound (resolves port 0). */
+    uint16_t boundPort() const { return boundPort_; }
+
+    bool listening() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+    uint16_t boundPort_ = 0;
+    std::string unixPath_; ///< non-empty = unlink on close
+};
+
+/** Buffered line framing over one connected fd. Owns the fd. */
+class LineConn
+{
+  public:
+    explicit LineConn(int fd) : fd_(fd) {}
+    ~LineConn() { closeConn(); }
+    LineConn(const LineConn &) = delete;
+    LineConn &operator=(const LineConn &) = delete;
+
+    enum class ReadStatus {
+        Line,     ///< `line` holds one complete request (no '\n')
+        Eof,      ///< peer closed (or the conn was shut down)
+        Oversized ///< line exceeded maxBytes; stream resynced past it
+    };
+
+    /**
+     * Read the next '\n'-terminated line. A line longer than
+     * `maxBytes` is discarded through its terminating newline and
+     * reported as Oversized — the connection stays usable, framing
+     * intact, so the server can answer with a structured error
+     * instead of dropping the client.
+     */
+    ReadStatus readLine(std::string &line, size_t maxBytes);
+
+    /** Write the whole buffer (handling short writes). @return false
+     *  when the peer is gone — never raises SIGPIPE. */
+    bool writeAll(const std::string &data);
+
+    /** Unblock a reader stuck in readLine (server stop path). */
+    void shutdownConn();
+
+    void closeConn();
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    std::string buf_; ///< bytes received but not yet returned
+};
+
+/** Connect to a serving endpoint.
+ *  @return the connected fd. @throws ConfigError naming it. */
+int connectEndpoint(const Endpoint &ep);
+
+} // namespace last::net
+
+#endif // LAST_COMMON_SOCKET_HH

@@ -1,0 +1,112 @@
+#include "serve/protocol.hh"
+
+#include <sstream>
+
+#include "common/error.hh"
+#include "common/json_in.hh"
+#include "obs/json.hh"
+
+namespace last::serve
+{
+
+ServeRequest
+parseServeRequest(const std::string &line, const std::string &source)
+{
+    using jsonin::JsonValue;
+    using jsonin::asDouble;
+    using jsonin::asI64;
+    using jsonin::asString;
+    using jsonin::asU64;
+    using jsonin::require;
+
+    JsonValue root = jsonin::parseJson(line, source);
+    if (root.kind != JsonValue::Kind::Object)
+        throw ConfigError(source + ": request is not an object at byte " +
+                              std::to_string(root.offset),
+                          __FILE__, __LINE__);
+
+    ServeRequest req;
+    req.method =
+        asString(require(root, "method", source), "method", source);
+    if (const JsonValue *v = root.find("id"))
+        req.id = asU64(*v, "id", source);
+    if (const JsonValue *v = root.find("workload"))
+        req.workload = asString(*v, "workload", source);
+    if (const JsonValue *v = root.find("isa")) {
+        std::string isa = asString(*v, "isa", source);
+        if (isa == "hsail" || isa == "HSAIL")
+            req.isa = IsaKind::HSAIL;
+        else if (isa == "gcn3" || isa == "GCN3")
+            req.isa = IsaKind::GCN3;
+        else
+            throw ConfigError(source + ": bad isa '" + isa +
+                                  "' at byte " + std::to_string(v->offset),
+                              __FILE__, __LINE__);
+        req.hasIsa = true;
+    }
+    if (const JsonValue *v = root.find("scale"))
+        req.scale = asDouble(*v, "scale", source);
+    if (const JsonValue *v = root.find("seed"))
+        req.seed = asU64(*v, "seed", source);
+    if (const JsonValue *v = root.find("lds_stride"))
+        req.ldsStrideWords = int(asI64(*v, "lds_stride", source));
+    if (const JsonValue *v = root.find("lds_pad"))
+        req.ldsPadWords = int(asI64(*v, "lds_pad", source));
+    if (const JsonValue *v = root.find("threshold"))
+        req.threshold = asDouble(*v, "threshold", source);
+    if (const JsonValue *v = root.find("timeout_ms"))
+        req.timeoutMs = asU64(*v, "timeout_ms", source);
+    return req;
+}
+
+namespace
+{
+
+/** The shared "schema/id/ok/method" prefix of every envelope. */
+std::ostringstream
+envelopeHead(uint64_t id, bool ok, const std::string &method)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"" << ServeSchema << "\",\"id\":" << id
+       << ",\"ok\":" << (ok ? "true" : "false");
+    if (!method.empty())
+        os << ",\"method\":\"" << obs::jsonEscape(method) << "\"";
+    return os;
+}
+
+} // namespace
+
+std::string
+payloadEnvelope(uint64_t id, const std::string &method,
+                const std::string &servedFrom, bool quarantined,
+                const std::string &payloadSchema,
+                const std::string &payload)
+{
+    std::ostringstream os = envelopeHead(id, true, method);
+    os << ",\"served\":\"" << obs::jsonEscape(servedFrom) << "\""
+       << ",\"quarantined\":" << (quarantined ? "true" : "false")
+       << ",\"payload_schema\":\"" << obs::jsonEscape(payloadSchema)
+       << "\",\"payload\":\"" << obs::jsonEscape(payload) << "\"}";
+    return os.str();
+}
+
+std::string
+resultEnvelope(uint64_t id, const std::string &method,
+               const std::string &resultJson)
+{
+    std::ostringstream os = envelopeHead(id, true, method);
+    os << ",\"result\":" << resultJson << "}";
+    return os.str();
+}
+
+std::string
+errorEnvelope(uint64_t id, const std::string &kind,
+              const std::string &message)
+{
+    std::ostringstream os = envelopeHead(id, false, "");
+    os << ",\"error_kind\":\"" << obs::jsonEscape(kind)
+       << "\",\"error\":\"" << obs::jsonEscape(message) << "\"}";
+    return os.str();
+}
+
+} // namespace last::serve

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The `last-serve-v1` wire protocol: request parsing and response
+ * envelope emission for the multi-tenant sweep server.
+ *
+ * Framing is one JSON value per line in both directions (SCHEMAS.md
+ * has the field tables and worked examples). Three envelope shapes go
+ * back to the client:
+ *  - payload responses wrap an existing versioned artifact —
+ *    `last-stats-v1` or `last-divergence-v1` — byte-for-byte as an
+ *    escaped JSON string, so a client that unescapes `payload` and
+ *    writes it to a file gets something `cmp`-identical to what the
+ *    offline `last_obs` CLI would have produced. The server never
+ *    invents a new result format; it only frames the existing ones.
+ *  - result responses carry small server-native objects (ping,
+ *    status counters, shutdown acks) inline;
+ *  - error responses carry a machine-readable `error_kind` (parse /
+ *    oversized / bad-request / overloaded / quarantine / shutdown /
+ *    internal) plus a human-readable message.
+ *
+ * Request parsing reuses common/json_in.hh, so a malformed line fails
+ * as ConfigError with the byte offset of the offence — the reader
+ * loop turns that into a structured `parse` error response instead of
+ * killing the connection (or the daemon).
+ */
+
+#ifndef LAST_SERVE_PROTOCOL_HH
+#define LAST_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "obs/divergence.hh"
+
+namespace last::serve
+{
+
+/** Envelope schema identifier (the `schema` field of every response). */
+constexpr const char *ServeSchema = "last-serve-v1";
+
+/** One parsed request line. Only `method` is mandatory; everything
+ *  else defaults to the canonical bench configuration (scale 1, seed
+ *  0, default knobs, Table 4 machine), mirroring the offline CLIs. */
+struct ServeRequest
+{
+    uint64_t id = 0;      ///< echoed back verbatim in the response
+    std::string method;   ///< ping | status | stats | diverge | shutdown
+    std::string workload; ///< stats/diverge: workload name
+    IsaKind isa = IsaKind::HSAIL;
+    bool hasIsa = false;  ///< stats requires an `isa`; diverge runs both
+    double scale = 1.0;
+    uint64_t seed = 0;
+    int ldsStrideWords = -1;
+    int ldsPadWords = -1;
+    double threshold = obs::DefaultDivergenceThreshold;
+    /** Per-request wall-clock budget (0 = none). A simulation still
+     *  ticking past it quarantines via the PR 7 deadline watchdog and
+     *  the request degrades to a quarantine response — the per-request
+     *  fault-isolation contract. */
+    uint64_t timeoutMs = 0;
+};
+
+/**
+ * Parse one request line. Unknown fields are ignored (forward
+ * compatibility); a missing `method`, a non-object line, or any
+ * type-mismatched field throws ConfigError naming `source` and the
+ * byte offset.
+ */
+ServeRequest parseServeRequest(const std::string &line,
+                               const std::string &source);
+
+/** Payload response: wraps `payload` (an artifact of schema
+ *  `payloadSchema`) verbatim. `servedFrom` is "sim" or "cache";
+ *  `quarantined` flags a degraded (but still well-formed) payload. */
+std::string payloadEnvelope(uint64_t id, const std::string &method,
+                            const std::string &servedFrom,
+                            bool quarantined,
+                            const std::string &payloadSchema,
+                            const std::string &payload);
+
+/** Result response: `resultJson` must be a complete JSON value (the
+ *  caller formats it; ping/status/shutdown use this). */
+std::string resultEnvelope(uint64_t id, const std::string &method,
+                           const std::string &resultJson);
+
+/** Error response with a machine-readable kind. */
+std::string errorEnvelope(uint64_t id, const std::string &kind,
+                          const std::string &message);
+
+} // namespace last::serve
+
+#endif // LAST_SERVE_PROTOCOL_HH
