@@ -5,9 +5,12 @@
 # baseline (BENCH_<n>.json at the repo root, committed per PR):
 #
 #  1. The tier-1 figure sweep: wall-clock of fig01_summary populating a
-#     FRESH result cache in a scratch directory (every workload, both
-#     ISAs — the hot path every figure binary shares). Best-of-N, since
+#     FRESH result cache in a scratch directory. Best-of-N, since
 #     wall-clock minima are the stable statistic on a noisy machine.
+#     The timed sweep is pinned to the two-ISA (HSAIL/GCN3) matrix via
+#     LAST_BENCH_ISAS so the number stays comparable with pre-PTXL
+#     baselines; the statistic-identity check below still covers the
+#     full three-ISA canonical matrix.
 #  2. The sharded sweep backend: a fresh single-shard `last_sweep run`
 #     vs a warm incremental rerun against its own cache. The warm run
 #     must reuse every row, emit byte-identical artifacts, and finish
@@ -64,6 +67,7 @@ cmake --build build-perf -j --target fig01_summary micro_components \
     last_sweep >/dev/null || fail "build"
 
 # --- 1. Figure sweep: fresh cache in a scratch dir, best of N. ------
+# Timed on the two-ISA sweep (see header) for baseline comparability.
 scratch=$(mktemp -d)
 trap 'rm -rf "$scratch"' EXIT
 
@@ -73,7 +77,8 @@ while [ "$i" -lt "$reps" ]; do
     rm -f "$scratch/last_bench_cache.csv"
     t0=$(date +%s%N)
     (cd "$scratch" &&
-        "$repo/build-perf/bench/fig01_summary" >/dev/null) ||
+        LAST_BENCH_ISAS="HSAIL,GCN3" \
+            "$repo/build-perf/bench/fig01_summary" >/dev/null) ||
         fail "sweep run"
     t1=$(date +%s%N)
     ms=$(( (t1 - t0) / 1000000 ))
@@ -82,6 +87,11 @@ while [ "$i" -lt "$reps" ]; do
 done
 
 # --- 2. Statistic identity against the committed cache. -------------
+# One untimed full-matrix (all ISAs, PTXL included) run: the committed
+# last_bench_cache.csv is the three-ISA artifact.
+rm -f "$scratch/last_bench_cache.csv"
+(cd "$scratch" && "$repo/build-perf/bench/fig01_summary" >/dev/null) ||
+    fail "full-matrix sweep run"
 cache_identical=false
 if [ -f "$repo/last_bench_cache.csv" ]; then
     if cmp -s "$repo/last_bench_cache.csv" \

@@ -2,10 +2,11 @@
 # Smoke test for the multi-tenant sweep server (`last_serve`,
 # DESIGN.md §4g): start a daemon, hit it with parallel identical
 # clients, and assert
-#  - every served `last-divergence-v1` report is byte-identical to the
+#  - every served `last-divergence-v2` report is byte-identical to the
 #    offline `last_obs diverge --json` artifact for the same spec;
-#  - concurrent identical queries cost exactly one simulation pair
-#    (in-flight coalescing / warm-store reuse, read from `status`);
+#  - concurrent identical queries cost exactly one simulation of the
+#    N-ISA group (in-flight coalescing / warm-store reuse, read from
+#    `status`);
 #  - a warm repeat query simulates nothing (`simulated_specs` frozen);
 #  - a malformed request gets a structured error and the daemon
 #    survives to answer the next query;
@@ -73,12 +74,16 @@ for i in 1 2 3 4; do
     cmp -s "$tmp/served_$i.json" "$tmp/offline.json" ||
         fail "served report $i differs from the offline artifact"
 done
+grep -q '"schema":"last-divergence-v2"' "$tmp/served_1.json" ||
+    fail "served report is not a last-divergence-v2 payload"
+grep -q '"PTXL"' "$tmp/served_1.json" ||
+    fail "served report is missing the PTXL column"
 
 # ---------------------------------------------------------------- 3 --
-echo "serve_smoke: [3/5] one simulation pair, warm repeat adds none"
+echo "serve_smoke: [3/5] one simulated ISA group, warm repeat adds none"
 status=$("$serve" client --unix "$sock" status) || fail "status query"
-echo "$status" | grep -q '"simulated_specs":2' ||
-    fail "expected exactly one simulated pair, got: $status"
+echo "$status" | grep -q '"simulated_specs":3' ||
+    fail "expected exactly one simulated ISA group (HSAIL+GCN3+PTXL), got: $status"
 
 "$serve" client --unix "$sock" diverge "$workload" --scale "$scale" \
     --out "$tmp/warm.json" 2>"$tmp/warm.log" || fail "warm query"
@@ -87,7 +92,7 @@ cmp -s "$tmp/warm.json" "$tmp/offline.json" ||
 grep -q "served from cache" "$tmp/warm.log" ||
     fail "warm query was not served from the store"
 status=$("$serve" client --unix "$sock" status) || fail "status query"
-echo "$status" | grep -q '"simulated_specs":2' ||
+echo "$status" | grep -q '"simulated_specs":3' ||
     fail "warm query simulated something: $status"
 
 # ---------------------------------------------------------------- 4 --

@@ -32,22 +32,28 @@ cmake --build build -j || exit 1
 
 # TSan pass: build only the test binary and run the parallel-driver,
 # sweep-quarantine, and differential suites with 4 workers forced via
-# LAST_JOBS.
+# LAST_JOBS. The PTXL legs (PtxlExecEngine drives the predecoded
+# engine through the sweep pool; the three-way differentials overlap
+# HSAIL/GCN3/PTXL runs on the same pool) ride here too.
 if cmake -B build-tsan -S . -DLAST_TSAN=ON &&
     cmake --build build-tsan -j --target last_tests; then
     LAST_JOBS=4 ./build-tsan/tests/last_tests \
-        --gtest_filter='ParallelDriver.*:SweepQuarantine.*:FastForward.*:FunctionalMemoryFootprint.*:ExecEngine.*:ServeSocket.*' ||
+        --gtest_filter='ParallelDriver.*:SweepQuarantine.*:FastForward.*:FunctionalMemoryFootprint.*:ExecEngine.*:ServeSocket.*:PtxlExecEngine.*:RandomKernelDifferential.*:Table5/WorkloadDifferential.*' ||
         fail "TSan suite"
 else
     fail "TSan build"
 fi
 
 # ASan+UBSan pass: the fault-injection, watchdog, and logging/error
-# suites, which exercise every throw path in the simulator.
+# suites, which exercise every throw path in the simulator — plus the
+# PTXL legs (warp-split stack, convergence barriers, scoreboard) and
+# the stress-differential job (three-way cross-ISA agreement and the
+# N×N golden signatures), whose lane-mask/stack manipulation is where
+# out-of-bounds bugs would live.
 if cmake -B build-asan -S . -DLAST_ASAN=ON &&
     cmake --build build-asan -j --target last_tests; then
     ./build-asan/tests/last_tests \
-        --gtest_filter='FaultPlan.*:Watchdog.*:FaultSensitivity.*:MemoryGuards.*:IsaAgreement.*:SweepQuarantine.*:Logging.*:TornInputFuzz.*:Orchestrate.*:OrchestrateCampaign.*:ExecEngine.*:ServeProtocol.*:ServeCore.*:ServeQuarantine.*' ||
+        --gtest_filter='FaultPlan.*:Watchdog.*:FaultSensitivity.*:MemoryGuards.*:IsaAgreement.*:SweepQuarantine.*:Logging.*:TornInputFuzz.*:Orchestrate.*:OrchestrateCampaign.*:ExecEngine.*:ServeProtocol.*:ServeCore.*:ServeQuarantine.*:Ptxl*:DivergenceSchemaV2.*:StressWorkloads.*' ||
         fail "ASan/UBSan suite"
 else
     fail "ASan build"

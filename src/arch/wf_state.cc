@@ -78,13 +78,17 @@ WfState::initLaunch(uint64_t initial_mask)
     vmCnt = 0;
     lgkmCnt = 0;
     pendingAccess.reset();
-    if (isa == IsaKind::GCN3) {
-        exec = initial_mask;
-        rs.clear();
-    } else {
+    cbarExpected.fill(0);
+    cbarArrived.fill(0);
+    splits.clear();
+    pregs.fill(0);
+    if (isa == IsaKind::HSAIL) {
         exec = ~0ull;
         rs.clear();
         rs.push_back({0, InvalidAddr, initial_mask});
+    } else {
+        exec = initial_mask;
+        rs.clear();
     }
 }
 

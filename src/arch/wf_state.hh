@@ -13,6 +13,10 @@
  *  - GCN3: 256 VGPRs + 102 SGPRs (+ VCC/EXEC/SCC), the exec mask
  *    visible to instructions, waitcnt counters, and ABI-initialized
  *    registers (AQL packet address, kernarg base, workgroup id, ...).
+ *  - PTXL: one flat general register file (no scalar pipe), an
+ *    8-entry predicate file, and compiler-inserted convergence
+ *    barriers (BSSY/BSYNC) with a hardware warp-split stack instead
+ *    of the simulator reconvergence stack.
  */
 
 #ifndef LAST_ARCH_WF_STATE_HH
@@ -42,6 +46,15 @@ struct RsEntry
     Addr pc;       ///< where this path continues
     Addr rpc;      ///< reconvergence PC (immediate post-dominator)
     uint64_t mask; ///< lanes active on this path
+};
+
+/** PTXL warp-split entry: a deferred divergent path, resumed by the
+ *  next BSYNC. Hardware state on NVIDIA parts (the "convergence
+ *  barrier" scheduler), not simulator bookkeeping. */
+struct PtxlSplit
+{
+    Addr pc;       ///< where the deferred path continues
+    uint64_t mask; ///< lanes parked on it
 };
 
 /**
@@ -121,6 +134,20 @@ struct WfState
      *  mask. Never empty while the WF runs. */
     std::vector<RsEntry> rs;
 
+    /** @{ PTXL convergence-barrier state. BSSY Bn snapshots the
+     * current active mask into cbarExpected[n]; divergent predicated
+     * branches park the taken lanes on the split stack; BSYNC Bn
+     * accumulates arrivals and either switches to a parked split or,
+     * once every expected lane arrived, restores the full mask. */
+    static constexpr unsigned NumPtxlBarriers = 16;
+    static constexpr unsigned NumPtxlPregs = 8;
+    std::array<uint64_t, NumPtxlBarriers> cbarExpected{};
+    std::array<uint64_t, NumPtxlBarriers> cbarArrived{};
+    std::vector<PtxlSplit> splits;
+    /** Predicate registers: one 64-bit lane mask each. */
+    std::array<uint64_t, NumPtxlPregs> pregs{};
+    /** @} */
+
     /** @{ GCN3 waitcnt bookkeeping (maintained by the CU). */
     unsigned vmCnt = 0;   ///< outstanding vector memory ops
     unsigned lgkmCnt = 0; ///< outstanding scalar-mem/LDS ops
@@ -153,8 +180,8 @@ struct WfState
     uint64_t
     activeMask() const
     {
-        if (isa == IsaKind::GCN3)
-            return exec;
+        if (isa != IsaKind::HSAIL)
+            return exec; // GCN3 and PTXL both expose the mask in exec
         panic_if(rs.empty(),
                  "HSAIL wavefront with empty reconvergence stack");
         return rs.back().mask;

@@ -1,5 +1,6 @@
 #include "common/config.hh"
 
+#include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -10,7 +11,31 @@ namespace last
 const char *
 isaName(IsaKind isa)
 {
-    return isa == IsaKind::HSAIL ? "HSAIL" : "GCN3";
+    switch (isa) {
+      case IsaKind::HSAIL: return "HSAIL";
+      case IsaKind::GCN3: return "GCN3";
+      case IsaKind::PTXL: return "PTXL";
+    }
+    return "?";
+}
+
+bool
+isaFromName(const std::string &name, IsaKind &out)
+{
+    for (IsaKind isa : AllIsas) {
+        const char *canon = isaName(isa);
+        if (name.size() != std::strlen(canon))
+            continue;
+        bool match = true;
+        for (size_t i = 0; i < name.size(); ++i)
+            if (std::toupper((unsigned char)name[i]) != canon[i])
+                match = false;
+        if (match) {
+            out = isa;
+            return true;
+        }
+    }
+    return false;
 }
 
 bool

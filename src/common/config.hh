@@ -28,10 +28,21 @@ class TraceSink; // obs/trace.hh
 enum class IsaKind
 {
     HSAIL, ///< the SIMT intermediate language
-    GCN3,  ///< the machine ISA
+    GCN3,  ///< the AMD-flavored machine ISA
+    PTXL,  ///< the NVIDIA-flavored machine ISA (SASS-like)
 };
 
 const char *isaName(IsaKind isa);
+
+/** Reverse of isaName, case-insensitive ("hsail" == "HSAIL"); returns
+ *  false (out untouched) for unknown names. Shared by every reader
+ *  that consumes an ISA tag so the accepted spellings never drift. */
+bool isaFromName(const std::string &name, IsaKind &out);
+
+/** All simulated ISAs, in canonical (report/cache) order. */
+inline constexpr IsaKind AllIsas[] = {IsaKind::HSAIL, IsaKind::GCN3,
+                                      IsaKind::PTXL};
+inline constexpr unsigned NumIsas = 3;
 
 /** Cache geometry + latency parameters. */
 struct CacheConfig
@@ -70,6 +81,9 @@ struct GpuConfig
     unsigned maxVgprsPerWfGcn3 = 256;
     unsigned maxSgprsPerWfGcn3 = 102;
     unsigned maxVregsPerWfHsail = 2048;
+    /// PTXL general registers per thread (SASS-like: one flat R file,
+    /// no scalar registers; predicates are a separate 8-entry file).
+    unsigned maxRegsPerWfPtxl = 256;
 
     /// LDS bytes per CU.
     uint64_t ldsBytesPerCu = 64 * 1024;

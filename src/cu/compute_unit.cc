@@ -297,13 +297,27 @@ ComputeUnit::nextProgressCycle(Cycle now) const
         Cycle start = std::max(now, wf.blockedUntil);
         if (m.fu != arch::FuType::Special)
             start = std::max(start, fuBusyUntil[fuIndex(wf, m)]);
-        if (wf.st.isa == IsaKind::HSAIL) {
-            // Scoreboard: the issue cycle is bounded by the operand
-            // ready times (mirrors depsReady()).
+        if (wf.st.isa != IsaKind::GCN3) {
+            // Scoreboard (HSAIL simulator / PTXL hardware): the issue
+            // cycle is bounded by the operand ready times (mirrors
+            // depsReady()).
             for (unsigned i = 0; i < m.numVecRd; ++i)
                 start = std::max(start, wf.vregReady[m.vecRd[i]]);
             for (unsigned i = 0; i < m.numVecWr; ++i)
                 start = std::max(start, wf.vregReady[m.vecWr[i]]);
+            if (wf.st.isa == IsaKind::PTXL) {
+                // PTXL predicates live in the scalar-class slots.
+                for (unsigned i = 0; i < m.numOps; ++i) {
+                    const auto &op = m.ops[i];
+                    if (op.cls != arch::RegClass::Scalar)
+                        continue;
+                    for (unsigned w = 0; w < op.width; ++w)
+                        start = std::max(
+                            start,
+                            wf.sregReady[std::min<unsigned>(
+                                op.idx + w, 127)]);
+                }
+            }
         } else if (m.is(arch::IsWaitcnt)) {
             if (wf.st.vmCnt > m.c0 || wf.st.lgkmCnt > m.c1)
                 continue; // unblocked by an event-queue decrement
@@ -343,7 +357,7 @@ ComputeUnit::chargeSkippedCycles(Cycle now, Cycle k)
         // The remaining cycles can only be dependency stalls: the skip
         // target never goes past a cycle where this wavefront could
         // have issued.
-        if (wf.st.isa == IsaKind::HSAIL)
+        if (wf.st.isa != IsaKind::GCN3)
             scoreboardStalls += double(end - fu_free);
         else
             waitcntStalls += double(end - fu_free);
@@ -526,6 +540,30 @@ ComputeUnit::depsReady(Wavefront &wf, const arch::ExecMeta &m, Cycle now)
         return true;
     }
 
+    if (st.isa == IsaKind::PTXL) {
+        // Hardware scoreboard: in-order issue stalls until every
+        // operand is ready — general registers and predicates alike.
+        // Unlike HSAIL's, this scoreboard exists in the modeled
+        // machine (fixed-latency producer tracking), not just in the
+        // simulator.
+        for (unsigned i = 0; i < m.numVecRd; ++i)
+            if (wf.vregReady[m.vecRd[i]] > now)
+                return false;
+        for (unsigned i = 0; i < m.numVecWr; ++i)
+            if (wf.vregReady[m.vecWr[i]] > now)
+                return false;
+        for (unsigned i = 0; i < m.numOps; ++i) {
+            const auto &op = m.ops[i];
+            if (op.cls != arch::RegClass::Scalar)
+                continue;
+            for (unsigned w = 0; w < op.width; ++w)
+                if (wf.sregReady[std::min<unsigned>(op.idx + w, 127)] >
+                    now)
+                    return false;
+        }
+        return true;
+    }
+
     // GCN3: only an s_waitcnt gates issue (thresholds predigested
     // into c0/c1 so no downcast happens per stalled cycle).
     if (m.is(arch::IsWaitcnt) &&
@@ -659,7 +697,7 @@ ComputeUnit::issueStage(Cycle now)
             continue;
         }
         if (!depsReady(*wf, m, now)) {
-            if (wf->st.isa == IsaKind::HSAIL)
+            if (wf->st.isa != IsaKind::GCN3)
                 ++scoreboardStalls;
             else
                 ++waitcntStalls;
@@ -669,7 +707,7 @@ ComputeUnit::issueStage(Cycle now)
             // least one stalled tick before jumping).
             if (tracing() && wf->stallSince == InvalidCycle) {
                 wf->stallSince = now;
-                wf->stallKind = wf->st.isa == IsaKind::HSAIL ? 0 : 1;
+                wf->stallKind = wf->st.isa != IsaKind::GCN3 ? 0 : 1;
             }
             continue;
         }
@@ -818,11 +856,14 @@ ComputeUnit::issueInst(Wavefront &wf, const arch::ExecMeta &m, Cycle now)
             }
         }
         st.pendingAccess.reset();
-    } else if (st.isa == IsaKind::HSAIL) {
-        // ALU latency feeds the HSAIL scoreboard. GCN3 hardware has
-        // no scoreboard: pipelined operand forwarding covers
-        // vector-to-vector dependences, and the finalizer's s_nop
-        // insertion covers the documented scalar-side wait states.
+    } else if (st.isa != IsaKind::GCN3) {
+        // ALU latency feeds the scoreboard (HSAIL's simulator
+        // scoreboard; PTXL's fixed-latency hardware one — ISETP
+        // predicate writes land in the scalar-class slots the PTXL
+        // depsReady() checks). GCN3 hardware has no scoreboard:
+        // pipelined operand forwarding covers vector-to-vector
+        // dependences, and the finalizer's s_nop insertion covers the
+        // documented scalar-side wait states.
         Cycle done = now + m.latency(cfg);
         result_ready = done;
         for (unsigned i = 0; i < m.numOps; ++i) {

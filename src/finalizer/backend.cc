@@ -1,0 +1,40 @@
+#include "finalizer/backend.hh"
+
+#include "common/logging.hh"
+
+namespace last::finalizer
+{
+
+const Backend *
+backendFor(IsaKind isa)
+{
+    switch (isa) {
+      case IsaKind::HSAIL:
+        return nullptr;
+      case IsaKind::GCN3:
+        return &gcn3Backend();
+      case IsaKind::PTXL:
+        return &ptxlBackend();
+    }
+    panic("backendFor: unknown ISA %d", int(isa));
+}
+
+std::unique_ptr<arch::KernelCode>
+finalize(const hsail::IlKernel &il, IsaKind isa, const GpuConfig &cfg,
+         FinalizeStats *out_stats)
+{
+    const Backend *b = backendFor(isa);
+    panic_if(!b, "finalize: %s has no machine backend", isaName(isa));
+    return b->lower(il, cfg, out_stats);
+}
+
+uint64_t
+finalizeConfigDigest(const GpuConfig &cfg, IsaKind isa)
+{
+    const Backend *b = backendFor(isa);
+    panic_if(!b, "finalizeConfigDigest: %s has no machine backend",
+             isaName(isa));
+    return b->configDigest(cfg);
+}
+
+} // namespace last::finalizer

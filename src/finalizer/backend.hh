@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The multi-backend finalizer pipeline.
+ *
+ * The finalizer's analyses (uniformity.cc, regalloc.cc) are shared;
+ * what differs per vendor is the lowering: how structured IL control
+ * flow, dependences, and the ABI map onto a concrete machine ISA.
+ * Each machine target implements Backend; HSAIL has none (the IL
+ * executes directly, which is the point of the study).
+ *
+ *  - GCN3 (finalizer.cc): exec-mask predication, software s_waitcnt /
+ *    s_nop dependence management, a scalar pipeline.
+ *  - PTXL (ptxl_lower.cc): explicit convergence barriers
+ *    (BSSY/BSYNC), a hardware scoreboard, no scalar pipeline.
+ */
+
+#ifndef LAST_FINALIZER_BACKEND_HH
+#define LAST_FINALIZER_BACKEND_HH
+
+#include <memory>
+
+#include "finalizer/finalizer.hh"
+
+namespace last::finalizer
+{
+
+/** One machine-level lowering target. Stateless and shared. */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    virtual IsaKind isa() const = 0;
+
+    /** Lower an IL kernel to this backend's machine code. */
+    virtual std::unique_ptr<arch::KernelCode>
+    lower(const hsail::IlKernel &il, const GpuConfig &cfg,
+          FinalizeStats *stats) const = 0;
+
+    /**
+     * Digest of every config knob that changes this backend's output.
+     * Folded into artifact/bench cache keys so a knob change can never
+     * alias a cached kernel (and two backends can never alias each
+     * other — see parseIsaTag in sim/bench_cache.cc).
+     */
+    virtual uint64_t configDigest(const GpuConfig &cfg) const = 0;
+};
+
+/** @{ Backend singletons. */
+const Backend &gcn3Backend(); ///< finalizer.cc
+const Backend &ptxlBackend(); ///< ptxl_lower.cc
+/** @} */
+
+/** The backend lowering to `isa`, or nullptr for HSAIL (no lowering:
+ *  the IL is the executable). Panics on an unknown ISA. */
+const Backend *backendFor(IsaKind isa);
+
+/** ISA-dispatching convenience overloads over backendFor(). Both
+ *  panic when called with IsaKind::HSAIL. */
+std::unique_ptr<arch::KernelCode>
+finalize(const hsail::IlKernel &il, IsaKind isa, const GpuConfig &cfg,
+         FinalizeStats *out_stats = nullptr);
+uint64_t finalizeConfigDigest(const GpuConfig &cfg, IsaKind isa);
+
+} // namespace last::finalizer
+
+#endif // LAST_FINALIZER_BACKEND_HH

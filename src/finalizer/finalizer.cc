@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "finalizer/abi.hh"
+#include "finalizer/backend.hh"
 #include "finalizer/regalloc.hh"
 #include "finalizer/uniformity.hh"
 #include "gcn3/inst.hh"
@@ -1479,6 +1480,37 @@ finalizeConfigDigest(const GpuConfig &cfg)
         }
     }
     return h;
+}
+
+namespace
+{
+
+class Gcn3Backend final : public Backend
+{
+  public:
+    IsaKind isa() const override { return IsaKind::GCN3; }
+
+    std::unique_ptr<arch::KernelCode>
+    lower(const hsail::IlKernel &il, const GpuConfig &cfg,
+          FinalizeStats *stats) const override
+    {
+        return finalize(il, cfg, stats);
+    }
+
+    uint64_t
+    configDigest(const GpuConfig &cfg) const override
+    {
+        return finalizeConfigDigest(cfg);
+    }
+};
+
+} // namespace
+
+const Backend &
+gcn3Backend()
+{
+    static const Gcn3Backend backend;
+    return backend;
 }
 
 } // namespace last::finalizer

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/error.hh"
+#include "common/json_in.hh"
+#include "common/logging.hh"
 #include "obs/json.hh"
 
 namespace last::obs
@@ -113,6 +116,12 @@ const ExpectOverride kExpectOverrides[] = {
     {"pipeline", "l1iMisses", "similar"},
 };
 
+std::vector<IsaKind>
+allIsaList()
+{
+    return std::vector<IsaKind>(std::begin(AllIsas), std::end(AllIsas));
+}
+
 } // namespace
 
 std::string
@@ -127,6 +136,17 @@ expectedDivergence(const std::string &workload, const std::string &stat)
     return "";
 }
 
+std::string
+expectedDivergence(const std::string &workload, const std::string &stat,
+                   IsaKind a, IsaKind b)
+{
+    // The paper's tables only classify the HSAIL↔GCN3 comparison; any
+    // pair touching PTXL is terra incognita by construction.
+    if (a == IsaKind::HSAIL && b == IsaKind::GCN3)
+        return expectedDivergence(workload, stat);
+    return "";
+}
+
 double
 relDelta(double hsail, double gcn3)
 {
@@ -134,6 +154,15 @@ relDelta(double hsail, double gcn3)
     if (mag == 0)
         return 0;
     return std::fabs(gcn3 - hsail) / mag;
+}
+
+const DivergencePair *
+DivergenceEntry::findPair(IsaKind a, IsaKind b) const
+{
+    for (const DivergencePair &p : pairs)
+        if ((p.a == a && p.b == b) || (p.a == b && p.b == a))
+            return &p;
+    return nullptr;
 }
 
 const DivergenceEntry *
@@ -148,51 +177,108 @@ DivergenceReport::find(const std::string &stat) const
 unsigned
 DivergenceReport::numDivergent() const
 {
+    // "Divergent" means divergent in *any* pairwise cell — for a
+    // two-level report that is exactly the v1 HSAIL↔GCN3 meaning.
     unsigned n = 0;
-    for (const DivergenceEntry &e : entries)
-        n += e.divergent;
+    for (const DivergenceEntry &e : entries) {
+        bool any = e.divergent;
+        for (const DivergencePair &p : e.pairs)
+            any = any || p.divergent;
+        n += any;
+    }
     return n;
 }
 
 DivergenceReport
-divergenceReport(const sim::AppResult &hsail, const sim::AppResult &gcn3,
-                 double threshold)
+divergenceReport(const std::vector<const sim::AppResult *> &results,
+                 const std::vector<IsaKind> &isas, double threshold)
 {
+    panic_if(results.size() != isas.size() || results.size() < 2,
+             "divergence report needs one result per ISA (>= 2), got "
+             "%zu results for %zu ISAs",
+             results.size(), isas.size());
+
     DivergenceReport r;
-    r.workload = hsail.workload;
+    r.isas = isas;
     r.threshold = threshold;
-    if (hsail.quarantined || gcn3.quarantined) {
-        r.failed = true;
-        const sim::AppResult &bad = hsail.quarantined ? hsail : gcn3;
-        r.error = bad.errorKind + ": " + bad.errorMessage;
-        return r;
+    for (const sim::AppResult *res : results)
+        if (!res->workload.empty()) {
+            r.workload = res->workload;
+            break;
+        }
+    for (const sim::AppResult *res : results) {
+        if (res->quarantined) {
+            r.failed = true;
+            r.error = res->errorKind + ": " + res->errorMessage;
+            return r;
+        }
     }
     for (const Metric &m : kMetrics) {
         DivergenceEntry e;
         e.stat = m.stat;
         e.figure = m.figure;
         e.paperExpectation = expectedDivergence(r.workload, m.stat);
-        e.hsail = m.get(hsail);
-        e.gcn3 = m.get(gcn3);
-        e.relDelta = relDelta(e.hsail, e.gcn3);
-        e.divergent = e.relDelta > threshold;
+        for (const sim::AppResult *res : results)
+            e.values.push_back(m.get(*res));
+        for (size_t i = 0; i < isas.size(); ++i) {
+            for (size_t j = i + 1; j < isas.size(); ++j) {
+                DivergencePair p;
+                p.a = isas[i];
+                p.b = isas[j];
+                p.va = e.values[i];
+                p.vb = e.values[j];
+                p.relDelta = relDelta(p.va, p.vb);
+                p.divergent = p.relDelta > threshold;
+                p.paperExpectation =
+                    expectedDivergence(r.workload, m.stat, p.a, p.b);
+                e.maxRelDelta = std::max(e.maxRelDelta, p.relDelta);
+                if (p.a == IsaKind::HSAIL && p.b == IsaKind::GCN3) {
+                    e.hsail = p.va;
+                    e.gcn3 = p.vb;
+                    e.relDelta = p.relDelta;
+                    e.divergent = p.divergent;
+                }
+                e.pairs.push_back(std::move(p));
+            }
+        }
         r.entries.push_back(std::move(e));
     }
-    // Rank: largest relative delta first; stable keeps figure order on
-    // ties so reports are deterministic and diffable.
+    // Rank: largest (worst-pair) relative delta first; stable keeps
+    // figure order on ties so reports are deterministic and diffable.
+    // A two-level report ranks exactly as v1 did: one pair, so
+    // maxRelDelta == relDelta.
     std::stable_sort(r.entries.begin(), r.entries.end(),
                      [](const DivergenceEntry &a, const DivergenceEntry &b) {
-                         return a.relDelta > b.relDelta;
+                         return a.maxRelDelta > b.maxRelDelta;
                      });
     return r;
+}
+
+DivergenceReport
+divergenceReport(const sim::AppResult &hsail, const sim::AppResult &gcn3,
+                 double threshold)
+{
+    return divergenceReport({&hsail, &gcn3},
+                            {IsaKind::HSAIL, IsaKind::GCN3}, threshold);
 }
 
 DivergenceReport
 divergenceReport(const std::string &workload, const GpuConfig &cfg,
                  const workloads::WorkloadScale &scale, double threshold)
 {
-    auto [hsail, gcn3] = sim::runBoth(workload, cfg, scale);
-    DivergenceReport r = divergenceReport(hsail, gcn3, threshold);
+    std::vector<sim::RunSpec> specs;
+    specs.reserve(NumIsas);
+    for (IsaKind isa : AllIsas)
+        specs.push_back({workload, isa, cfg, scale});
+    std::vector<sim::AppResult> rs = sim::runMany(specs);
+    // runBoth's contract, generalized: every machine level must agree
+    // functionally with the IL level (and hence with each other).
+    for (size_t i = 1; i < rs.size(); ++i)
+        sim::checkIsaAgreement(rs[0], rs[i]);
+    std::vector<const sim::AppResult *> ptrs;
+    for (const sim::AppResult &res : rs)
+        ptrs.push_back(&res);
+    DivergenceReport r = divergenceReport(ptrs, allIsaList(), threshold);
     r.scale = scale.factor;
     return r;
 }
@@ -204,11 +290,10 @@ divergenceReports(const std::vector<std::string> &workloads,
                   unsigned jobs)
 {
     std::vector<sim::RunSpec> specs;
-    specs.reserve(2 * workloads.size());
-    for (const std::string &w : workloads) {
-        specs.push_back({w, IsaKind::HSAIL, cfg, scale});
-        specs.push_back({w, IsaKind::GCN3, cfg, scale});
-    }
+    specs.reserve(NumIsas * workloads.size());
+    for (const std::string &w : workloads)
+        for (IsaKind isa : AllIsas)
+            specs.push_back({w, isa, cfg, scale});
     sim::SweepOptions opts;
     opts.jobs = jobs;
     sim::SweepReport sweep = sim::runSweep(specs, opts);
@@ -216,24 +301,31 @@ divergenceReports(const std::vector<std::string> &workloads,
     std::vector<DivergenceReport> out;
     out.reserve(workloads.size());
     for (size_t i = 0; i < workloads.size(); ++i) {
-        const sim::AppResult &hsail = sweep.results[2 * i];
-        const sim::AppResult &gcn3 = sweep.results[2 * i + 1];
+        std::vector<const sim::AppResult *> ptrs;
+        bool anyQuarantined = false;
+        for (unsigned k = 0; k < NumIsas; ++k) {
+            const sim::AppResult &res = sweep.results[NumIsas * i + k];
+            anyQuarantined = anyQuarantined || res.quarantined;
+            ptrs.push_back(&res);
+        }
         DivergenceReport r;
-        if (!hsail.quarantined && !gcn3.quarantined) {
+        if (!anyQuarantined) {
             // runSweep does not enforce the functional differential
             // invariant (each level ran independently); restore
             // runBoth's contract here, degrading to a failed report
             // instead of throwing so one workload cannot kill a sweep.
             try {
-                sim::checkIsaAgreement(hsail, gcn3);
-                r = divergenceReport(hsail, gcn3, threshold);
+                for (size_t k = 1; k < ptrs.size(); ++k)
+                    sim::checkIsaAgreement(*ptrs[0], *ptrs[k]);
+                r = divergenceReport(ptrs, allIsaList(), threshold);
             } catch (const sim::IsaMismatchError &e) {
                 r.workload = workloads[i];
+                r.isas = allIsaList();
                 r.failed = true;
                 r.error = std::string("isa-mismatch: ") + e.what();
             }
         } else {
-            r = divergenceReport(hsail, gcn3, threshold);
+            r = divergenceReport(ptrs, allIsaList(), threshold);
             r.workload = workloads[i];
         }
         r.scale = scale.factor;
@@ -246,13 +338,19 @@ divergenceReports(const std::vector<std::string> &workloads,
 void
 writeDivergenceJson(std::ostream &os, const DivergenceReport &r)
 {
-    os << "{\n\"schema\":\"last-divergence-v1\",\n"
+    os << "{\n\"schema\":\"last-divergence-v2\",\n"
        << "\"workload\":\"" << jsonEscape(r.workload) << "\","
        << "\"scale\":" << jsonNumber(r.scale) << ","
        << "\"threshold\":" << jsonNumber(r.threshold) << ","
        << "\"failed\":" << (r.failed ? "true" : "false") << ","
        << "\"error\":\"" << jsonEscape(r.error) << "\",\n"
-       << "\"entries\":[\n";
+       << "\"isas\":[";
+    for (size_t i = 0; i < r.isas.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\"" << isaName(r.isas[i]) << "\"";
+    }
+    os << "],\n\"entries\":[\n";
     bool first = true;
     for (const DivergenceEntry &e : r.entries) {
         if (!first)
@@ -260,12 +358,29 @@ writeDivergenceJson(std::ostream &os, const DivergenceReport &r)
         first = false;
         os << "{\"stat\":\"" << jsonEscape(e.stat) << "\""
            << ",\"figure\":\"" << jsonEscape(e.figure) << "\""
-           << ",\"hsail\":" << jsonNumber(e.hsail)
-           << ",\"gcn3\":" << jsonNumber(e.gcn3)
-           << ",\"rel_delta\":" << jsonNumber(e.relDelta)
-           << ",\"classification\":\""
-           << (e.divergent ? "divergent" : "similar") << "\""
-           << ",\"paper\":\"" << jsonEscape(e.paperExpectation) << "\"}";
+           << ",\"values\":{";
+        for (size_t i = 0; i < e.values.size() && i < r.isas.size();
+             ++i) {
+            if (i)
+                os << ",";
+            os << "\"" << isaName(r.isas[i])
+               << "\":" << jsonNumber(e.values[i]);
+        }
+        os << "},\"pairs\":[";
+        for (size_t i = 0; i < e.pairs.size(); ++i) {
+            const DivergencePair &p = e.pairs[i];
+            if (i)
+                os << ",";
+            os << "{\"a\":\"" << isaName(p.a) << "\",\"b\":\""
+               << isaName(p.b)
+               << "\",\"rel_delta\":" << jsonNumber(p.relDelta)
+               << ",\"classification\":\""
+               << (p.divergent ? "divergent" : "similar")
+               << "\",\"direction\":\"" << p.direction()
+               << "\",\"paper\":\"" << jsonEscape(p.paperExpectation)
+               << "\"}";
+        }
+        os << "]}";
     }
     os << "\n]}\n";
 }
@@ -283,10 +398,196 @@ writeDivergenceJsonArray(std::ostream &os,
     os << "]\n";
 }
 
+namespace
+{
+
+using jsonin::JsonValue;
+
+[[noreturn]] void
+failReport(const std::string &source, const std::string &what,
+           size_t offset)
+{
+    throw ConfigError("divergence report " + source + ": " + what +
+                          " at byte " + std::to_string(offset),
+                      __FILE__, __LINE__);
+}
+
+IsaKind
+readIsaTag(const JsonValue &v, const char *field,
+           const std::string &source)
+{
+    std::string tag = jsonin::asString(v, field, source);
+    IsaKind isa;
+    if (!isaFromName(tag, isa))
+        failReport(source, std::string("bad isa '") + tag + "'",
+                   v.offset);
+    return isa;
+}
+
+size_t
+isaIndex(const std::vector<IsaKind> &isas, IsaKind isa,
+         const std::string &source, size_t offset)
+{
+    for (size_t i = 0; i < isas.size(); ++i)
+        if (isas[i] == isa)
+            return i;
+    failReport(source,
+               std::string("pair references isa '") + isaName(isa) +
+                   "' missing from the report's isa list",
+               offset);
+}
+
+DivergenceReport
+readOneReport(const JsonValue &root, const std::string &source)
+{
+    using jsonin::asDouble;
+    using jsonin::asString;
+    using jsonin::require;
+
+    if (root.kind != JsonValue::Kind::Object)
+        failReport(source, "report is not an object", root.offset);
+    std::string schema =
+        asString(require(root, "schema", source), "schema", source);
+    bool v1 = schema == "last-divergence-v1";
+    if (!v1 && schema != "last-divergence-v2")
+        failReport(source,
+                   "schema is '" + schema +
+                       "', expected 'last-divergence-v2' (or legacy "
+                       "'last-divergence-v1')",
+                   root.offset);
+
+    DivergenceReport r;
+    r.workload =
+        asString(require(root, "workload", source), "workload", source);
+    r.scale = asDouble(require(root, "scale", source), "scale", source);
+    r.threshold =
+        asDouble(require(root, "threshold", source), "threshold", source);
+    const JsonValue &failed = require(root, "failed", source);
+    if (failed.kind != JsonValue::Kind::Bool)
+        failReport(source, "'failed' is not a bool", failed.offset);
+    r.failed = failed.boolean;
+    r.error = asString(require(root, "error", source), "error", source);
+
+    if (v1) {
+        // A v1 payload is, by definition, the HSAIL↔GCN3 comparison.
+        r.isas = {IsaKind::HSAIL, IsaKind::GCN3};
+    } else {
+        const JsonValue &isas = require(root, "isas", source);
+        if (isas.kind != JsonValue::Kind::Array)
+            failReport(source, "'isas' is not an array", isas.offset);
+        for (const JsonValue &ji : isas.items)
+            r.isas.push_back(readIsaTag(ji, "isas", source));
+    }
+
+    const JsonValue &entries = require(root, "entries", source);
+    if (entries.kind != JsonValue::Kind::Array)
+        failReport(source, "'entries' is not an array", entries.offset);
+    for (const JsonValue &je : entries.items) {
+        if (je.kind != JsonValue::Kind::Object)
+            failReport(source, "entry is not an object", je.offset);
+        DivergenceEntry e;
+        e.stat = asString(require(je, "stat", source), "stat", source);
+        e.figure =
+            asString(require(je, "figure", source), "figure", source);
+        if (v1) {
+            e.hsail =
+                asDouble(require(je, "hsail", source), "hsail", source);
+            e.gcn3 =
+                asDouble(require(je, "gcn3", source), "gcn3", source);
+            e.relDelta = asDouble(require(je, "rel_delta", source),
+                                  "rel_delta", source);
+            e.divergent = asString(require(je, "classification", source),
+                                   "classification", source) ==
+                          "divergent";
+            e.paperExpectation =
+                asString(require(je, "paper", source), "paper", source);
+            e.values = {e.hsail, e.gcn3};
+            e.maxRelDelta = e.relDelta;
+            DivergencePair p;
+            p.a = IsaKind::HSAIL;
+            p.b = IsaKind::GCN3;
+            p.va = e.hsail;
+            p.vb = e.gcn3;
+            p.relDelta = e.relDelta;
+            p.divergent = e.divergent;
+            p.paperExpectation = e.paperExpectation;
+            e.pairs.push_back(std::move(p));
+        } else {
+            const JsonValue &values = require(je, "values", source);
+            if (values.kind != JsonValue::Kind::Object)
+                failReport(source, "'values' is not an object",
+                           values.offset);
+            for (IsaKind isa : r.isas) {
+                const JsonValue *v = values.find(isaName(isa));
+                if (!v)
+                    failReport(source,
+                               std::string("'values' is missing isa '") +
+                                   isaName(isa) + "'",
+                               values.offset);
+                e.values.push_back(asDouble(*v, "values", source));
+            }
+            const JsonValue &pairs = require(je, "pairs", source);
+            if (pairs.kind != JsonValue::Kind::Array)
+                failReport(source, "'pairs' is not an array",
+                           pairs.offset);
+            for (const JsonValue &jp : pairs.items) {
+                if (jp.kind != JsonValue::Kind::Object)
+                    failReport(source, "pair is not an object",
+                               jp.offset);
+                DivergencePair p;
+                p.a = readIsaTag(require(jp, "a", source), "a", source);
+                p.b = readIsaTag(require(jp, "b", source), "b", source);
+                p.va = e.values[isaIndex(r.isas, p.a, source, jp.offset)];
+                p.vb = e.values[isaIndex(r.isas, p.b, source, jp.offset)];
+                p.relDelta = asDouble(require(jp, "rel_delta", source),
+                                      "rel_delta", source);
+                p.divergent =
+                    asString(require(jp, "classification", source),
+                             "classification", source) == "divergent";
+                p.paperExpectation = asString(
+                    require(jp, "paper", source), "paper", source);
+                e.maxRelDelta = std::max(e.maxRelDelta, p.relDelta);
+                if (p.a == IsaKind::HSAIL && p.b == IsaKind::GCN3) {
+                    e.hsail = p.va;
+                    e.gcn3 = p.vb;
+                    e.relDelta = p.relDelta;
+                    e.divergent = p.divergent;
+                    e.paperExpectation = p.paperExpectation;
+                }
+                e.pairs.push_back(std::move(p));
+            }
+        }
+        r.entries.push_back(std::move(e));
+    }
+    return r;
+}
+
+} // namespace
+
+DivergenceReport
+readDivergenceJson(const std::string &text, const std::string &source)
+{
+    JsonValue root = jsonin::parseJson(text, source);
+    return readOneReport(root, source);
+}
+
+std::vector<DivergenceReport>
+readDivergenceJsonArray(const std::string &text, const std::string &source)
+{
+    JsonValue root = jsonin::parseJson(text, source);
+    if (root.kind != JsonValue::Kind::Array)
+        failReport(source, "top level is not an array", root.offset);
+    std::vector<DivergenceReport> out;
+    out.reserve(root.items.size());
+    for (const JsonValue &jr : root.items)
+        out.push_back(readOneReport(jr, source));
+    return out;
+}
+
 void
 writeDivergenceText(std::ostream &os, const DivergenceReport &r)
 {
-    char buf[160];
+    char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "== %s (scale %g, threshold %g%%): %u/%zu divergent\n",
                   r.workload.c_str(), r.scale, 100 * r.threshold,
@@ -296,16 +597,29 @@ writeDivergenceText(std::ostream &os, const DivergenceReport &r)
         os << "   FAILED: " << r.error << "\n";
         return;
     }
-    std::snprintf(buf, sizeof(buf), "   %-18s %-9s %14s %14s %8s  %-9s %s\n",
-                  "stat", "figure", "hsail", "gcn3", "delta%",
+    std::snprintf(buf, sizeof(buf), "   %-18s %-9s", "stat", "figure");
+    os << buf;
+    for (IsaKind isa : r.isas) {
+        std::snprintf(buf, sizeof(buf), " %14s", isaName(isa));
+        os << buf;
+    }
+    std::snprintf(buf, sizeof(buf), " %8s  %-9s %s\n", "delta%",
                   "class", "paper");
     os << buf;
     for (const DivergenceEntry &e : r.entries) {
-        std::snprintf(buf, sizeof(buf),
-                      "   %-18s %-9s %14.6g %14.6g %8.2f  %-9s %s\n",
-                      e.stat.c_str(), e.figure.c_str(), e.hsail, e.gcn3,
-                      100 * e.relDelta,
-                      e.divergent ? "DIVERGENT" : "similar",
+        bool any = e.divergent;
+        for (const DivergencePair &p : e.pairs)
+            any = any || p.divergent;
+        std::snprintf(buf, sizeof(buf), "   %-18s %-9s", e.stat.c_str(),
+                      e.figure.c_str());
+        os << buf;
+        for (double v : e.values) {
+            std::snprintf(buf, sizeof(buf), " %14.6g", v);
+            os << buf;
+        }
+        std::snprintf(buf, sizeof(buf), " %8.2f  %-9s %s\n",
+                      100 * e.maxRelDelta,
+                      any ? "DIVERGENT" : "similar",
                       e.paperExpectation.c_str());
         os << buf;
     }

@@ -6,12 +6,21 @@
  * between the HSAIL (intermediate-language) and GCN3 (machine-ISA)
  * abstraction levels: some statistics survive the abstraction
  * ("similar"), others are badly distorted ("divergent"). This module
- * runs a workload at both levels (via the existing runBoth /
- * runSweep differential paths), computes the relative delta of every
- * per-figure statistic, ranks them, and classifies each against a
- * threshold — reproducing the accurate-vs-inaccurate classification of
- * Table 7 / Figures 5–12 automatically. Ranking rules are documented
- * in DESIGN.md §5; scripts/report_divergence.sh is the CLI front-end.
+ * generalizes that to an N×N matrix over every simulated ISA — with
+ * the PTXL (NVIDIA-flavored) backend it answers a question the source
+ * paper could not: do the IL-level pitfalls persist, shrink, or invert
+ * on a second, differently-shaped machine level? Each report runs one
+ * workload at every level (via the runSweep differential paths),
+ * computes the relative delta of every per-figure statistic for every
+ * ISA pair, ranks the statistics by their worst pairwise delta, and
+ * classifies each pair against a threshold — reproducing the
+ * accurate-vs-inaccurate classification of Table 7 / Figures 5–12
+ * automatically, per vendor. Ranking rules are documented in DESIGN.md
+ * §5; scripts/report_divergence.sh is the CLI front-end.
+ *
+ * The HSAIL↔GCN3 pair of a v2 report carries exactly the values the
+ * v1 (two-ISA) report carried: adding a column must never perturb the
+ * columns the paper studied.
  */
 
 #ifndef LAST_OBS_DIVERGENCE_HH
@@ -31,20 +40,57 @@ namespace last::obs
  *  the noise on paper-similar ones). */
 constexpr double DefaultDivergenceThreshold = 0.10;
 
-/** One statistic compared across the two abstraction levels. */
+/** One ordered ISA pair of one statistic: the (a, b) cell of the
+ *  matrix. Pairs are emitted for a before b in AllIsas order, so the
+ *  full matrix is the upper triangle (the lower is its mirror). */
+struct DivergencePair
+{
+    IsaKind a = IsaKind::HSAIL;
+    IsaKind b = IsaKind::GCN3;
+    double va = 0;           ///< the statistic measured at `a`
+    double vb = 0;           ///< the statistic measured at `b`
+    double relDelta = 0;     ///< |vb - va| / max(|va|, |vb|); 0 if both 0
+    bool divergent = false;  ///< relDelta > threshold
+    /** Which side measured more: "<" (b higher), ">" (a higher), or
+     *  "=". The golden stress signatures pin these, so an inversion
+     *  (e.g. the IL overcounting vs GCN3 but undercounting vs PTXL)
+     *  is a first-class, diffable observation. */
+    std::string direction() const
+    {
+        return va < vb ? "<" : va > vb ? ">" : "=";
+    }
+    /** The paper's published classification for this pair, or "" where
+     *  it takes no position (every pair involving PTXL: the paper
+     *  only studied HSAIL against GCN3). */
+    std::string paperExpectation;
+};
+
+/** One statistic compared across every simulated abstraction level. */
 struct DivergenceEntry
 {
     std::string stat;        ///< AppResult field name, e.g. "dynInsts"
     std::string figure;      ///< paper anchor, e.g. "Figure 5"
+
+    /** Per-ISA measured values, parallel to the report's `isas`. */
+    std::vector<double> values;
+    /** All unordered ISA pairs, upper-triangle order over `isas`. */
+    std::vector<DivergencePair> pairs;
+    /** Ranking key: the worst pairwise relDelta. Equals relDelta when
+     *  the report covers only HSAIL and GCN3, so two-ISA reports rank
+     *  exactly as v1 did. */
+    double maxRelDelta = 0;
+
+    /** @{ The HSAIL↔GCN3 pair's values, kept as first-class members
+     *  so v1-era consumers (and the "values unchanged from v1"
+     *  invariant) read them without digging through `pairs`. */
     double hsail = 0;
     double gcn3 = 0;
     double relDelta = 0;     ///< |g - h| / max(|h|, |g|); 0 if both 0
     bool divergent = false;  ///< relDelta > threshold
-    /** The paper's published classification for this statistic:
-     *  "divergent", "similar", or "" where the paper takes no
-     *  position. Lets the report flag where the model disagrees with
-     *  the paper, not just where the ISAs disagree with each other. */
     std::string paperExpectation;
+    /** @} */
+
+    const DivergencePair *findPair(IsaKind a, IsaKind b) const;
 };
 
 /** Ranked cross-ISA comparison of one workload. */
@@ -54,13 +100,17 @@ struct DivergenceReport
     double scale = 1.0;
     double threshold = DefaultDivergenceThreshold;
 
+    /** The compared abstraction levels, in AllIsas (report) order.
+     *  Entry `values` and the pair triangle follow this order. */
+    std::vector<IsaKind> isas;
+
     /** The differential run itself failed (e.g. one level was
      *  quarantined by runSweep); entries is empty and error says why. */
     bool failed = false;
     std::string error;
 
-    /** Entries ranked by descending relDelta (ties: input order, which
-     *  follows the figure numbering). */
+    /** Entries ranked by descending maxRelDelta (ties: input order,
+     *  which follows the figure numbering). */
     std::vector<DivergenceEntry> entries;
 
     const DivergenceEntry *find(const std::string &stat) const;
@@ -76,18 +126,39 @@ double relDelta(double hsail, double gcn3);
  * position) of `stat` when measured under `workload`. Per-workload
  * overrides — the stress workloads beyond Table 5 have their own
  * golden signatures — take precedence over the paper's per-figure
- * default from the Table 5 geomean.
+ * default from the Table 5 geomean. This two-argument form answers
+ * for the pair the paper studied (HSAIL↔GCN3).
  */
 std::string expectedDivergence(const std::string &workload,
                                const std::string &stat);
 
-/** Build a report from an already-run HSAIL/GCN3 result pair. */
+/** Pair-aware form: the paper's tables only cover HSAIL↔GCN3, so any
+ *  pair involving PTXL answers "" (no position) — those cells are the
+ *  new result, not a reproduction. */
+std::string expectedDivergence(const std::string &workload,
+                               const std::string &stat, IsaKind a,
+                               IsaKind b);
+
+/**
+ * Build a report from already-run results, one per ISA. `results[i]`
+ * was measured at `isas[i]`; the vectors must be the same length and
+ * hold at least two levels. Quarantined results degrade the report to
+ * failed (first quarantined level's error wins).
+ */
+DivergenceReport divergenceReport(
+    const std::vector<const sim::AppResult *> &results,
+    const std::vector<IsaKind> &isas,
+    double threshold = DefaultDivergenceThreshold);
+
+/** v1-compat form: build a two-level report from an HSAIL/GCN3 pair
+ *  (positional — the results' own isa fields are not consulted). */
 DivergenceReport divergenceReport(
     const sim::AppResult &hsail, const sim::AppResult &gcn3,
     double threshold = DefaultDivergenceThreshold);
 
-/** Run `workload` at both levels (runBoth semantics: functional
- *  agreement enforced) and build the report. */
+/** Run `workload` at every level (runBoth semantics: functional
+ *  agreement of each machine ISA against HSAIL enforced) and build
+ *  the full N×N report. */
 DivergenceReport divergenceReport(
     const std::string &workload, const GpuConfig &cfg = GpuConfig{},
     const workloads::WorkloadScale &scale = {},
@@ -95,7 +166,7 @@ DivergenceReport divergenceReport(
 
 /**
  * Reports for many workloads, driven by the parallel sweep driver
- * (sim::runSweep): all 2N simulations run concurrently and a
+ * (sim::runSweep): all N×NumIsas simulations run concurrently and a
  * quarantined run fails only its own workload's report (failed +
  * error), never the batch.
  */
@@ -105,7 +176,7 @@ std::vector<DivergenceReport> divergenceReports(
     const workloads::WorkloadScale &scale = {},
     double threshold = DefaultDivergenceThreshold, unsigned jobs = 0);
 
-/** `last-divergence-v1` JSON (one report). */
+/** `last-divergence-v2` JSON (one report). */
 void writeDivergenceJson(std::ostream &os, const DivergenceReport &r);
 
 /** JSON array of reports — the batch format `last_obs diverge --json`
@@ -113,6 +184,22 @@ void writeDivergenceJson(std::ostream &os, const DivergenceReport &r);
  *  equivalence can be checked with a byte diff. */
 void writeDivergenceJsonArray(std::ostream &os,
                               const std::vector<DivergenceReport> &rs);
+
+/** @{
+ * Strict readers for the divergence artifact: parse one report (or
+ * the CLI's array form) back into structs. Both `last-divergence-v2`
+ * and legacy `last-divergence-v1` payloads are accepted — a v1 file
+ * reads back as a two-level {HSAIL, GCN3} report. Any other schema
+ * id, malformed JSON, or torn input throws ConfigError naming
+ * `source` and the byte offset (json_in's contract); there is no
+ * partial success.
+ */
+DivergenceReport readDivergenceJson(const std::string &text,
+                                    const std::string &source);
+std::vector<DivergenceReport>
+readDivergenceJsonArray(const std::string &text,
+                        const std::string &source);
+/** @} */
 
 /** Human-readable ranked table (what report_divergence.sh prints). */
 void writeDivergenceText(std::ostream &os, const DivergenceReport &r);
@@ -124,6 +211,7 @@ namespace last::sim
 /** The reporter lives in obs/ (it layers on top of sim's differential
  *  harness) but is part of sim's public surface by design. */
 using obs::DivergenceEntry;
+using obs::DivergencePair;
 using obs::DivergenceReport;
 using obs::divergenceReport;
 using obs::divergenceReports;

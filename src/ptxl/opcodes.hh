@@ -1,0 +1,58 @@
+/**
+ * @file
+ * PTXL: the NVIDIA-flavored machine ISA.
+ *
+ * The opcode set is a SASS-like machine level ("Analyzing Modern
+ * NVIDIA GPU cores", PAPERS.md): a single flat general register file
+ * (no scalar pipeline), an 8-entry predicate file, compiler-inserted
+ * convergence barriers (BSSY/BSYNC) instead of a simulator
+ * reconvergence stack, predicated branches that park divergent lanes
+ * on a hardware warp-split stack, and a fixed 16-byte (Volta-style
+ * 128-bit) encoding. Dependencies are covered by a fixed-latency
+ * hardware scoreboard — there is no s_waitcnt/s_nop-style software
+ * dependency management anywhere in the instruction stream.
+ *
+ * ALU value semantics are carried by the vendor-neutral IL opcode
+ * (hsail::Opcode) so the three ISAs agree functionally by
+ * construction; everything the abstraction study measures — encoding
+ * footprint, convergence management, dependency handling, pipeline
+ * structure — differs at the machine level.
+ */
+
+#ifndef LAST_PTXL_OPCODES_HH
+#define LAST_PTXL_OPCODES_HH
+
+#include "hsail/opcodes.hh"
+
+namespace last::ptxl
+{
+
+/** Machine-level operation classes. */
+enum class PtxlOp
+{
+    Alu,   ///< FADD/IMAD/SHL/... (semantics: hsail::Opcode + type)
+    Isetp, ///< compare into a predicate register
+    Sel,   ///< dst = P ? src0 : src1
+    P2r,   ///< dst = P ? 1 : 0 (predicate materialization)
+    S2r,   ///< special-register read (tid/ctaid/ntid/griddim)
+    Ldg,   ///< global load
+    Stg,   ///< global store
+    Atom,  ///< global atomic add (returns the old value)
+    Lds,   ///< shared-memory load
+    Sts,   ///< shared-memory store
+    Ldl,   ///< local load (hardware-managed per-thread addressing)
+    Stl,   ///< local store
+    Ldc,   ///< constant-bank load (kernel parameters)
+    Bra,   ///< branch, optionally predicated (@Pn / @!Pn)
+    Bssy,  ///< convergence barrier set-synchronization point
+    Bsync, ///< convergence barrier synchronize
+    Bar,   ///< workgroup barrier (BAR.SYNC)
+    Exit,  ///< end of program
+    Nop,
+};
+
+const char *ptxlOpName(PtxlOp op);
+
+} // namespace last::ptxl
+
+#endif // LAST_PTXL_OPCODES_HH

@@ -76,8 +76,10 @@ Runtime::allocScratchArenas(const arch::KernelCode &code,
         return processScratch;
     }
 
-    // HSAIL: the emulated ABI maps fresh segment arenas on every
-    // dynamic launch.
+    // HSAIL and PTXL: fresh private/spill arenas on every dynamic
+    // launch (the emulated HSAIL ABI and PTXL's driver-managed
+    // local-memory windows both keep the segments separate; LDL/STL
+    // index them per thread in hardware).
     if (code.privateBytesPerWi > 0) {
         uint64_t bytes = code.privateBytesPerWi * grid_size;
         launch.privateBase = allocGlobal(bytes, 4096);

@@ -34,11 +34,7 @@ parseServeRequest(const std::string &line, const std::string &source)
         req.workload = asString(*v, "workload", source);
     if (const JsonValue *v = root.find("isa")) {
         std::string isa = asString(*v, "isa", source);
-        if (isa == "hsail" || isa == "HSAIL")
-            req.isa = IsaKind::HSAIL;
-        else if (isa == "gcn3" || isa == "GCN3")
-            req.isa = IsaKind::GCN3;
-        else
+        if (!isaFromName(isa, req.isa))
             throw ConfigError(source + ": bad isa '" + isa +
                                   "' at byte " + std::to_string(v->offset),
                               __FILE__, __LINE__);

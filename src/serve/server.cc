@@ -260,7 +260,7 @@ ServeCore::submit(const ServeRequest &req, Respond respond)
     }
     if (req.method == "stats" && !req.hasIsa) {
         refuse("bad-request", "method 'stats' needs an 'isa' "
-                              "(\"hsail\" or \"gcn3\")");
+                              "(\"hsail\", \"gcn3\", or \"ptxl\")");
         return;
     }
 
@@ -334,7 +334,7 @@ namespace
 {
 
 /** Serve a divergence query from the store, simulating only the
- *  missing (workload, ISA) halves, and derive the report through the
+ *  missing (workload, ISA) levels, and derive the report through the
  *  same cache representation the shard/merge paths use — which is
  *  what makes the payload byte-identical to the offline artifact. */
 PayloadOut
@@ -346,78 +346,75 @@ doDiverge(const ServeRequest &req, const ServeOptions &opts,
 
     const workloads::WorkloadScale ws = scaleOf(req);
     const GpuConfig cfg = configOf(req);
-    sim::RunSpec specH{req.workload, IsaKind::HSAIL, cfg, ws};
-    sim::RunSpec specG{req.workload, IsaKind::GCN3, cfg, ws};
-    const sim::CacheKey keyH = sim::specCacheKey(specH);
-    const sim::CacheKey keyG = sim::specCacheKey(specG);
-
-    CachedRun rowH, rowG;
-    rowH.key = keyH;
-    rowG.key = keyG;
-    bool haveH = false, haveG = false;
+    sim::RunSpec specs[NumIsas];
+    CachedRun rows[NumIsas];
+    bool have[NumIsas] = {};
+    for (unsigned k = 0; k < NumIsas; ++k) {
+        specs[k] = {req.workload, AllIsas[k], cfg, ws};
+        rows[k].key = sim::specCacheKey(specs[k]);
+    }
     {
         std::lock_guard<std::mutex> g(storeMu);
         auto it = store.find(req.scale);
         if (it != store.end()) {
-            if (const CachedRun *hit = it->second.find(keyH)) {
-                rowH = *hit;
-                haveH = true;
-            }
-            if (const CachedRun *hit = it->second.find(keyG)) {
-                rowG = *hit;
-                haveG = true;
+            for (unsigned k = 0; k < NumIsas; ++k) {
+                if (const CachedRun *hit = it->second.find(rows[k].key)) {
+                    rows[k] = *hit;
+                    have[k] = true;
+                }
             }
         }
     }
 
     std::vector<sim::RunSpec> toRun;
-    if (!haveH)
-        toRun.push_back(specH);
-    if (!haveG)
-        toRun.push_back(specG);
+    for (unsigned k = 0; k < NumIsas; ++k)
+        if (!have[k])
+            toRun.push_back(specs[k]);
 
-    size_t newlyQuarantined = 0;
+    size_t hits = 0, newlyQuarantined = 0;
+    for (unsigned k = 0; k < NumIsas; ++k)
+        hits += have[k];
     if (!toRun.empty()) {
         sim::SweepOptions so;
         so.jobs = opts.simJobs;
         so.retryFailed = opts.retryFailed;
         sim::SweepReport sweep = sim::runSweep(toRun, so);
         size_t i = 0;
-        if (!haveH)
-            rowH.result = std::move(sweep.results[i++]);
-        if (!haveG)
-            rowG.result = std::move(sweep.results[i++]);
+        for (unsigned k = 0; k < NumIsas; ++k)
+            if (!have[k])
+                rows[k].result = std::move(sweep.results[i++]);
         std::lock_guard<std::mutex> g(storeMu);
         sim::BenchCacheFile &file = store[req.scale];
         file.scale = req.scale;
-        for (const CachedRun *row : {&rowH, &rowG}) {
-            if (row->result.quarantined) {
+        for (const CachedRun &row : rows) {
+            if (row.result.quarantined) {
                 // Quarantined results are degraded responses, never
                 // reusable rows: the next identical request retries.
                 ++newlyQuarantined;
                 continue;
             }
-            if (!file.find(row->key))
-                file.rows.push_back(*row);
+            if (!file.find(row.key))
+                file.rows.push_back(row);
         }
     }
     {
         std::lock_guard<std::mutex> g(countersMu);
-        counters.cacheRowHits += unsigned(haveH) + unsigned(haveG);
+        counters.cacheRowHits += hits;
         counters.simulatedSpecs += toRun.size();
         counters.quarantinedSpecs += newlyQuarantined;
     }
 
-    sim::BenchCacheFile pair;
-    pair.scale = req.scale;
-    pair.rows = {rowH, rowG};
-    auto reports = sim::divergenceFromCache(pair, req.threshold);
+    sim::BenchCacheFile group;
+    group.scale = req.scale;
+    group.rows.assign(std::begin(rows), std::end(rows));
+    auto reports = sim::divergenceFromCache(group, req.threshold);
 
     PayloadOut out;
     out.servedFrom = toRun.empty() ? "cache" : "sim";
-    out.quarantined =
-        rowH.result.quarantined || rowG.result.quarantined;
-    out.schema = "last-divergence-v1";
+    out.quarantined = false;
+    for (const CachedRun &row : rows)
+        out.quarantined = out.quarantined || row.result.quarantined;
+    out.schema = "last-divergence-v2";
     std::ostringstream os;
     obs::writeDivergenceJsonArray(os, reports);
     out.bytes = os.str();

@@ -209,10 +209,9 @@ IsaKind
 parseIsaTag(const std::string &isa, const std::string &source,
             size_t offset)
 {
-    if (isa == "HSAIL")
-        return IsaKind::HSAIL;
-    if (isa == "GCN3")
-        return IsaKind::GCN3;
+    IsaKind out;
+    if (isaFromName(isa, out))
+        return out;
     failCache(source, "bad ISA tag '" + isa + "'", offset);
 }
 
@@ -237,8 +236,12 @@ cacheKeyLess(const CacheKey &a, const CacheKey &b)
         return ra < rb;
     if (a.workload != b.workload)
         return a.workload < b.workload;
-    if (a.isa != b.isa)
-        return a.isa == IsaKind::HSAIL; // HSAIL first, like the matrix
+    if (a.isa != b.isa) {
+        // AllIsas order (HSAIL < GCN3 < PTXL), like the canonical
+        // matrix — a total order, so a GCN3 row and a PTXL row for
+        // the same spec can never compare equivalent and alias.
+        return unsigned(a.isa) < unsigned(b.isa);
+    }
     if (a.seed != b.seed)
         return a.seed < b.seed;
     return a.knobDigest < b.knobDigest;

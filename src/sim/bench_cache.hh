@@ -28,9 +28,10 @@
  *    harness both rely on.
  *
  * Rows are always written in canonical key order (position in
- * workloads::allWorkloadNames(), HSAIL before GCN3, then seed, then
- * knob digest), so two caches with equal row sets are byte-identical
- * files regardless of the order results were produced or merged in.
+ * workloads::allWorkloadNames(), then ISA in AllIsas order — HSAIL,
+ * GCN3, PTXL — then seed, then knob digest), so two caches with equal
+ * row sets are byte-identical files regardless of the order results
+ * were produced or merged in.
  */
 
 #ifndef LAST_SIM_BENCH_CACHE_HH

@@ -34,11 +34,10 @@ canonicalMatrix(double scaleFactor, uint64_t seed)
     scale.seed = seed;
     std::vector<RunSpec> specs;
     const auto names = workloads::allWorkloadNames();
-    specs.reserve(names.size() * 2);
-    for (const auto &w : names) {
-        specs.push_back({w, IsaKind::HSAIL, GpuConfig{}, scale});
-        specs.push_back({w, IsaKind::GCN3, GpuConfig{}, scale});
-    }
+    specs.reserve(names.size() * NumIsas);
+    for (const auto &w : names)
+        for (IsaKind isa : AllIsas)
+            specs.push_back({w, isa, GpuConfig{}, scale});
     return specs;
 }
 
@@ -54,7 +53,10 @@ makeShardManifests(const std::vector<RunSpec> &specs, unsigned shards)
     }
     for (size_t i = 0; i < specs.size(); ++i) {
         const RunSpec &s = specs[i];
-        size_t group = i / 2; // HSAIL/GCN3 pair stays together
+        // The per-workload ISA group (HSAIL/GCN3/PTXL triple in the
+        // canonical matrix) stays on one shard so every shard can
+        // compute its own complete divergence reports.
+        size_t group = i / NumIsas;
         ShardManifest &m = out[group % shards];
         ShardEntry e;
         e.index = i;
@@ -139,11 +141,7 @@ readShardManifest(std::istream &is, const std::string &source)
             asString(require(je, "workload", source), "workload", source);
         std::string isa =
             asString(require(je, "isa", source), "isa", source);
-        if (isa == "HSAIL")
-            e.isa = IsaKind::HSAIL;
-        else if (isa == "GCN3")
-            e.isa = IsaKind::GCN3;
-        else
+        if (!isaFromName(isa, e.isa))
             fail("bad isa '" + isa + "'", je.offset);
         e.scaleFactor =
             asDouble(require(je, "scale", source), "scale", source);
@@ -234,50 +232,66 @@ divergenceFromCache(const BenchCacheFile &cache, double threshold)
                          return cacheKeyLess(a->key, b->key);
                      });
 
-    auto samePair = [](const CacheKey &a, const CacheKey &b) {
+    auto sameGroup = [](const CacheKey &a, const CacheKey &b) {
         return a.workload == b.workload && a.seed == b.seed &&
                a.knobDigest == b.knobDigest;
     };
+    const std::vector<IsaKind> allIsas(std::begin(AllIsas),
+                                       std::end(AllIsas));
 
     std::vector<obs::DivergenceReport> out;
     for (size_t i = 0; i < ordered.size();) {
-        const CachedRun *hsail = nullptr, *gcn3 = nullptr;
+        // One row per simulated ISA makes a complete N-way group.
+        const CachedRun *byIsa[NumIsas] = {};
         size_t j = i;
         for (; j < ordered.size() &&
-               samePair(ordered[j]->key, ordered[i]->key);
+               sameGroup(ordered[j]->key, ordered[i]->key);
              ++j) {
-            if (ordered[j]->key.isa == IsaKind::HSAIL && !hsail)
-                hsail = ordered[j];
-            else if (ordered[j]->key.isa == IsaKind::GCN3 && !gcn3)
-                gcn3 = ordered[j];
+            unsigned k = unsigned(ordered[j]->key.isa);
+            if (k < NumIsas && !byIsa[k])
+                byIsa[k] = ordered[j];
         }
+        const CachedRun *missing = nullptr;
+        std::string missingIsa;
+        for (unsigned k = 0; k < NumIsas; ++k)
+            if (!byIsa[k]) {
+                missing = ordered[i];
+                missingIsa = isaName(AllIsas[k]);
+                break;
+            }
 
         obs::DivergenceReport r;
-        if (hsail && gcn3) {
-            if (!hsail->result.quarantined &&
-                !gcn3->result.quarantined) {
+        if (!missing) {
+            std::vector<const AppResult *> results;
+            bool anyQuarantined = false;
+            for (unsigned k = 0; k < NumIsas; ++k) {
+                results.push_back(&byIsa[k]->result);
+                anyQuarantined =
+                    anyQuarantined || byIsa[k]->result.quarantined;
+            }
+            if (!anyQuarantined) {
                 // Restore runBoth's functional contract, degrading to
                 // a failed report instead of throwing (one bad
                 // workload must not kill the batch).
                 try {
-                    checkIsaAgreement(hsail->result, gcn3->result);
-                    r = obs::divergenceReport(hsail->result,
-                                              gcn3->result, threshold);
+                    for (size_t k = 1; k < results.size(); ++k)
+                        checkIsaAgreement(*results[0], *results[k]);
+                    r = obs::divergenceReport(results, allIsas,
+                                              threshold);
                 } catch (const IsaMismatchError &e) {
-                    r.workload = hsail->key.workload;
+                    r.workload = ordered[i]->key.workload;
+                    r.isas = allIsas;
                     r.failed = true;
                     r.error = std::string("isa-mismatch: ") + e.what();
                 }
             } else {
-                r = obs::divergenceReport(hsail->result, gcn3->result,
-                                          threshold);
-                r.workload = hsail->key.workload;
+                r = obs::divergenceReport(results, allIsas, threshold);
+                r.workload = ordered[i]->key.workload;
             }
         } else {
-            r.workload = ordered[i]->key.workload;
+            r.workload = missing->key.workload;
             r.failed = true;
-            r.error = std::string("missing ") +
-                      (hsail ? "GCN3" : "HSAIL") +
+            r.error = "missing " + missingIsa +
                       " row in the merged cache";
         }
         r.scale = cache.scale;

@@ -1,7 +1,7 @@
 #include "workloads/workload.hh"
 
 #include "common/logging.hh"
-#include "finalizer/finalizer.hh"
+#include "finalizer/backend.hh"
 #include "finalizer/regalloc.hh"
 #include "sim/artifact_cache.hh"
 
@@ -12,19 +12,19 @@ namespace
 {
 
 /** Run the (expensive) compile pipeline: IL register compaction for
- *  both paths, plus the finalizer for GCN3. */
+ *  every path, plus the per-ISA backend lowering for machine ISAs. */
 std::shared_ptr<const arch::KernelCode>
 buildArtifact(hsail::IlKernel &&il, IsaKind isa, const GpuConfig &cfg)
 {
     hsail::IlKernel kept = std::move(il);
     // The high-level compiler's register allocation over the IL's
-    // 2,048-register space happens for both paths (the finalizer then
-    // re-allocates into the much smaller GCN3 files).
+    // 2,048-register space happens for every path (a machine backend
+    // then re-allocates into its much smaller files).
     finalizer::compactIlRegisters(kept);
-    if (isa == IsaKind::HSAIL)
-        return std::shared_ptr<const arch::KernelCode>(
-            std::move(kept.code));
-    return finalizer::finalize(kept, cfg);
+    if (const auto *backend = finalizer::backendFor(isa))
+        return backend->lower(kept, cfg, nullptr);
+    return std::shared_ptr<const arch::KernelCode>(
+        std::move(kept.code));
 }
 
 } // namespace
@@ -41,8 +41,12 @@ Workload::prepare(hsail::IlKernel &&il, IsaKind isa,
         sim::ArtifactCache::enabled() && cfg.faultPlan == nullptr;
     if (cacheable) {
         uint64_t content = hsail::ilDigest(il);
-        if (isa == IsaKind::GCN3)
-            content = (content ^ finalizer::finalizeConfigDigest(cfg)) *
+        // Machine artifacts additionally depend on the backend's
+        // config knobs (the GCN3 fold predates the Backend interface
+        // and must stay byte-identical so existing cache rows keep
+        // their digests).
+        if (const auto *backend = finalizer::backendFor(isa))
+            content = (content ^ backend->configDigest(cfg)) *
                       1099511628211ull;
         auto artifact = sim::ArtifactCache::instance().getOrBuild(
             {name(), isa, artifactScale, seq, artifactParams}, content,
@@ -54,9 +58,10 @@ Workload::prepare(hsail::IlKernel &&il, IsaKind isa,
     ownedIl.push_back(std::move(il));
     hsail::IlKernel &kept = ownedIl.back();
     finalizer::compactIlRegisters(kept);
-    if (isa == IsaKind::HSAIL)
+    const auto *backend = finalizer::backendFor(isa);
+    if (!backend)
         return *kept.code;
-    ownedKernels.push_back(finalizer::finalize(kept, cfg));
+    ownedKernels.push_back(backend->lower(kept, cfg, nullptr));
     return *ownedKernels.back();
 }
 

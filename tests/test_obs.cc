@@ -11,10 +11,12 @@
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
+#include <random>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
 #include "obs/divergence.hh"
 #include "obs/json.hh"
 #include "obs/stats_export.hh"
@@ -519,4 +521,260 @@ TEST(ObsDivergence, QuarantinedRunFailsOnlyItsReport)
     std::ostringstream js;
     obs::writeDivergenceJson(js, r);
     EXPECT_TRUE(JsonChecker(js.str()).valid());
+}
+
+// ---------------------------------------------------------------------
+// last-divergence-v2 schema: round-trip, v1 compat, torn input.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Field-for-field equality of a report and its parsed round-trip.
+ *  %.17g serialization must reproduce every double bit-exactly. */
+void
+expectReportsEqual(const obs::DivergenceReport &a,
+                   const obs::DivergenceReport &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.scale, b.scale);
+    EXPECT_EQ(a.threshold, b.threshold);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.error, b.error);
+    ASSERT_EQ(a.isas, b.isas);
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    for (size_t i = 0; i < a.entries.size(); ++i) {
+        const obs::DivergenceEntry &x = a.entries[i];
+        const obs::DivergenceEntry &y = b.entries[i];
+        SCOPED_TRACE(x.stat);
+        EXPECT_EQ(x.stat, y.stat);
+        EXPECT_EQ(x.figure, y.figure);
+        ASSERT_EQ(x.values.size(), y.values.size());
+        for (size_t k = 0; k < x.values.size(); ++k)
+            EXPECT_EQ(x.values[k], y.values[k]);
+        EXPECT_EQ(x.maxRelDelta, y.maxRelDelta);
+        EXPECT_EQ(x.hsail, y.hsail);
+        EXPECT_EQ(x.gcn3, y.gcn3);
+        EXPECT_EQ(x.relDelta, y.relDelta);
+        EXPECT_EQ(x.divergent, y.divergent);
+        EXPECT_EQ(x.paperExpectation, y.paperExpectation);
+        ASSERT_EQ(x.pairs.size(), y.pairs.size());
+        for (size_t k = 0; k < x.pairs.size(); ++k) {
+            const obs::DivergencePair &p = x.pairs[k];
+            const obs::DivergencePair &q = y.pairs[k];
+            EXPECT_EQ(p.a, q.a);
+            EXPECT_EQ(p.b, q.b);
+            EXPECT_EQ(p.va, q.va);
+            EXPECT_EQ(p.vb, q.vb);
+            EXPECT_EQ(p.relDelta, q.relDelta);
+            EXPECT_EQ(p.divergent, q.divergent);
+            EXPECT_EQ(p.direction(), q.direction());
+            EXPECT_EQ(p.paperExpectation, q.paperExpectation);
+        }
+    }
+}
+
+/** One real N×N report, shared by the schema tests (built once: the
+ *  differential run is the expensive part, the parses are cheap). */
+const obs::DivergenceReport &
+nxnReport()
+{
+    static const obs::DivergenceReport r =
+        obs::divergenceReport("VecAdd", GpuConfig{}, {TestScale});
+    return r;
+}
+
+std::string
+serialized(const obs::DivergenceReport &r)
+{
+    std::ostringstream os;
+    obs::writeDivergenceJson(os, r);
+    return os.str();
+}
+
+} // namespace
+
+TEST(DivergenceSchemaV2, RoundTripPreservesEveryField)
+{
+    const obs::DivergenceReport &r = nxnReport();
+    ASSERT_FALSE(r.failed) << r.error;
+    ASSERT_EQ(r.isas.size(), NumIsas);
+    std::string js = serialized(r);
+    EXPECT_NE(js.find("\"schema\":\"last-divergence-v2\""),
+              std::string::npos);
+    EXPECT_TRUE(JsonChecker(js).valid()) << js;
+    obs::DivergenceReport back = obs::readDivergenceJson(js, "<test>");
+    expectReportsEqual(r, back);
+    // Writing the parsed report again is byte-identical: the schema
+    // has one canonical serialization.
+    EXPECT_EQ(js, serialized(back));
+}
+
+TEST(DivergenceSchemaV2, ArrayFormRoundTripsIncludingFailedReports)
+{
+    obs::DivergenceReport bad;
+    bad.workload = "VecAdd";
+    bad.failed = true;
+    bad.error = "GCN3: deadlock \"watchdog\"\n";
+    bad.isas = {IsaKind::HSAIL, IsaKind::GCN3, IsaKind::PTXL};
+    std::vector<obs::DivergenceReport> rs = {nxnReport(), bad};
+    std::ostringstream os;
+    obs::writeDivergenceJsonArray(os, rs);
+    ASSERT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+    auto back = obs::readDivergenceJsonArray(os.str(), "<test>");
+    ASSERT_EQ(back.size(), 2u);
+    expectReportsEqual(rs[0], back[0]);
+    expectReportsEqual(rs[1], back[1]);
+    EXPECT_TRUE(back[1].failed);
+    EXPECT_TRUE(back[1].entries.empty());
+}
+
+TEST(DivergenceSchemaV2, TwoIsaReportKeepsV1LegacyView)
+{
+    // The 2-ary (HSAIL, GCN3) overload must round-trip as a two-level
+    // report whose legacy members and single pair agree exactly.
+    auto [hsail, gcn3] = sim::runBoth("VecAdd", GpuConfig{}, {TestScale});
+    obs::DivergenceReport r = obs::divergenceReport(hsail, gcn3);
+    ASSERT_FALSE(r.failed);
+    std::vector<IsaKind> want = {IsaKind::HSAIL, IsaKind::GCN3};
+    EXPECT_EQ(r.isas, want);
+    obs::DivergenceReport back =
+        obs::readDivergenceJson(serialized(r), "<test>");
+    expectReportsEqual(r, back);
+    for (const obs::DivergenceEntry &e : back.entries) {
+        ASSERT_EQ(e.pairs.size(), 1u) << e.stat;
+        EXPECT_EQ(e.maxRelDelta, e.relDelta) << e.stat;
+        EXPECT_EQ(e.pairs[0].va, e.hsail) << e.stat;
+        EXPECT_EQ(e.pairs[0].vb, e.gcn3) << e.stat;
+    }
+}
+
+TEST(DivergenceSchemaV2, V1PayloadReadsAsTwoLevelReport)
+{
+    // A legacy last-divergence-v1 file (shape per SCHEMAS.md) must
+    // read back as the {HSAIL, GCN3} report it always meant, with the
+    // pair triangle synthesized from the flat v1 fields.
+    const std::string v1 =
+        "{\n\"schema\":\"last-divergence-v1\",\n"
+        "\"workload\":\"atomicred\",\"scale\":0.25,"
+        "\"threshold\":0.10000000000000001,"
+        "\"failed\":false,\"error\":\"\",\n"
+        "\"entries\":[\n"
+        "{\"stat\":\"salu\",\"figure\":\"Figure 5\",\"hsail\":0,"
+        "\"gcn3\":112,\"rel_delta\":1,\"classification\":\"divergent\","
+        "\"paper\":\"divergent\"},\n"
+        "{\"stat\":\"simdUtil\",\"figure\":\"Table 6\",\"hsail\":1,"
+        "\"gcn3\":1,\"rel_delta\":0,\"classification\":\"similar\","
+        "\"paper\":\"similar\"}\n"
+        "]}\n";
+    obs::DivergenceReport r = obs::readDivergenceJson(v1, "<v1>");
+    EXPECT_EQ(r.workload, "atomicred");
+    EXPECT_EQ(r.scale, 0.25);
+    std::vector<IsaKind> want = {IsaKind::HSAIL, IsaKind::GCN3};
+    EXPECT_EQ(r.isas, want);
+    ASSERT_EQ(r.entries.size(), 2u);
+    const obs::DivergenceEntry &salu = r.entries[0];
+    EXPECT_EQ(salu.stat, "salu");
+    EXPECT_EQ(salu.hsail, 0);
+    EXPECT_EQ(salu.gcn3, 112);
+    EXPECT_EQ(salu.relDelta, 1);
+    EXPECT_TRUE(salu.divergent);
+    EXPECT_EQ(salu.maxRelDelta, salu.relDelta);
+    ASSERT_EQ(salu.values.size(), 2u);
+    ASSERT_EQ(salu.pairs.size(), 1u);
+    const obs::DivergencePair *p =
+        salu.findPair(IsaKind::HSAIL, IsaKind::GCN3);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->va, 0);
+    EXPECT_EQ(p->vb, 112);
+    EXPECT_EQ(p->direction(), "<");
+    EXPECT_EQ(p->paperExpectation, "divergent");
+    EXPECT_FALSE(r.entries[1].divergent);
+    // Re-serializing upgrades the payload to v2 in place.
+    std::string upgraded = serialized(r);
+    EXPECT_NE(upgraded.find("\"schema\":\"last-divergence-v2\""),
+              std::string::npos);
+    expectReportsEqual(r, obs::readDivergenceJson(upgraded, "<up>"));
+}
+
+TEST(DivergenceSchemaV2, UnknownSchemaAndBadIsaAreRefused)
+{
+    // Per SCHEMAS.md: readers refuse unknown schema ids rather than
+    // guessing, and every refusal names the source and a byte offset.
+    std::string v3 = serialized(nxnReport());
+    size_t at = v3.find("last-divergence-v2");
+    ASSERT_NE(at, std::string::npos);
+    v3.replace(at, 18, "last-divergence-v3");
+    try {
+        obs::readDivergenceJson(v3, "<v3>");
+        FAIL() << "unknown schema id accepted";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("<v3>"), std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("at byte"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    std::string badIsa = serialized(nxnReport());
+    at = badIsa.find("\"PTXL\"");
+    ASSERT_NE(at, std::string::npos);
+    badIsa.replace(at, 6, "\"VEGA\"");
+    EXPECT_THROW(obs::readDivergenceJson(badIsa, "<isa>"), ConfigError);
+
+    // A pair referencing an ISA absent from the report's own isa list
+    // is refused too (the triangle must be internally consistent).
+    std::string orphan = serialized(nxnReport());
+    at = orphan.find("\"isas\":[\"HSAIL\",\"GCN3\",\"PTXL\"]");
+    ASSERT_NE(at, std::string::npos);
+    orphan.replace(at, 31, "\"isas\":[\"HSAIL\",\"GCN3\"]");
+    EXPECT_THROW(obs::readDivergenceJson(orphan, "<orphan>"),
+                 ConfigError);
+}
+
+TEST(DivergenceSchemaV2, TornInputFailsLoudlyAtEveryTruncation)
+{
+    // A crashed writer (the shard/journal suites simulate SIGKILL
+    // mid-write) leaves a prefix. Every proper prefix must throw
+    // ConfigError — never crash, never parse to a partial report.
+    // The only exception: trailing-newline-only truncation, which is
+    // still a complete document.
+    std::string js = serialized(nxnReport());
+    ASSERT_EQ(js.back(), '\n');
+    for (size_t len = 0; len + 1 < js.size(); ++len) {
+        try {
+            obs::readDivergenceJson(js.substr(0, len), "<torn>");
+            FAIL() << "torn prefix of " << len << " bytes parsed";
+        } catch (const ConfigError &) {
+            // expected
+        }
+    }
+    expectReportsEqual(
+        nxnReport(),
+        obs::readDivergenceJson(js.substr(0, js.size() - 1), "<t>"));
+}
+
+TEST(DivergenceSchemaV2, GarbageMutationsNeverCrashTheReader)
+{
+    // Single-byte corruption fuzz: the reader either throws ConfigError
+    // or parses (a mutation can land in a value and still be valid
+    // JSON) — anything else (crash, other exception) fails the test.
+    std::string base = serialized(nxnReport());
+    std::mt19937_64 rng(0xD1F5EEDull);
+    unsigned parsed = 0, refused = 0;
+    for (int trial = 0; trial < 400; ++trial) {
+        std::string s = base;
+        size_t pos = rng() % s.size();
+        s[pos] = char(rng() & 0xFF);
+        try {
+            obs::readDivergenceJson(s, "<fuzz>");
+            ++parsed;
+        } catch (const ConfigError &) {
+            ++refused;
+        }
+    }
+    EXPECT_EQ(parsed + refused, 400u);
+    // Corrupting structural bytes must actually refuse: a reader that
+    // "accepts" most mutations is not strict.
+    EXPECT_GT(refused, 200u);
 }

@@ -95,10 +95,9 @@ fakeMatrix()
 {
     workloads::WorkloadScale scale{1.0};
     std::vector<sim::RunSpec> specs;
-    for (const char *w : {"FakeA", "FakeB"}) {
-        specs.push_back({w, IsaKind::HSAIL, GpuConfig{}, scale});
-        specs.push_back({w, IsaKind::GCN3, GpuConfig{}, scale});
-    }
+    for (const char *w : {"FakeA", "FakeB"})
+        for (IsaKind isa : AllIsas)
+            specs.push_back({w, isa, GpuConfig{}, scale});
     return specs;
 }
 

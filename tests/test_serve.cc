@@ -211,7 +211,7 @@ TEST(ServeCore, CoalescesConcurrentIdenticalRequestsIntoOneSimulation)
 
     c = core.counters();
     EXPECT_EQ(c.served, 3u);            // every waiter got its answer
-    EXPECT_EQ(c.simulatedSpecs, 2u);    // exactly one HSAIL+GCN3 pair
+    EXPECT_EQ(c.simulatedSpecs, NumIsas); // exactly one ISA group
     EXPECT_EQ(c.cacheRowHits, 0u);
     for (const std::string &r : responses)
         ASSERT_FALSE(r.empty());
@@ -249,19 +249,18 @@ TEST(ServeCore, ServedDivergenceIsByteIdenticalToOfflineColdAndWarm)
     EXPECT_EQ(field(warmEnv, "served"), "cache");
 
     serve::ServeCounters c = core.counters();
-    EXPECT_EQ(c.simulatedSpecs, 2u); // the warm query added none
-    EXPECT_EQ(c.cacheRowHits, 2u);   // both halves came from the store
-    EXPECT_EQ(core.storeRows(), 2u);
+    EXPECT_EQ(c.simulatedSpecs, NumIsas); // the warm query added none
+    EXPECT_EQ(c.cacheRowHits, NumIsas);   // every row from the store
+    EXPECT_EQ(core.storeRows(), NumIsas);
 }
 
 TEST(ServeCore, PreloadedCacheAnswersWithZeroSimulations)
 {
     // Build the rows the way a bench sweep would.
     workloads::WorkloadScale ws{0.25};
-    std::vector<sim::RunSpec> specs = {
-        {"atomicred", IsaKind::HSAIL, GpuConfig{}, ws},
-        {"atomicred", IsaKind::GCN3, GpuConfig{}, ws},
-    };
+    std::vector<sim::RunSpec> specs;
+    for (IsaKind isa : AllIsas)
+        specs.push_back({"atomicred", isa, GpuConfig{}, ws});
     sim::SweepReport sweep = sim::runSweep(specs, {1, false});
     ASSERT_TRUE(sweep.allOk());
 
@@ -278,8 +277,8 @@ TEST(ServeCore, PreloadedCacheAnswersWithZeroSimulations)
     cache.rows.push_back(poisoned);
 
     serve::ServeCore core(inlineOpts());
-    EXPECT_EQ(core.preload(cache), 2u);
-    EXPECT_EQ(core.storeRows(), 2u);
+    EXPECT_EQ(core.preload(cache), NumIsas);
+    EXPECT_EQ(core.storeRows(), NumIsas);
 
     std::string resp;
     core.submit(divergeRequest("atomicred", 0.25),
@@ -326,7 +325,7 @@ TEST(ServeCore, StatsPayloadMatchesOfflineExport)
     EXPECT_EQ(field(env, "payload"), offline);
 
     // The healthy stats run was kept as a bench row, so a later
-    // diverge on the same spec only owes the missing half.
+    // diverge on the same spec only owes the missing ISAs.
     EXPECT_EQ(core.storeRows(), 1u);
 }
 
@@ -444,7 +443,7 @@ TEST(ServeQuarantine, DeadlineTripDegradesResponseAndIsNeverStored)
     // Nothing poisoned the store; the retry re-simulates.
     EXPECT_EQ(core.storeRows(), 0u);
     serve::ServeCounters c = core.counters();
-    EXPECT_EQ(c.quarantinedSpecs, 2u);
+    EXPECT_EQ(c.quarantinedSpecs, NumIsas);
     uint64_t simulatedBefore = c.simulatedSpecs;
 
     std::string retry;
@@ -586,7 +585,7 @@ TEST(ServeSocket, ConcurrentIdenticalClientsCostOneSimulationPair)
         t.join();
 
     // Whether the twins coalesced or hit the warm store, the
-    // simulation pair ran exactly once.
+    // ISA group was simulated exactly once.
     std::string payload0;
     for (int i = 0; i < N; ++i) {
         jsonin::JsonValue env = parseEnvelope(responses[i]);
@@ -598,7 +597,7 @@ TEST(ServeSocket, ConcurrentIdenticalClientsCostOneSimulationPair)
             EXPECT_EQ(p, payload0);
     }
     serve::ServeCounters c = server.core().counters();
-    EXPECT_EQ(c.simulatedSpecs, 2u);
+    EXPECT_EQ(c.simulatedSpecs, NumIsas);
     EXPECT_EQ(c.served, unsigned(N));
     server.stop();
 }

@@ -1,7 +1,7 @@
 /**
  * @file
  * Tests for the sharded sweep backend (sim/shard, sim/bench_cache):
- *  - deterministic matrix splitting that keeps ISA pairs together;
+ *  - deterministic matrix splitting that keeps ISA groups together;
  *  - manifest JSON round-trip and schema validation;
  *  - cache rows reconstruct results exactly (round-trip precision);
  *  - merge is order-independent, overlap-tolerant, and idempotent,
@@ -34,10 +34,9 @@ smallMatrix()
 {
     workloads::WorkloadScale scale{0.25};
     std::vector<sim::RunSpec> specs;
-    for (const char *w : {"VecAdd", "ArrayBW", "atomicred", "pipeline"}) {
-        specs.push_back({w, IsaKind::HSAIL, GpuConfig{}, scale});
-        specs.push_back({w, IsaKind::GCN3, GpuConfig{}, scale});
-    }
+    for (const char *w : {"VecAdd", "ArrayBW", "atomicred", "pipeline"})
+        for (IsaKind isa : AllIsas)
+            specs.push_back({w, isa, GpuConfig{}, scale});
     return specs;
 }
 
@@ -74,15 +73,19 @@ TEST(ShardManifest, DeterministicSplitKeepsPairsTogether)
     auto shards = sim::makeShardManifests(specs, 3);
     ASSERT_EQ(shards.size(), 3u);
 
-    // Every spec appears exactly once, pairs (2g, 2g+1) in one shard.
+    // Every spec appears exactly once; each per-workload ISA group
+    // (NumIsas consecutive specs) lands whole on one shard.
     std::vector<int> seen(specs.size(), 0);
     for (const auto &m : shards) {
         EXPECT_EQ(m.totalSpecs, specs.size());
         EXPECT_EQ(m.shardCount, 3u);
-        for (size_t i = 0; i + 1 < m.entries.size(); i += 2) {
-            EXPECT_EQ(m.entries[i].workload, m.entries[i + 1].workload);
-            EXPECT_EQ(m.entries[i].isa, IsaKind::HSAIL);
-            EXPECT_EQ(m.entries[i + 1].isa, IsaKind::GCN3);
+        for (size_t i = 0; i + NumIsas <= m.entries.size();
+             i += NumIsas) {
+            for (unsigned k = 0; k < NumIsas; ++k) {
+                EXPECT_EQ(m.entries[i + k].workload,
+                          m.entries[i].workload);
+                EXPECT_EQ(m.entries[i + k].isa, AllIsas[k]);
+            }
         }
         for (const auto &e : m.entries) {
             ASSERT_LT(e.index, specs.size());
@@ -189,6 +192,62 @@ TEST(BenchCache, RowRoundTripIsExact)
     }
 }
 
+TEST(BenchCache, BackendIdentityKeepsMachineIsaRowsDistinct)
+{
+    // The aliasing regression this pins: the pre-PTXL key order
+    // compared ISAs as "HSAIL first, anything else after" — a
+    // strict-weak ordering under which a GCN3 row and a PTXL row for
+    // the same spec compared EQUIVALENT. Canonical sorting became
+    // insertion-order dependent (breaking shard/single-process byte
+    // identity) and a merge could fold one vendor's row into the
+    // other's. The order must be total: AllIsas position.
+    sim::CacheKey base{"VecAdd", IsaKind::HSAIL, 7, 0x1234};
+    for (unsigned i = 0; i < NumIsas; ++i) {
+        for (unsigned j = 0; j < NumIsas; ++j) {
+            sim::CacheKey a = base, b = base;
+            a.isa = AllIsas[i];
+            b.isa = AllIsas[j];
+            EXPECT_EQ(sim::cacheKeyLess(a, b), i < j)
+                << isaName(a.isa) << " vs " << isaName(b.isa);
+            EXPECT_EQ(a == b, i == j);
+        }
+    }
+
+    // Hit-count proof at the file level: NumIsas rows differing only
+    // in ISA go in with distinct digests, and each key gets exactly
+    // its own row back — from a canonical file whose bytes do not
+    // depend on insertion order, and through a merge that keeps all
+    // of them.
+    auto rowFor = [&](IsaKind isa) {
+        sim::CachedRun r;
+        r.key = base;
+        r.key.isa = isa;
+        r.result.workload = base.workload;
+        r.result.isa = isa;
+        r.result.verified = true;
+        r.result.digest = 0xD16E5700u + unsigned(isa);
+        return r;
+    };
+    sim::BenchCacheFile fwd, rev;
+    fwd.scale = rev.scale = 0.25;
+    for (IsaKind isa : AllIsas)
+        fwd.rows.push_back(rowFor(isa));
+    for (unsigned k = NumIsas; k-- > 0;)
+        rev.rows.push_back(rowFor(AllIsas[k]));
+    EXPECT_EQ(cacheBytes(fwd), cacheBytes(rev));
+
+    sim::BenchCacheFile merged = sim::mergeBenchCaches({fwd, rev});
+    ASSERT_EQ(merged.rows.size(), size_t(NumIsas));
+    for (IsaKind isa : AllIsas) {
+        sim::CacheKey k = base;
+        k.isa = isa;
+        const sim::CachedRun *row = merged.find(k);
+        ASSERT_NE(row, nullptr) << isaName(isa);
+        EXPECT_EQ(row->result.digest, 0xD16E5700u + unsigned(isa));
+        EXPECT_EQ(row->result.isa, isa);
+    }
+}
+
 TEST(ShardSweep, MergeIsOrderIndependentOverlapTolerantIdempotent)
 {
     auto specs = smallMatrix();
@@ -263,15 +322,13 @@ TEST(ShardSweep, QuarantineRowsSurviveAndDegradeReports)
     // round-trip, and the divergence report built from those rows must
     // degrade to failed instead of inventing numbers.
     workloads::WorkloadScale scale{0.25};
-    std::vector<sim::RunSpec> specs = {
-        {"VecAdd", IsaKind::HSAIL, GpuConfig{}, scale},
-        {"VecAdd", IsaKind::GCN3, GpuConfig{}, scale},
-        {"NoSuchWorkload", IsaKind::HSAIL, GpuConfig{}, scale},
-        {"NoSuchWorkload", IsaKind::GCN3, GpuConfig{}, scale},
-    };
+    std::vector<sim::RunSpec> specs;
+    for (const char *w : {"VecAdd", "NoSuchWorkload"})
+        for (IsaKind isa : AllIsas)
+            specs.push_back({w, isa, GpuConfig{}, scale});
     auto outcome = sim::runShard(sim::makeShardManifests(specs, 1)[0]);
-    EXPECT_EQ(outcome.quarantined, 2u);
-    EXPECT_EQ(outcome.sweep.quarantined.size(), 2u);
+    EXPECT_EQ(outcome.quarantined, NumIsas);
+    EXPECT_EQ(outcome.sweep.quarantined.size(), NumIsas);
 
     std::string bytes = cacheBytes(outcome.cache);
     std::istringstream is(bytes);
@@ -286,7 +343,7 @@ TEST(ShardSweep, QuarantineRowsSurviveAndDegradeReports)
         EXPECT_FALSE(row.result.errorKind.empty());
         EXPECT_FALSE(row.result.errorMessage.empty());
     }
-    EXPECT_EQ(quarantined, 2u);
+    EXPECT_EQ(quarantined, NumIsas);
     EXPECT_EQ(cacheBytes(back), bytes);
 
     auto reports = sim::divergenceFromCache(back);
@@ -311,8 +368,8 @@ TEST(ShardSweep, QuarantineRowsSurviveAndDegradeReports)
     opts.reuse = &back;
     opts.retryFailed = false;
     auto retry = sim::runShard(sim::makeShardManifests(specs, 1)[0], opts);
-    EXPECT_EQ(retry.reused, 2u);     // the healthy VecAdd pair
-    EXPECT_EQ(retry.simulated, 2u);  // the poisoned pair re-attempted
+    EXPECT_EQ(retry.reused, NumIsas);    // the healthy VecAdd group
+    EXPECT_EQ(retry.simulated, NumIsas); // the poisoned group re-run
 }
 
 TEST(ShardSweep, MissingHalfDegradesToFailedReport)

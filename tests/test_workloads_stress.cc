@@ -3,18 +3,23 @@
  * Differential tests for the stress workloads beyond Table 5
  * (atomicred, ldsswizzle, bfsgraph, pipeline). Per workload x scale x
  * seed they pin down:
- *  - functional cross-ISA agreement (runBoth / checkIsaAgreement);
+ *  - functional cross-ISA agreement at all three abstraction levels
+ *    (HSAIL, GCN3, PTXL — runBoth / runApp / checkIsaAgreement);
  *  - the golden DIRECTION of every divergence metric against the
  *    per-workload expectation table (obs::expectedDivergence) — e.g.
  *    bfsgraph must diverge on IB flushes well past the threshold while
  *    ldsswizzle diverges on bank conflicts with simdUtil similar;
+ *  - the golden N×N direction signatures of the cross-vendor matrix:
+ *    which cells of the triangle diverge, and which side measures
+ *    more, for the machine-shape stats (scalar pipe, encoding size,
+ *    I-cache pressure, VRF banking) on every stress workload;
  *  - determinism across LAST_JOBS settings and artifact-cache on/off;
  *  - the artifact-cache key fix: ldsswizzle's stride/padding knobs are
  *    part of the key, so parameter variants never alias;
  *  - the bfsgraph reconvergence-stack property: the HSAIL RS-depth
  *    histogram is non-degenerate (nested divergence actually nests)
- *    while GCN3 retires the identical lane-visible results with zero
- *    hazard violations.
+ *    while both machine ISAs retire the identical lane-visible results
+ *    with zero hazard violations and never touch the RS.
  */
 
 #include <gtest/gtest.h>
@@ -25,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "finalizer/backend.hh"
 #include "finalizer/finalizer.hh"
 #include "finalizer/regalloc.hh"
 #include "hsail/builder.hh"
@@ -114,6 +120,13 @@ TEST(StressWorkloads, CrossIsaAgreementAcrossScalesAndSeeds)
                 EXPECT_EQ(hsail.digest, gcn3.digest);
                 EXPECT_EQ(gcn3.hazardViolations, 0u)
                     << "finalized code read a not-yet-ready register";
+                auto ptxl = sim::runApp(w, IsaKind::PTXL, GpuConfig{},
+                                        at(scale, seed));
+                EXPECT_TRUE(ptxl.verified);
+                EXPECT_EQ(hsail.digest, ptxl.digest);
+                EXPECT_EQ(ptxl.hazardViolations, 0u)
+                    << "PTXL scoreboard let a not-ready register by";
+                sim::checkIsaAgreement(hsail, ptxl);
             }
         }
     }
@@ -125,6 +138,7 @@ TEST(StressWorkloads, CrossIsaAgreementAcrossScalesAndSeeds)
 
 TEST(StressWorkloads, GoldenDivergenceDirections)
 {
+    const size_t numPairs = NumIsas * (NumIsas - 1) / 2;
     for (const std::string &w : stressNames()) {
         for (double scale : kScales) {
             SCOPED_TRACE(w + " scale " + std::to_string(scale));
@@ -132,7 +146,32 @@ TEST(StressWorkloads, GoldenDivergenceDirections)
                 obs::divergenceReport(w, GpuConfig{}, at(scale));
             ASSERT_FALSE(r.failed) << r.error;
             ASSERT_EQ(r.entries.size(), 17u);
+            ASSERT_EQ(r.isas.size(), NumIsas);
+            for (unsigned k = 0; k < NumIsas; ++k)
+                EXPECT_EQ(r.isas[k], AllIsas[k]);
             for (const obs::DivergenceEntry &e : r.entries) {
+                // The full pair triangle is present and the legacy
+                // members mirror the HSAIL<->GCN3 cell exactly.
+                ASSERT_EQ(e.values.size(), NumIsas) << e.stat;
+                ASSERT_EQ(e.pairs.size(), numPairs) << e.stat;
+                const obs::DivergencePair *hg =
+                    e.findPair(IsaKind::HSAIL, IsaKind::GCN3);
+                ASSERT_NE(hg, nullptr) << e.stat;
+                EXPECT_EQ(hg->va, e.hsail);
+                EXPECT_EQ(hg->vb, e.gcn3);
+                EXPECT_EQ(hg->relDelta, e.relDelta);
+                EXPECT_EQ(hg->divergent, e.divergent);
+                EXPECT_EQ(hg->paperExpectation, e.paperExpectation);
+                double worst = 0;
+                for (const obs::DivergencePair &p : e.pairs) {
+                    worst = std::max(worst, p.relDelta);
+                    // The paper takes no position on PTXL cells.
+                    if (p.a == IsaKind::PTXL || p.b == IsaKind::PTXL) {
+                        EXPECT_EQ(p.paperExpectation, "") << e.stat;
+                    }
+                }
+                EXPECT_EQ(e.maxRelDelta, worst) << e.stat;
+
                 std::string expect = obs::expectedDivergence(w, e.stat);
                 EXPECT_EQ(e.paperExpectation, expect);
                 if (expect.empty())
@@ -141,6 +180,101 @@ TEST(StressWorkloads, GoldenDivergenceDirections)
                     << e.stat << ": hsail=" << e.hsail
                     << " gcn3=" << e.gcn3 << " delta=" << e.relDelta;
             }
+            // Ranking follows the worst pairwise delta.
+            for (size_t i = 1; i < r.entries.size(); ++i)
+                EXPECT_GE(r.entries[i - 1].maxRelDelta,
+                          r.entries[i].maxRelDelta);
+        }
+    }
+}
+
+TEST(StressWorkloads, GoldenNxNDirectionSignatures)
+{
+    // The new-result cells of the matrix: per stress workload, which
+    // machine-shape statistics diverge in which DIRECTION for each
+    // vendor pair. These are golden values — a change here is a
+    // finding, not noise.
+    auto pinned = [](const obs::DivergenceReport &r,
+                     const std::string &stat, IsaKind a, IsaKind b)
+        -> const obs::DivergencePair * {
+        const obs::DivergenceEntry *e = r.find(stat);
+        EXPECT_NE(e, nullptr) << stat;
+        if (!e)
+            return nullptr;
+        const obs::DivergencePair *p = e->findPair(a, b);
+        EXPECT_NE(p, nullptr) << stat;
+        return p;
+    };
+
+    for (const std::string &w : stressNames()) {
+        SCOPED_TRACE(w);
+        obs::DivergenceReport r =
+            obs::divergenceReport(w, GpuConfig{}, at(0.25));
+        ASSERT_FALSE(r.failed) << r.error;
+
+        // Scalar pipe: a GCN3-only machine feature. HSAIL and PTXL
+        // both measure exactly zero, so the HSAIL<->PTXL cell is the
+        // one place the IL is NOT lying about scalarization.
+        if (const auto *p =
+                pinned(r, "salu", IsaKind::HSAIL, IsaKind::GCN3)) {
+            EXPECT_TRUE(p->divergent);
+            EXPECT_EQ(p->direction(), "<");
+        }
+        if (const auto *p =
+                pinned(r, "salu", IsaKind::GCN3, IsaKind::PTXL)) {
+            EXPECT_TRUE(p->divergent);
+            EXPECT_EQ(p->direction(), ">");
+        }
+        if (const auto *p =
+                pinned(r, "salu", IsaKind::HSAIL, IsaKind::PTXL)) {
+            EXPECT_FALSE(p->divergent);
+            EXPECT_EQ(p->direction(), "=");
+        }
+
+        // Encoding size: PTXL's fixed 16-byte words more than double
+        // the footprint of both the IL and GCN3's 4/8-byte stream —
+        // the IL-level I-side picture is wrong for BOTH vendors, but
+        // in different magnitudes.
+        if (const auto *p = pinned(r, "instFootprint", IsaKind::HSAIL,
+                                   IsaKind::PTXL)) {
+            EXPECT_TRUE(p->divergent);
+            EXPECT_EQ(p->direction(), "<");
+        }
+        if (const auto *p = pinned(r, "instFootprint", IsaKind::GCN3,
+                                   IsaKind::PTXL)) {
+            EXPECT_TRUE(p->divergent);
+            EXPECT_EQ(p->direction(), "<");
+        }
+
+        // ... and the footprint inflation reaches the I-cache: PTXL
+        // misses more than either other level on every stress kernel.
+        if (const auto *p = pinned(r, "l1iMisses", IsaKind::HSAIL,
+                                   IsaKind::PTXL)) {
+            EXPECT_TRUE(p->divergent);
+            EXPECT_EQ(p->direction(), "<");
+        }
+
+        // VRF banking: the finalizer's GCN3 allocator packs registers
+        // to dodge bank conflicts; the IL's virtual registers and
+        // PTXL's 1:1-preserved indices both conflict far more.
+        if (const auto *p = pinned(r, "vrfBankConflicts",
+                                   IsaKind::HSAIL, IsaKind::GCN3)) {
+            EXPECT_TRUE(p->divergent);
+            EXPECT_EQ(p->direction(), ">");
+        }
+        if (const auto *p = pinned(r, "vrfBankConflicts",
+                                   IsaKind::GCN3, IsaKind::PTXL)) {
+            EXPECT_TRUE(p->divergent);
+            EXPECT_EQ(p->direction(), "<");
+        }
+
+        // Lane-visible data is abstraction-invariant: the data
+        // footprint must be identical in every cell of the triangle.
+        const obs::DivergenceEntry *df = r.find("dataFootprint");
+        ASSERT_NE(df, nullptr);
+        for (const obs::DivergencePair &p : df->pairs) {
+            EXPECT_FALSE(p.divergent);
+            EXPECT_EQ(p.direction(), "=");
         }
     }
 }
@@ -205,10 +339,9 @@ TEST(StressWorkloads, ExpectationOverridesLayerOverPaperDefaults)
 TEST(StressWorkloads, DeterministicAcrossJobCounts)
 {
     std::vector<sim::RunSpec> specs;
-    for (const std::string &w : stressNames()) {
-        specs.push_back({w, IsaKind::HSAIL, GpuConfig{}, at(0.25)});
-        specs.push_back({w, IsaKind::GCN3, GpuConfig{}, at(0.25)});
-    }
+    for (const std::string &w : stressNames())
+        for (IsaKind isa : AllIsas)
+            specs.push_back({w, isa, GpuConfig{}, at(0.25)});
     auto serial = sim::runMany(specs, 1);
     auto parallel = sim::runMany(specs, 4);
     ASSERT_EQ(serial.size(), parallel.size());
@@ -222,7 +355,7 @@ TEST(StressWorkloads, DeterministicAcrossJobCounts)
 TEST(StressWorkloads, DeterministicAcrossArtifactCacheSetting)
 {
     for (const std::string &w : stressNames()) {
-        for (IsaKind isa : {IsaKind::HSAIL, IsaKind::GCN3}) {
+        for (IsaKind isa : AllIsas) {
             SCOPED_TRACE(w + "/" + std::string(isaName(isa)));
             sim::ArtifactCache::setEnabled(true);
             auto warm = sim::runApp(w, isa, GpuConfig{}, at(0.25));
@@ -281,6 +414,41 @@ TEST(StressWorkloads, LdsSwizzleKnobVariantsDoNotAliasInCache)
     EXPECT_GT(a1.second.cycles, b1.second.cycles);
 }
 
+TEST(StressWorkloads, BackendVariantsDoNotAliasInArtifactCache)
+{
+    // GCN3 and PTXL lower the SAME IL under the SAME (workload, scale,
+    // seq) — only the backend differs. The artifact-cache key folds in
+    // the backend's configDigest, so interleaving vendors with the
+    // cache hot must re-serve each backend its own KernelCode: re-runs
+    // are pure hits (miss count frozen) and keep their vendor's
+    // machine-shape signature. An aliased entry would hand PTXL a
+    // scalarized, waitcnt-carrying GCN3 kernel (or GCN3 a
+    // barrier-bracketed PTXL one) — invisible in the digest, loud in
+    // the pipe mix.
+    sim::ArtifactCache::setEnabled(true);
+    sim::ArtifactCache::instance().clear();
+
+    auto g1 =
+        sim::runApp("atomicred", IsaKind::GCN3, GpuConfig{}, at(0.25));
+    auto p1 =
+        sim::runApp("atomicred", IsaKind::PTXL, GpuConfig{}, at(0.25));
+    uint64_t missesAfterBuild = sim::ArtifactCache::instance().misses();
+    uint64_t hitsBefore = sim::ArtifactCache::instance().hits();
+    auto g2 =
+        sim::runApp("atomicred", IsaKind::GCN3, GpuConfig{}, at(0.25));
+    auto p2 =
+        sim::runApp("atomicred", IsaKind::PTXL, GpuConfig{}, at(0.25));
+    EXPECT_EQ(sim::ArtifactCache::instance().misses(), missesAfterBuild);
+    EXPECT_GT(sim::ArtifactCache::instance().hits(), hitsBefore);
+    expectIdenticalResults(g1, g2);
+    expectIdenticalResults(p1, p2);
+    EXPECT_EQ(g2.digest, p2.digest);
+    EXPECT_GT(g2.salu, 0u);
+    EXPECT_EQ(p2.salu, 0u);
+    EXPECT_GT(g2.waitcnt, 0u);
+    EXPECT_EQ(p2.waitcnt, 0u);
+}
+
 // ---------------------------------------------------------------------
 // bfsgraph reconvergence-stack property (randomized seeds, both ISAs).
 // ---------------------------------------------------------------------
@@ -319,16 +487,25 @@ TEST(StressWorkloads, BfsRsDepthHistogramNonDegenerate)
             distinct += c != 0;
         EXPECT_GE(distinct, 2u) << "RS depth never varied";
 
-        uint64_t gcnPushes = 0;
-        auto gcn3 = sim::runApp(
-            "bfsgraph", IsaKind::GCN3, GpuConfig{}, at(0.25, seed),
-            [&](runtime::Runtime &rt) {
-                for (unsigned i = 0; i < rt.gpu().numCus(); ++i)
-                    gcnPushes += rt.gpu().computeUnit(i).rsDepth.samples();
-            });
-        EXPECT_EQ(gcnPushes, 0u) << "GCN3 must never touch an RS";
-        EXPECT_EQ(gcn3.hazardViolations, 0u);
-        sim::checkIsaAgreement(hsail, gcn3); // throws on lane mismatch
+        // Neither machine ISA has an RS: GCN3 predicates through the
+        // exec mask, PTXL reconverges on its hardware warp-split stack
+        // via BSSY/BSYNC. Both must retire identical lane-visible
+        // state without ever touching the simulator's RS histogram.
+        for (IsaKind isa : {IsaKind::GCN3, IsaKind::PTXL}) {
+            SCOPED_TRACE(isaName(isa));
+            uint64_t machinePushes = 0;
+            auto machine = sim::runApp(
+                "bfsgraph", isa, GpuConfig{}, at(0.25, seed),
+                [&](runtime::Runtime &rt) {
+                    for (unsigned i = 0; i < rt.gpu().numCus(); ++i)
+                        machinePushes +=
+                            rt.gpu().computeUnit(i).rsDepth.samples();
+                });
+            EXPECT_EQ(machinePushes, 0u)
+                << isaName(isa) << " must never touch an RS";
+            EXPECT_EQ(machine.hazardViolations, 0u);
+            sim::checkIsaAgreement(hsail, machine); // throws on mismatch
+        }
     }
 }
 
@@ -339,11 +516,14 @@ TEST(StressWorkloads, BfsRsDepthHistogramNonDegenerate)
 TEST(StressWorkloads, PipelineLaunchRecordsAndOverlap)
 {
     auto [hsail, gcn3] = sim::runBoth("pipeline", GpuConfig{}, at(0.5));
+    auto ptxl =
+        sim::runApp("pipeline", IsaKind::PTXL, GpuConfig{}, at(0.5));
+    ASSERT_TRUE(ptxl.verified);
     const std::vector<std::string> want = {
         "pipe_produce", "pipe_produce", "pipe_transform",
         "pipe_transform", "pipe_reduce", "pipe_reduce",
     };
-    for (const sim::AppResult *r : {&hsail, &gcn3}) {
+    for (const sim::AppResult *r : {&hsail, &gcn3, &ptxl}) {
         SCOPED_TRACE(isaName(r->isa));
         ASSERT_EQ(r->launches.size(), want.size());
         uint64_t recorded = 0, spanSum = 0;
@@ -401,19 +581,19 @@ TEST(StressWorkloads, DispatchAsyncOverlapsIndependentKernels)
         }
     };
 
-    for (IsaKind isa : {IsaKind::HSAIL, IsaKind::GCN3}) {
+    for (IsaKind isa : AllIsas) {
         SCOPED_TRACE(isaName(isa));
         auto il1 = makeKernel("ovl_a", 3);
         auto il2 = makeKernel("ovl_b", 5);
         finalizer::compactIlRegisters(il1);
         finalizer::compactIlRegisters(il2);
-        std::unique_ptr<arch::KernelCode> gcn1, gcn2;
-        if (isa == IsaKind::GCN3) {
-            gcn1 = finalizer::finalize(il1, GpuConfig{});
-            gcn2 = finalizer::finalize(il2, GpuConfig{});
+        std::unique_ptr<arch::KernelCode> mach1, mach2;
+        if (isa != IsaKind::HSAIL) {
+            mach1 = finalizer::finalize(il1, isa, GpuConfig{});
+            mach2 = finalizer::finalize(il2, isa, GpuConfig{});
         }
-        const arch::KernelCode &c1 = gcn1 ? *gcn1 : *il1.code;
-        const arch::KernelCode &c2 = gcn2 ? *gcn2 : *il2.code;
+        const arch::KernelCode &c1 = mach1 ? *mach1 : *il1.code;
+        const arch::KernelCode &c2 = mach2 ? *mach2 : *il2.code;
 
         Cycle serial = 0, overlapped = 0;
         {

@@ -2,8 +2,8 @@
  * @file
  * `last_obs` — observability CLI (see DESIGN.md §5).
  *
- *   last_obs trace   <workload> <hsail|gcn3> [--scale F] [--out FILE]
- *   last_obs stats   <workload> <hsail|gcn3> [--scale F] [--json FILE]
+ *   last_obs trace   <workload> <hsail|gcn3|ptxl> [--scale F] [--out FILE]
+ *   last_obs stats   <workload> <hsail|gcn3|ptxl> [--scale F] [--json FILE]
  *                    [--csv FILE]
  *   last_obs diverge [workload...] [--scale F] [--threshold T]
  *                    [--json FILE] [--jobs N] [--seed S]
@@ -14,8 +14,8 @@
  * stats:   run once and dump the full stats tree (JSON and/or CSV;
  *          JSON to stdout when neither file is given).
  * diverge: run each workload (default: all Table 5 applications plus
- *          the stress workloads) at both ISA levels on the parallel
- *          sweep driver and print the ranked cross-ISA divergence
+ *          the stress workloads) at every ISA level on the parallel
+ *          sweep driver and print the ranked N×N cross-ISA divergence
  *          report; optional machine-readable copy with --json. --seed
  *          varies the input data; --lds-stride/--lds-pad are the
  *          ldsswizzle bank-conflict knobs (ignored elsewhere). Exit
@@ -48,9 +48,9 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: last_obs trace   <workload> <hsail|gcn3> [--scale F] "
+        "usage: last_obs trace   <workload> <hsail|gcn3|ptxl> [--scale F] "
         "[--out FILE]\n"
-        "       last_obs stats   <workload> <hsail|gcn3> [--scale F] "
+        "       last_obs stats   <workload> <hsail|gcn3|ptxl> [--scale F] "
         "[--json FILE] [--csv FILE]\n"
         "       last_obs diverge [workload...] [--scale F] "
         "[--threshold T] [--json FILE] [--jobs N]\n"
@@ -62,10 +62,9 @@ usage()
 IsaKind
 parseIsa(const std::string &s)
 {
-    if (s == "hsail" || s == "HSAIL")
-        return IsaKind::HSAIL;
-    if (s == "gcn3" || s == "GCN3")
-        return IsaKind::GCN3;
+    IsaKind isa;
+    if (isaFromName(s, isa))
+        return isa;
     usage();
 }
 

@@ -11,7 +11,7 @@
  *   last_serve client ... diverge <workload> [--scale F] [--seed S]
  *                     [--threshold T] [--lds-stride W] [--lds-pad W]
  *                     [--timeout-ms N] [--out FILE]
- *   last_serve client ... stats <workload> <hsail|gcn3> [--scale F]
+ *   last_serve client ... stats <workload> <hsail|gcn3|ptxl> [--scale F]
  *                     [--seed S] [--lds-stride W] [--lds-pad W]
  *                     [--timeout-ms N] [--out FILE]
  *
@@ -21,7 +21,7 @@
  *         an ephemeral port, reported on stderr and via `--port-file`.
  * client: send one request, print the response. Payload responses are
  *         unwrapped: the embedded artifact (`last-stats-v1` /
- *         `last-divergence-v1`) goes to stdout or `--out` byte-for-byte
+ *         `last-divergence-v2`) goes to stdout or `--out` byte-for-byte
  *         as the offline CLI would have written it; the envelope
  *         metadata goes to stderr.
  *
@@ -74,7 +74,7 @@ usage()
         "[--threshold T]\n"
         "                          [--lds-stride W] [--lds-pad W] "
         "[--timeout-ms N] [--out FILE]\n"
-        "                  stats <workload> <hsail|gcn3> [--scale F] "
+        "                  stats <workload> <hsail|gcn3|ptxl> [--scale F] "
         "[--seed S]\n"
         "                          [--lds-stride W] [--lds-pad W] "
         "[--timeout-ms N] [--out FILE]\n");

@@ -22,7 +22,7 @@
  *        deterministic `last-shard-v1` manifests (D/shard_<i>.json).
  * run:   execute one shard on the work-stealing pool and write a
  *        partial bench cache (`--out`) plus a partial
- *        `last-divergence-v1` report (`--diverge`). With `--cache`,
+ *        `last-divergence-v2` report (`--diverge`). With `--cache`,
  *        incremental mode: specs whose (workload, ISA, scale, seed,
  *        knob-digest) row already exists in that cache are served from
  *        it instead of re-simulated. With `--timeout-ms`, every
